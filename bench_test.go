@@ -1,0 +1,301 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper, plus ablation benchmarks for the design decisions listed in
+// DESIGN.md §4.
+//
+// Each figure benchmark regenerates its experiment at reduced fidelity
+// (three representative apps, 400K instructions) so the whole suite
+// finishes in minutes; cmd/figures runs the same drivers at full
+// fidelity. Reported custom metrics (edp_red_pct and friends) carry the
+// experiment's headline result so regressions in *results*, not just
+// speed, show up in benchmark diffs.
+package resizecache
+
+import (
+	"testing"
+
+	"resizecache/internal/core"
+	"resizecache/internal/experiment"
+	"resizecache/internal/sim"
+	"resizecache/internal/workload"
+)
+
+// benchApps is a representative slice of the suite: a small-working-set
+// app, a conflict-bound app, and a phase-varying app.
+var benchApps = []string{"m88ksim", "vpr", "su2cor"}
+
+func benchOpts() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.Instructions = 400_000
+	o.Apps = benchApps
+	return o
+}
+
+func BenchmarkTable1Hybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Organizations(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.Figure4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := last.Cell(experiment.DSide, core.SelectiveSets, 2); ok {
+		b.ReportMetric(v, "sets2way_edp_red_pct")
+	}
+	if v, ok := last.Cell(experiment.DSide, core.SelectiveWays, 16); ok {
+		b.ReportMetric(v, "ways16way_edp_red_pct")
+	}
+}
+
+func BenchmarkFigure5PerApp(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.Figure5(experiment.DSide, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, ew, es := last.Averages()
+	b.ReportMetric(ew, "ways_edp_red_pct")
+	b.ReportMetric(es, "sets_edp_red_pct")
+}
+
+func BenchmarkFigure6Hybrid(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.Figure6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := last.Cell(experiment.DSide, core.Hybrid, 4); ok {
+		b.ReportMetric(v, "hybrid4way_edp_red_pct")
+	}
+}
+
+func BenchmarkFigure7DCacheStrategies(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.StrategyPanel(experiment.DSide, sim.InOrder, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, se, de := last.Averages()
+	b.ReportMetric(se, "static_edp_red_pct")
+	b.ReportMetric(de, "dynamic_edp_red_pct")
+}
+
+func BenchmarkFigure8ICacheStrategies(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.StrategyPanel(experiment.ISide, sim.OutOfOrder, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, se, de := last.Averages()
+	b.ReportMetric(se, "static_edp_red_pct")
+	b.ReportMetric(de, "dynamic_edp_red_pct")
+}
+
+func BenchmarkFigure9DualResize(b *testing.B) {
+	opts := benchOpts()
+	var last experiment.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = experiment.Figure9(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, _, de, ie, be := last.Averages()
+	b.ReportMetric(de+ie, "sum_edp_red_pct")
+	b.ReportMetric(be, "both_edp_red_pct")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+// ---------------------------------------------------------------------
+
+// staticSetsRun runs m88ksim with a statically downsized selective-sets
+// d-cache, with the given ablation switches, and returns the EDP
+// reduction versus the non-resizable baseline.
+func staticSetsRun(b *testing.B, fullPrecharge, freeFlush bool, dynamic bool) float64 {
+	b.Helper()
+	base := sim.Default("m88ksim")
+	base.Instructions = 400_000
+	bres, err := sim.Run(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cut := base
+	cut.DCache.Org = core.SelectiveSets
+	if dynamic {
+		cut.DCache.Policy = sim.PolicySpec{Kind: sim.PolicyDynamic,
+			Interval: 16384, MissBound: 163, SizeBoundBytes: 4 << 10}
+	} else {
+		cut.DCache.Policy = sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: 3} // 4K
+	}
+	cut.DCache.AblationFullPrecharge = fullPrecharge
+	cut.DCache.AblationFreeFlush = freeFlush
+	cres, err := sim.Run(cut)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cres.EDP.ReductionPct(bres.EDP)
+}
+
+// BenchmarkAblationFullPrecharge quantifies design decision 1: with all
+// subarrays precharging regardless of masks, resizing saves (almost)
+// nothing — the enabled-subarray accounting is where the benefit lives.
+func BenchmarkAblationFullPrecharge(b *testing.B) {
+	var withMasks, without float64
+	for i := 0; i < b.N; i++ {
+		withMasks = staticSetsRun(b, false, false, false)
+		without = staticSetsRun(b, true, false, false)
+	}
+	b.ReportMetric(withMasks, "masked_edp_red_pct")
+	b.ReportMetric(without, "fullprecharge_edp_red_pct")
+}
+
+// BenchmarkAblationFreeFlush quantifies design decision 3: the cost of
+// selective-sets' flush semantics under dynamic resizing. su2cor's
+// periodic working set makes the controller resize repeatedly, so every
+// transition pays (or, ablated, skips) the flush traffic.
+func BenchmarkAblationFreeFlush(b *testing.B) {
+	run := func(freeFlush bool) float64 {
+		base := sim.Default("su2cor")
+		base.Instructions = 400_000
+		bres, err := sim.Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut := base
+		cut.DCache.Org = core.SelectiveSets
+		cut.DCache.Policy = sim.PolicySpec{Kind: sim.PolicyDynamic,
+			Interval: 16384, MissBound: 655, SizeBoundBytes: 8 << 10}
+		cut.DCache.AblationFreeFlush = freeFlush
+		cres, err := sim.Run(cut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cres.EDP.ReductionPct(bres.EDP)
+	}
+	var real, free float64
+	for i := 0; i < b.N; i++ {
+		real = run(false)
+		free = run(true)
+	}
+	b.ReportMetric(real, "realflush_edp_red_pct")
+	b.ReportMetric(free, "freeflush_edp_red_pct")
+}
+
+// BenchmarkAblationHybridTieBreak quantifies design decision 4: Table 1's
+// prefer-highest-associativity rule versus preferring the fewest ways.
+func BenchmarkAblationHybridTieBreak(b *testing.B) {
+	opts := benchOpts()
+	var maxAssoc, minWays float64
+	for i := 0; i < b.N; i++ {
+		ba, err := experiment.BestStatic("vpr", experiment.DSide, core.Hybrid, 4, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw, err := experiment.BestStatic("vpr", experiment.DSide, core.HybridMinWays, 4, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxAssoc = ba.EDPReductionPct()
+		minWays = bw.EDPReductionPct()
+	}
+	b.ReportMetric(maxAssoc, "maxassoc_edp_red_pct")
+	b.ReportMetric(minWays, "minways_edp_red_pct")
+}
+
+// BenchmarkAblationNoSizeBound quantifies design decision 5: removing the
+// dynamic controller's thrash guard. ammp's working set fits 4K but not
+// 2K, so an unbounded controller oscillates at the bottom of the
+// schedule, flushing and refilling every other interval.
+func BenchmarkAblationNoSizeBound(b *testing.B) {
+	run := func(bound int) float64 {
+		base := sim.Default("ammp")
+		base.Engine = sim.InOrder
+		base.Instructions = 400_000
+		bres, err := sim.Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut := base
+		cut.DCache.Org = core.SelectiveSets
+		cut.DCache.Policy = sim.PolicySpec{Kind: sim.PolicyDynamic,
+			Interval: 16384, MissBound: 163, SizeBoundBytes: bound}
+		cres, err := sim.Run(cut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cres.EDP.ReductionPct(bres.EDP)
+	}
+	var bounded, unbounded float64
+	for i := 0; i < b.N; i++ {
+		bounded = run(8 << 10)
+		unbounded = run(0)
+	}
+	b.ReportMetric(bounded, "sizebound_edp_red_pct")
+	b.ReportMetric(unbounded, "nobound_edp_red_pct")
+}
+
+// ---------------------------------------------------------------------
+// Raw-throughput benchmarks (simulator engineering, not paper results).
+// ---------------------------------------------------------------------
+
+func BenchmarkSimOutOfOrder(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Instructions = 200_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+func BenchmarkSimInOrder(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Engine = sim.InOrder
+	cfg.Instructions = 200_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	gen := workload.NewGenerator(workload.MustGet("gcc"))
+	var ev workload.Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !gen.Next(&ev) {
+			gen = workload.NewGenerator(workload.MustGet("gcc"))
+		}
+	}
+}

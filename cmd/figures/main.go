@@ -1,0 +1,151 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures -exp all                 # everything (minutes)
+//	figures -exp table1              # hybrid size schedule
+//	figures -exp table2              # base configuration
+//	figures -exp fig4                # ways vs sets across associativity
+//	figures -exp fig5                # per-app comparison at 4-way
+//	figures -exp fig6                # hybrid organization
+//	figures -exp fig7                # d-cache static vs dynamic
+//	figures -exp fig8                # i-cache static vs dynamic
+//	figures -exp fig9                # resizing both caches
+//	figures -exp fig4 -instr 500000  # faster, lower fidelity
+//	figures -exp fig5 -apps gcc,vpr  # restrict benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resizecache/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9")
+		instr = flag.Uint64("instr", 1_500_000, "instructions per simulation")
+		apps  = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
+		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := experiment.DefaultOptions()
+	opts.Instructions = *instr
+	opts.Parallelism = *par
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	if err := run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiment.Options) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		s, err := experiment.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	}
+	if want("table2") {
+		ran = true
+		fmt.Println(experiment.Table2())
+	}
+	if want("fig4") {
+		ran = true
+		f, err := experiment.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	if want("fig5") {
+		ran = true
+		for _, side := range []experiment.Side{experiment.DSide, experiment.ISide} {
+			f, err := experiment.Figure5(side, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		}
+	}
+	if want("fig6") {
+		ran = true
+		f, err := experiment.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFigure6(f))
+	}
+	if want("fig7") {
+		ran = true
+		inord, ooo, err := experiment.Figure7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7 (a):", "\n"+inord.Render())
+		fmt.Println("Figure 7 (b):", "\n"+ooo.Render())
+	}
+	if want("fig8") {
+		ran = true
+		inord, ooo, err := experiment.Figure8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 8 (a):", "\n"+inord.Render())
+		fmt.Println("Figure 8 (b):", "\n"+ooo.Render())
+	}
+	if want("fig9") {
+		ran = true
+		f, err := experiment.Figure9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	}
+	// Extension experiments (not in the paper; see DESIGN.md §4). They
+	// run under "-exp sens" or individually, not under "all".
+	sens := func(name string) bool { return exp == "sens" || exp == name }
+	if sens("sens-subarray") {
+		ran = true
+		rows, err := experiment.SubarraySensitivity(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderSensitivity(
+			"Sensitivity: subarray granularity (static selective-sets d-cache)", rows))
+	}
+	if sens("sens-interval") {
+		ran = true
+		rows, err := experiment.IntervalSensitivity(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderSensitivity(
+			"Sensitivity: dynamic interval (in-order engine, d-cache)", rows))
+	}
+	if sens("sens-l2") {
+		ran = true
+		rows, err := experiment.L2Sensitivity(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderSensitivity(
+			"Sensitivity: L2 capacity (static selective-sets d-cache)", rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"resizecache/internal/experiment"
+)
+
+func tinyOpts() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.Instructions = 60_000
+	o.Apps = []string{"m88ksim"}
+	return o
+}
+
+func TestRunTables(t *testing.T) {
+	if err := run("table1", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("table2", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", tinyOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	if err := run("fig5", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+}

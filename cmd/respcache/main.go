@@ -1,0 +1,113 @@
+// Command respcache runs one simulation and prints a detailed report:
+// timing, energy breakdown, cache behaviour, and (for resizable
+// configurations) the interval-by-interval size trace.
+//
+// Examples:
+//
+//	respcache -bench gcc
+//	respcache -bench compress -dorg ways -dstatic 1
+//	respcache -bench su2cor -dorg sets -ddynamic -missbound 512 -engine inorder
+//	respcache -bench vpr -dorg hybrid -dstatic 3 -iorg sets -istatic 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resizecache/internal/core"
+	"resizecache/internal/geometry"
+	"resizecache/internal/sim"
+)
+
+func parseOrg(s string) (core.Organization, error) {
+	switch s {
+	case "", "none":
+		return core.NonResizable, nil
+	case "ways":
+		return core.SelectiveWays, nil
+	case "sets":
+		return core.SelectiveSets, nil
+	case "hybrid":
+		return core.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown organization %q (none, ways, sets, hybrid)", s)
+	}
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "gcc", "benchmark name")
+		instr  = flag.Uint64("instr", 2_000_000, "instructions to simulate")
+		engine = flag.String("engine", "ooo", "engine: ooo or inorder")
+		assoc  = flag.Int("assoc", 2, "L1 set-associativity")
+
+		dorg     = flag.String("dorg", "none", "d-cache organization")
+		dstatic  = flag.Int("dstatic", -1, "d-cache static schedule index")
+		ddynamic = flag.Bool("ddynamic", false, "d-cache dynamic resizing")
+
+		iorg     = flag.String("iorg", "none", "i-cache organization")
+		istatic  = flag.Int("istatic", -1, "i-cache static schedule index")
+		idynamic = flag.Bool("idynamic", false, "i-cache dynamic resizing")
+
+		interval  = flag.Uint64("interval", 65536, "dynamic interval (accesses)")
+		missbound = flag.Uint64("missbound", 512, "dynamic miss-bound per interval")
+		sizebound = flag.Int("sizebound", 0, "dynamic size-bound in bytes (0 = schedule minimum)")
+	)
+	flag.Parse()
+
+	cfg := sim.Default(*bench)
+	cfg.Instructions = *instr
+	if *engine == "inorder" {
+		cfg.Engine = sim.InOrder
+	}
+	geom := geometry.Geometry{SizeBytes: 32 << 10, Assoc: *assoc, BlockBytes: 32, SubarrayBytes: 1 << 10}
+	cfg.DCache.Geom = geom
+	cfg.ICache.Geom = geom
+
+	side := func(orgFlag string, static int, dynamic bool, spec *sim.CacheSpec) error {
+		org, err := parseOrg(orgFlag)
+		if err != nil {
+			return err
+		}
+		spec.Org = org
+		switch {
+		case dynamic:
+			spec.Policy = sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: *interval,
+				MissBound: *missbound, SizeBoundBytes: *sizebound}
+		case static >= 0:
+			spec.Policy = sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: static}
+		}
+		return nil
+	}
+	if err := side(*dorg, *dstatic, *ddynamic, &cfg.DCache); err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		os.Exit(1)
+	}
+	if err := side(*iorg, *istatic, *idynamic, &cfg.ICache); err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		os.Exit(1)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark      %s (%s engine, %d instructions)\n", *bench, cfg.Engine, *instr)
+	fmt.Printf("cycles         %d (IPC %.2f, branch accuracy %.1f%%)\n",
+		res.CPU.Cycles, res.CPU.IPC(), 100*res.CPU.BranchAccuracy)
+	fmt.Printf("energy         %v\n", res.Energy)
+	fmt.Printf("EDP            %.6g J·cycles\n", res.EDP.Product())
+	report := func(name string, c sim.CacheReport) {
+		fmt.Printf("%-8s       %s accesses=%d miss=%.3f avg-size=%.1fK (−%.1f%%) resizes=%d flushed=%d\n",
+			name, "", c.Accesses, c.MissRatio, c.AvgBytes/1024, c.SizeReductionPct(),
+			c.Resizes, c.FlushedBlocks)
+		if len(c.SizeTrace) > 0 {
+			fmt.Printf("  size trace   %v\n", c.SizeTrace)
+		}
+	}
+	report("L1d", res.DCache)
+	report("L1i", res.ICache)
+}

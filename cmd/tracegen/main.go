@@ -1,0 +1,65 @@
+// Command tracegen exports a benchmark's synthetic reference stream to
+// the binary trace format (internal/workload), for inspection or replay
+// by external tools.
+//
+// Example:
+//
+//	tracegen -bench compress -n 1000000 -o compress.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resizecache/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "gcc", "benchmark name")
+		n     = flag.Uint64("n", 1_000_000, "number of instructions")
+		out   = flag.String("o", "", "output file (default <bench>.trace)")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		*out = *bench + ".trace"
+	}
+	if err := run(*bench, *n, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events for %s to %s\n", *n, *bench, *out)
+}
+
+func run(bench string, n uint64, out string) error {
+	prof, err := workload.Get(bench)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w, err := workload.NewTraceWriter(f, bench, n)
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(prof)
+	var ev workload.Event
+	for i := uint64(0); i < n; i++ {
+		if !gen.Next(&ev) {
+			return fmt.Errorf("workload exhausted at %d events", i)
+		}
+		if err := w.Write(&ev); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}

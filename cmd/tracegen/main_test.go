@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resizecache/internal/workload"
+)
+
+func TestRunWritesReplayableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.trace")
+	if err := run("ijpeg", 5000, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := workload.NewTraceReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "ijpeg" || r.Count != 5000 {
+		t.Fatalf("header %q/%d", r.Name, r.Count)
+	}
+	src := &workload.ReplaySource{R: r}
+	var ev workload.Event
+	n := 0
+	for src.Next(&ev) {
+		n++
+	}
+	if src.Err() != nil || n != 5000 {
+		t.Fatalf("replayed %d events, err %v", n, src.Err())
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run("nosuch", 10, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

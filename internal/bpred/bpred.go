@@ -1,0 +1,190 @@
+// Package bpred implements the branch predictors of the simulated
+// processor: a bimodal (PC-indexed two-bit counter) predictor, a gshare
+// two-level predictor, and the combining predictor of the paper's base
+// configuration (Table 2: "combination"), which uses a meta chooser table
+// to select between the two component predictions per branch.
+package bpred
+
+// Predictor is a direction predictor for conditional branches.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// twoBit is a saturating two-bit counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) train(taken bool) twoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of two-bit counters.
+type Bimodal struct {
+	table []twoBit
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits entries, initialized
+// weakly taken.
+func NewBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]twoBit, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// GShare is a two-level predictor indexing a pattern table with the
+// global history register XORed into the PC.
+type GShare struct {
+	table   []twoBit
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare builds a gshare predictor with 2^bits entries and histBits of
+// global history.
+func NewGShare(bits, histBits int) *GShare {
+	n := 1 << bits
+	t := make([]twoBit, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(n - 1), histLen: uint(histBits)}
+}
+
+func (g *GShare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor; it also shifts the resolved direction into
+// the global history register.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+// Combining is the tournament predictor: a meta table of two-bit
+// counters picks, per branch, between two component predictors. The meta
+// counter trains toward whichever component was correct when they
+// disagree.
+type Combining struct {
+	meta  []twoBit
+	mask  uint64
+	comp1 Predictor // selected when the meta counter predicts "taken"
+	comp2 Predictor
+}
+
+// NewCombining builds a combining predictor over two components with a
+// 2^bits-entry chooser.
+func NewCombining(bits int, comp1, comp2 Predictor) *Combining {
+	n := 1 << bits
+	t := make([]twoBit, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Combining{meta: t, mask: uint64(n - 1), comp1: comp1, comp2: comp2}
+}
+
+// NewDefault returns the base-configuration predictor: a combination of
+// bimodal and gshare with 4K-entry tables, as a SimpleScalar "comb"
+// predictor would be configured.
+func NewDefault() *Combining {
+	return NewCombining(12, NewGShare(12, 10), NewBimodal(12))
+}
+
+func (c *Combining) index(pc uint64) uint64 { return (pc >> 2) & c.mask }
+
+// Predict implements Predictor.
+func (c *Combining) Predict(pc uint64) bool {
+	if c.meta[c.index(pc)].taken() {
+		return c.comp1.Predict(pc)
+	}
+	return c.comp2.Predict(pc)
+}
+
+// Update implements Predictor.
+func (c *Combining) Update(pc uint64, taken bool) {
+	p1 := c.comp1.Predict(pc)
+	p2 := c.comp2.Predict(pc)
+	if p1 != p2 {
+		i := c.index(pc)
+		c.meta[i] = c.meta[i].train(p1 == taken)
+	}
+	c.comp1.Update(pc, taken)
+	c.comp2.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (c *Combining) Name() string { return "combining" }
+
+// Stats wraps a predictor and counts accuracy.
+type Stats struct {
+	P          Predictor
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// PredictAndTrain performs one predict/update round and returns whether
+// the prediction was correct.
+func (s *Stats) PredictAndTrain(pc uint64, taken bool) bool {
+	s.Lookups++
+	pred := s.P.Predict(pc)
+	s.P.Update(pc, taken)
+	if pred != taken {
+		s.Mispredict++
+		return false
+	}
+	return true
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (s *Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(s.Mispredict)/float64(s.Lookups)
+}

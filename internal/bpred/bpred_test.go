@@ -1,0 +1,152 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoBitSaturation(t *testing.T) {
+	c := twoBit(0)
+	for i := 0; i < 10; i++ {
+		c = c.train(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter underflowed to %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.train(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter = %d, want saturated 3", c)
+	}
+	if !c.taken() {
+		t.Fatal("saturated counter must predict taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	pc := uint64(0x400100)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Fatal("always-taken branch predicted not-taken")
+	}
+	pc2 := uint64(0x400200)
+	for i := 0; i < 8; i++ {
+		b.Update(pc2, false)
+	}
+	if b.Predict(pc2) {
+		t.Fatal("never-taken branch predicted taken")
+	}
+	// Independent PCs must not have interfered.
+	if !b.Predict(pc) {
+		t.Fatal("aliasing between distinct table entries")
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// A T,N,T,N... alternating branch is unpredictable for bimodal but
+	// perfectly predictable with history.
+	g := NewGShare(12, 8)
+	bi := NewBimodal(12)
+	pc := uint64(0x40ABC0)
+	gWrong, bWrong := 0, 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) != taken {
+			gWrong++
+		}
+		if bi.Predict(pc) != taken {
+			bWrong++
+		}
+		g.Update(pc, taken)
+		bi.Update(pc, taken)
+	}
+	if gWrong > 50 {
+		t.Fatalf("gshare mispredicted %d/2000 on an alternating pattern", gWrong)
+	}
+	if bWrong < 500 {
+		t.Fatalf("bimodal unexpectedly good (%d wrong): test pattern broken", bWrong)
+	}
+}
+
+func TestCombiningTracksBetterComponent(t *testing.T) {
+	c := NewDefault()
+	pc := uint64(0x400480)
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0 // history-predictable
+		if c.Predict(pc) != taken {
+			wrong++
+		}
+		c.Update(pc, taken)
+	}
+	if float64(wrong)/n > 0.05 {
+		t.Fatalf("combining mispredict rate %.2f on pattern gshare nails", float64(wrong)/n)
+	}
+	// Strongly biased branch: must also be near-perfect.
+	c2 := NewDefault()
+	wrong = 0
+	for i := 0; i < n; i++ {
+		if c2.Predict(pc) != true {
+			wrong++
+		}
+		c2.Update(pc, true)
+	}
+	if float64(wrong)/n > 0.02 {
+		t.Fatalf("combining mispredict rate %.2f on always-taken", float64(wrong)/n)
+	}
+}
+
+func TestStatsAccuracy(t *testing.T) {
+	s := Stats{P: NewBimodal(8)}
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		s.PredictAndTrain(pc, true)
+	}
+	if s.Lookups != 100 {
+		t.Fatalf("lookups = %d", s.Lookups)
+	}
+	if s.Accuracy() < 0.95 {
+		t.Fatalf("accuracy = %v on trivially biased branch", s.Accuracy())
+	}
+	empty := Stats{P: NewBimodal(4)}
+	if empty.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewBimodal(4).Name() != "bimodal" || NewGShare(4, 4).Name() != "gshare" ||
+		NewDefault().Name() != "combining" {
+		t.Fatal("predictor names wrong")
+	}
+}
+
+// Property: on fully biased branches, any predictor converges to at most
+// a bounded number of mispredictions (training works for arbitrary PCs).
+func TestBiasedConvergenceProperty(t *testing.T) {
+	f := func(pcSeed uint32, taken bool) bool {
+		pc := uint64(pcSeed) << 2
+		preds := []Predictor{NewBimodal(10), NewGShare(10, 8), NewDefault()}
+		for _, p := range preds {
+			wrong := 0
+			for i := 0; i < 200; i++ {
+				if p.Predict(pc) != taken {
+					wrong++
+				}
+				p.Update(pc, taken)
+			}
+			if wrong > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

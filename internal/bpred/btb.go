@@ -1,0 +1,127 @@
+package bpred
+
+// BTB is a set-associative branch target buffer: the fetch stage uses it
+// to redirect to a predicted-taken branch's target in the same cycle.
+// A taken branch that misses in the BTB costs a fetch bubble even when
+// its direction was predicted correctly.
+type BTB struct {
+	sets  int
+	ways  int
+	tags  [][]uint64
+	tgt   [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBTB builds a BTB with 2^setBits sets and the given associativity.
+func NewBTB(setBits, ways int) *BTB {
+	sets := 1 << setBits
+	b := &BTB{sets: sets, ways: ways}
+	b.tags = make([][]uint64, sets)
+	b.tgt = make([][]uint64, sets)
+	b.valid = make([][]bool, sets)
+	b.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		b.tags[i] = make([]uint64, ways)
+		b.tgt[i] = make([]uint64, ways)
+		b.valid[i] = make([]bool, ways)
+		b.lru[i] = make([]uint64, ways)
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	line := pc >> 2
+	return int(line % uint64(b.sets)), line / uint64(b.sets)
+}
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.Lookups++
+	b.clock++
+	set, tag := b.index(pc)
+	for w := 0; w < b.ways; w++ {
+		if b.valid[set][w] && b.tags[set][w] == tag {
+			b.lru[set][w] = b.clock
+			b.Hits++
+			return b.tgt[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for a taken branch.
+func (b *BTB) Update(pc, target uint64) {
+	b.clock++
+	set, tag := b.index(pc)
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < b.ways; w++ {
+		if b.valid[set][w] && b.tags[set][w] == tag {
+			b.tgt[set][w] = target
+			b.lru[set][w] = b.clock
+			return
+		}
+		if !b.valid[set][w] {
+			victim, oldest = w, 0
+		} else if b.lru[set][w] < oldest {
+			victim, oldest = w, b.lru[set][w]
+		}
+	}
+	b.tags[set][victim] = tag
+	b.tgt[set][victim] = target
+	b.valid[set][victim] = true
+	b.lru[set][victim] = b.clock
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Lookups)
+}
+
+// RAS is a return address stack with wrap-around overflow, as in
+// SimpleScalar: pushes beyond capacity overwrite the oldest entry.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+
+	Pushes uint64
+	Pops   uint64
+}
+
+// NewRAS builds a return-address stack with the given capacity.
+func NewRAS(entries int) *RAS {
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(ret uint64) {
+	r.Pushes++
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the next return address; ok is false when the stack has
+// underflowed.
+func (r *RAS) Pop() (ret uint64, ok bool) {
+	r.Pops++
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Depth returns the current number of valid entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,511 @@
+package cache
+
+import (
+	"fmt"
+
+	"resizecache/internal/geometry"
+	"resizecache/internal/stats"
+)
+
+// Line is one cache block frame.
+type Line struct {
+	BlockAddr uint64 // full block address (addr >> offsetBits)
+	Valid     bool
+	Dirty     bool
+	lastUse   uint64 // LRU timestamp
+}
+
+// Stats aggregates per-cache event counts.
+type Stats struct {
+	Accesses      stats.Counter
+	Hits          stats.Counter
+	Misses        stats.Counter
+	Fills         stats.Counter
+	Writebacks    stats.Counter
+	FlushedBlocks stats.Counter
+	FlushedDirty  stats.Counter
+	Resizes       stats.Counter
+	MSHRCoalesced stats.Counter
+	MSHRStalls    stats.Counter
+}
+
+// MissRatio returns misses/accesses.
+func (s *Stats) MissRatio() float64 { return s.Misses.Ratio(&s.Accesses) }
+
+// Config parameterizes a cache level.
+type Config struct {
+	Name       string
+	Geom       geometry.Geometry
+	HitLatency uint64
+	AddrBits   int
+	Energy     geometry.EnergyModel
+
+	// ProvisionTagForMinSets, when nonzero, sizes the tag array for a
+	// configuration with this many sets (the smallest offered size).
+	// Selective-sets and hybrid caches must set this: smaller
+	// configurations need more tag bits, so every access compares the
+	// wider provisioned tag (paper §2.1). Zero means a conventional tag
+	// array sized for the full geometry.
+	ProvisionTagForMinSets int
+
+	// MSHREntries > 0 makes the cache non-blocking with that many miss
+	// registers; 0 models a blocking cache.
+	MSHREntries int
+	// WritebackEntries sizes the writeback buffer; 0 disables buffering
+	// (victim writebacks serialize with the miss).
+	WritebackEntries int
+
+	// DelayedPrecharge models a lower level (e.g. L2) that precharges
+	// only the accessed subarrays, trading access time for energy
+	// (paper §3). L1s use all-subarray precharge.
+	DelayedPrecharge bool
+
+	// AblationFullPrecharge charges every access (and every idle cycle)
+	// as if all subarrays were enabled, regardless of resizing masks —
+	// removing the entire energy benefit of resizing. Used by the
+	// ablation benchmarks to isolate the enabled-subarray accounting.
+	AblationFullPrecharge bool
+
+	// AblationFreeFlush performs resize flushes for correctness but
+	// charges no array energy and sends no writeback traffic for them —
+	// isolating the cost of the organizations' flush semantics.
+	AblationFreeFlush bool
+}
+
+// Cache is a set-associative writeback cache with subarray masking.
+// The array is allocated at the full configured geometry; the effective
+// configuration (enabled sets and ways) may be lowered and raised by the
+// resizable organizations in internal/core via SetEnabled.
+type Cache struct {
+	cfg     Config
+	next    Level
+	sets    [][]Line // [maxSets][maxWays]
+	maxSets int
+	maxWays int
+
+	effSets int // enabled sets (power of two)
+	effWays int // enabled ways
+
+	useClock uint64
+	mshr     *mshrFile
+	wb       *writebackBuffer
+
+	Stat Stats
+
+	energyPJ      float64 // switching (per-access) energy
+	idlePJ        float64 // background energy: clock tree + leakage
+	lastIdleCycle uint64
+	finalized     bool
+
+	// size×time integral for average-enabled-size reporting
+	sizeIntegral   float64
+	totalSizeSpanC uint64
+}
+
+// New builds a cache level in its full-size configuration.
+func New(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, fmt.Errorf("cache %s: %w", cfg.Name, err)
+	}
+	if cfg.AddrBits <= 0 {
+		cfg.AddrBits = 40
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: next level required", cfg.Name)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		next:    next,
+		maxSets: cfg.Geom.Sets(),
+		maxWays: cfg.Geom.Assoc,
+	}
+	c.sets = make([][]Line, c.maxSets)
+	backing := make([]Line, c.maxSets*c.maxWays)
+	for i := range c.sets {
+		c.sets[i] = backing[i*c.maxWays : (i+1)*c.maxWays]
+	}
+	c.effSets = c.maxSets
+	c.effWays = c.maxWays
+	if cfg.MSHREntries > 0 {
+		c.mshr = newMSHRFile(cfg.MSHREntries)
+	}
+	if cfg.WritebackEntries > 0 {
+		c.wb = newWritebackBuffer(cfg.WritebackEntries)
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// EffSets returns the number of currently enabled sets.
+func (c *Cache) EffSets() int { return c.effSets }
+
+// EffWays returns the number of currently enabled ways.
+func (c *Cache) EffWays() int { return c.effWays }
+
+// EnabledBytes returns the currently enabled data capacity.
+func (c *Cache) EnabledBytes() int {
+	return c.effSets * c.effWays * c.cfg.Geom.BlockBytes
+}
+
+func (c *Cache) offsetBits() int { return c.cfg.Geom.OffsetBits() }
+
+func (c *Cache) blockAddr(addr uint64) uint64 { return addr >> uint(c.offsetBits()) }
+
+func (c *Cache) setIndex(block uint64) int { return int(block & uint64(c.effSets-1)) }
+
+// enabledDataSubarrays returns the number of powered data subarrays under
+// the current mask: each enabled way contributes subarrays proportional
+// to the enabled-set fraction.
+func (c *Cache) enabledDataSubarrays() int {
+	per := c.cfg.Geom.SubarraysPerWay() * c.effSets / c.maxSets
+	if per < 1 {
+		per = 1
+	}
+	return per * c.effWays
+}
+
+// tagSubarrays approximates the tag array as one-eighth of the data area,
+// with a floor of one subarray per enabled way.
+func (c *Cache) enabledTagSubarrays() int {
+	t := c.enabledDataSubarrays() / 8
+	if t < c.effWays {
+		t = c.effWays
+	}
+	return t
+}
+
+// fullTagSubarrays is the tag subarray count with everything enabled.
+func (c *Cache) fullTagSubarrays() int {
+	t := c.cfg.Geom.SubarraysPerWay() * c.maxWays / 8
+	if t < c.maxWays {
+		t = c.maxWays
+	}
+	return t
+}
+
+// comparedTagBits returns the tag width compared on each lookup. With a
+// provisioned (selective-sets) tag array, the full provisioned width is
+// read and compared regardless of the current size.
+func (c *Cache) comparedTagBits() int {
+	sets := c.effSets
+	if c.cfg.ProvisionTagForMinSets > 0 {
+		sets = c.cfg.ProvisionTagForMinSets
+	}
+	idx := 0
+	for s := sets; s > 1; s >>= 1 {
+		idx++
+	}
+	t := c.cfg.AddrBits - idx - c.offsetBits()
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+func (c *Cache) chargeArray(kind AccessKind) {
+	g := c.cfg.Geom
+	rowBits := g.BlockBytes * 8
+	p := geometry.AccessProfile{
+		EnabledDataSubarrays: c.enabledDataSubarrays(),
+		EnabledTagSubarrays:  c.enabledTagSubarrays(),
+		TagBits:              c.comparedTagBits(),
+		BlockBits:            rowBits,
+		RowBits:              rowBits,
+		TagRowBits:           c.comparedTagBits() + 8, // tag + valid/dirty/LRU state
+	}
+	if c.cfg.AblationFullPrecharge {
+		// All subarrays precharge regardless of resizing masks.
+		p.EnabledDataSubarrays = c.cfg.Geom.SubarraysPerWay() * c.maxWays
+		p.EnabledTagSubarrays = c.fullTagSubarrays()
+	}
+	switch kind {
+	case KindLookup:
+		p.AccessedWays = c.effWays
+	case KindStoreLookup:
+		// Tag compare in every enabled way, no data-row sensing, one
+		// 64-bit word driven into the selected way.
+		p.AccessedWays = c.effWays
+		p.BlockBits = 0
+		p.WriteThroughBits = 64
+	case KindFill:
+		p.AccessedWays = 0
+		p.WriteThroughBits = rowBits
+	case KindWritebackRead, KindFlushRead:
+		p.AccessedWays = 1
+	}
+	if c.cfg.DelayedPrecharge {
+		// Only the accessed subarrays precharge: one per accessed way,
+		// plus one tag subarray per way probed.
+		ways := p.AccessedWays
+		if ways == 0 {
+			ways = 1
+		}
+		p.EnabledDataSubarrays = ways
+		p.EnabledTagSubarrays = ways
+	}
+	c.energyPJ += c.cfg.Energy.AccessEnergyPJ(p)
+}
+
+// integrateIdle accrues clock+leakage energy and the size-time integral
+// up to cycle now.
+func (c *Cache) integrateIdle(now uint64) {
+	if now <= c.lastIdleCycle {
+		return
+	}
+	span := now - c.lastIdleCycle
+	subs := c.enabledDataSubarrays() + c.enabledTagSubarrays()
+	bytes := c.EnabledBytes()
+	if c.cfg.AblationFullPrecharge {
+		subs = c.cfg.Geom.SubarraysPerWay()*c.maxWays + c.fullTagSubarrays()
+		bytes = c.cfg.Geom.SizeBytes
+	}
+	c.idlePJ += float64(span) * c.cfg.Energy.IdleCyclePJ(subs, bytes)
+	c.sizeIntegral += float64(span) * float64(c.EnabledBytes())
+	c.totalSizeSpanC += span
+	c.lastIdleCycle = now
+}
+
+// Access implements Level.
+func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
+	c.integrateIdle(now)
+	c.Stat.Accesses.Inc()
+	c.useClock++
+	if write {
+		c.chargeArray(KindStoreLookup)
+	} else {
+		c.chargeArray(KindLookup)
+	}
+
+	block := c.blockAddr(addr)
+	set := c.setIndex(block)
+	ways := c.sets[set]
+	for w := 0; w < c.effWays; w++ {
+		ln := &ways[w]
+		if ln.Valid && ln.BlockAddr == block {
+			c.Stat.Hits.Inc()
+			ln.lastUse = c.useClock
+			if write {
+				ln.Dirty = true
+			}
+			done := now + c.cfg.HitLatency
+			// Fills install block state synchronously, so an access that
+			// arrives while the fill is still in flight appears as a hit;
+			// it is really a secondary (coalesced) miss and must wait for
+			// the outstanding fill to complete.
+			if c.mshr != nil {
+				if ready, ok := c.mshr.coalesce(block, done); ok {
+					c.Stat.MSHRCoalesced.Inc()
+					return ready
+				}
+			}
+			return done
+		}
+	}
+
+	// Miss path.
+	c.Stat.Misses.Inc()
+	missStart := now + c.cfg.HitLatency // detect miss after tag check
+
+	if c.mshr != nil {
+		if free := c.mshr.earliestFree(missStart); free > missStart {
+			c.Stat.MSHRStalls.Inc()
+			missStart = free
+		}
+	}
+
+	fillDone := c.fetchAndFill(missStart, addr, block, set, write)
+
+	if c.mshr != nil {
+		c.mshr.allocate(block, fillDone)
+	}
+	return fillDone
+}
+
+// fetchAndFill requests the block from the next level, selects a victim,
+// performs any writeback, and installs the block. Returns completion time.
+func (c *Cache) fetchAndFill(start uint64, addr, block uint64, set int, write bool) uint64 {
+	nextDone := c.next.Access(start, addr, false)
+
+	// Victim selection among enabled ways: prefer invalid, else LRU.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.effWays; w++ {
+		ln := &c.sets[set][w]
+		if !ln.Valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if ln.lastUse < oldest {
+			oldest = ln.lastUse
+			victim = w
+		}
+	}
+	ln := &c.sets[set][victim]
+	fillAt := nextDone
+	if ln.Valid && ln.Dirty {
+		fillAt = c.writebackVictim(nextDone, ln.BlockAddr)
+	}
+	c.chargeArray(KindFill)
+	c.Stat.Fills.Inc()
+	*ln = Line{BlockAddr: block, Valid: true, Dirty: write, lastUse: c.useClock}
+	return fillAt
+}
+
+// writebackVictim reads the victim and sends it to the next level via the
+// writeback buffer (if present). Returns the cycle at which the fill may
+// proceed (a full buffer back-pressures the fill).
+func (c *Cache) writebackVictim(now uint64, victimBlock uint64) uint64 {
+	c.chargeArray(KindWritebackRead)
+	c.Stat.Writebacks.Inc()
+	victimAddr := victimBlock << uint(c.offsetBits())
+	if c.wb == nil {
+		return c.next.Access(now, victimAddr, true)
+	}
+	slotAt, ok := c.wb.reserve(now)
+	if !ok {
+		// Buffer full: stall until the earliest entry drains.
+		slotAt = c.wb.earliestDrain()
+		slotAt, _ = c.wb.reserve(slotAt)
+	}
+	done := c.next.Access(slotAt, victimAddr, true)
+	c.wb.commit(done)
+	return slotAt // fill proceeds once buffered, not once drained
+}
+
+// ResizeFlush describes what a resize operation evicted.
+type ResizeFlush struct {
+	Invalidated int // total blocks invalidated
+	Writebacks  int // dirty blocks written back to the next level
+}
+
+// SetEnabled changes the effective configuration to effSets×effWays,
+// applying the organization-specific flush semantics:
+//
+//   - any way being disabled has its dirty blocks written back and all
+//     its blocks invalidated (they become unreachable);
+//   - any set being disabled likewise flushes;
+//   - when sets are *enabled* (upsize), every resident block whose set
+//     mapping changes under the new index width is flushed — clean or
+//     dirty — matching the paper's selective-sets semantics (§2.1).
+//
+// The operation is performed at cycle now for energy integration. The
+// returned ResizeFlush reports eviction work (the writebacks' energy is
+// charged to this cache and the next level; the latency is off the
+// critical path, modelling background flushing during the resize).
+func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error) {
+	var fl ResizeFlush
+	if effWays < 1 || effWays > c.maxWays {
+		return fl, fmt.Errorf("cache %s: effWays %d out of range 1..%d", c.cfg.Name, effWays, c.maxWays)
+	}
+	if effSets < 1 || effSets > c.maxSets || effSets&(effSets-1) != 0 {
+		return fl, fmt.Errorf("cache %s: effSets %d must be a power of two in 1..%d", c.cfg.Name, effSets, c.maxSets)
+	}
+	if c.cfg.ProvisionTagForMinSets > 0 && effSets < c.cfg.ProvisionTagForMinSets {
+		return fl, fmt.Errorf("cache %s: effSets %d below provisioned minimum %d", c.cfg.Name, effSets, c.cfg.ProvisionTagForMinSets)
+	}
+	if effSets == c.effSets && effWays == c.effWays {
+		return fl, nil
+	}
+	c.integrateIdle(now)
+	c.Stat.Resizes.Inc()
+
+	oldSets, oldWays := c.effSets, c.effWays
+
+	flushLine := func(ln *Line) {
+		if !ln.Valid {
+			return
+		}
+		fl.Invalidated++
+		c.Stat.FlushedBlocks.Inc()
+		if c.cfg.AblationFreeFlush {
+			// Invalidate for correctness, but charge no array energy and
+			// send no writeback traffic (idealized resizing).
+			ln.Valid = false
+			ln.Dirty = false
+			return
+		}
+		c.chargeArray(KindFlushRead)
+		if ln.Dirty {
+			fl.Writebacks++
+			c.Stat.FlushedDirty.Inc()
+			c.next.Access(now, ln.BlockAddr<<uint(c.offsetBits()), true)
+		}
+		ln.Valid = false
+		ln.Dirty = false
+	}
+
+	// 1. Ways being disabled.
+	if effWays < oldWays {
+		for s := 0; s < oldSets; s++ {
+			for w := effWays; w < oldWays; w++ {
+				flushLine(&c.sets[s][w])
+			}
+		}
+	}
+	// 2. Sets being disabled.
+	if effSets < oldSets {
+		for s := effSets; s < oldSets; s++ {
+			for w := 0; w < oldWays; w++ {
+				flushLine(&c.sets[s][w])
+			}
+		}
+	}
+	// 3. Sets being enabled: remapped survivors flush.
+	if effSets > oldSets {
+		for s := 0; s < oldSets; s++ {
+			for w := 0; w < oldWays && w < effWays; w++ {
+				ln := &c.sets[s][w]
+				if ln.Valid && int(ln.BlockAddr&uint64(effSets-1)) != s {
+					flushLine(ln)
+				}
+			}
+		}
+	}
+
+	c.effSets = effSets
+	c.effWays = effWays
+	return fl, nil
+}
+
+// Finalize implements Level.
+func (c *Cache) Finalize(endCycle uint64) {
+	if c.finalized {
+		return
+	}
+	c.integrateIdle(endCycle)
+	c.finalized = true
+}
+
+// EnergyPJ implements Level: total energy, switching plus background.
+func (c *Cache) EnergyPJ() float64 { return c.energyPJ + c.idlePJ }
+
+// SwitchingPJ returns per-access (dynamic) energy only.
+func (c *Cache) SwitchingPJ() float64 { return c.energyPJ }
+
+// BackgroundPJ returns clock-tree and leakage energy: the component that
+// scales with enabled capacity over time. The paper (§3) argues resizing
+// savings apply directly to leakage because leakage is proportional to
+// enabled size; this split makes that measurable.
+func (c *Cache) BackgroundPJ() float64 { return c.idlePJ }
+
+// AvgEnabledBytes returns the time-weighted average enabled capacity.
+func (c *Cache) AvgEnabledBytes() float64 {
+	if c.totalSizeSpanC == 0 {
+		return float64(c.EnabledBytes())
+	}
+	return c.sizeIntegral / float64(c.totalSizeSpanC)
+}
+
+// Contents iterates over valid resident blocks (for tests and debugging).
+func (c *Cache) Contents(fn func(set, way int, ln Line)) {
+	for s := 0; s < c.effSets; s++ {
+		for w := 0; w < c.effWays; w++ {
+			if c.sets[s][w].Valid {
+				fn(s, w, c.sets[s][w])
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package cache implements the memory-hierarchy substrate: set-associative
+// LRU cache arrays with subarray enable/disable masking (the mechanism
+// resizable organizations are built on), miss-status holding registers
+// (MSHRs) for non-blocking behaviour, writeback buffers, a unified L2, and
+// a fixed-latency main-memory model.
+//
+// Timing model: every access carries the requester's current cycle and
+// returns the absolute cycle at which the data is available. Structural
+// hazards (MSHR exhaustion, writeback-buffer fills) surface as later
+// completion times; the CPU models decide how much of that latency is
+// exposed (blocking in-order vs. overlap-limited out-of-order).
+//
+// Energy model: each level integrates switching energy per access (scaled
+// by its *enabled* subarrays at that moment) plus per-cycle clock and
+// leakage energy for enabled capacity, using geometry.EnergyModel.
+package cache
+
+// Level is one level of the memory hierarchy.
+type Level interface {
+	// Access performs a read (write=false) or write (write=true) of the
+	// block containing addr, starting at cycle now, and returns the cycle
+	// at which the request completes.
+	Access(now uint64, addr uint64, write bool) (doneAt uint64)
+	// Finalize integrates background (clock/leakage) energy up to
+	// endCycle. It must be called exactly once, after the simulation.
+	Finalize(endCycle uint64)
+	// EnergyPJ returns the energy consumed so far in picojoules.
+	EnergyPJ() float64
+}
+
+// AccessKind distinguishes cache-array operations for energy accounting.
+type AccessKind int
+
+const (
+	// KindLookup is a read probe: tag compare in every enabled way plus a
+	// full data-row read.
+	KindLookup AccessKind = iota
+	// KindStoreLookup is a write probe: tag compare in every enabled way
+	// but only a word-sized data drive (stores do not sense the row).
+	KindStoreLookup
+	// KindFill writes a full block fetched from the next level.
+	KindFill
+	// KindWritebackRead reads a victim block out of the array.
+	KindWritebackRead
+	// KindFlushRead reads a block during a resize-induced flush.
+	KindFlushRead
+)

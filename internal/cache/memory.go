@@ -1,0 +1,50 @@
+package cache
+
+// Memory is the fixed-latency main-memory model from the paper's Table 2:
+// an access costs BaseLatency plus PerChunkLatency for each ChunkBytes of
+// the transfer (80 + 5 per 8 bytes in the base configuration).
+type Memory struct {
+	BaseLatency     uint64
+	PerChunkLatency uint64
+	ChunkBytes      int
+	TransferBytes   int // bytes moved per access (the requester's block)
+	AccessEnergyNJ  float64
+
+	accesses uint64
+	energyPJ float64
+}
+
+// NewMemory returns the base-configuration memory model for a given
+// transfer (fill block) size.
+func NewMemory(transferBytes int) *Memory {
+	return &Memory{
+		BaseLatency:     80,
+		PerChunkLatency: 5,
+		ChunkBytes:      8,
+		TransferBytes:   transferBytes,
+		AccessEnergyNJ:  2.5,
+	}
+}
+
+// Latency returns the total access latency in cycles.
+func (m *Memory) Latency() uint64 {
+	chunks := (m.TransferBytes + m.ChunkBytes - 1) / m.ChunkBytes
+	return m.BaseLatency + m.PerChunkLatency*uint64(chunks)
+}
+
+// Access implements Level.
+func (m *Memory) Access(now uint64, addr uint64, write bool) uint64 {
+	m.accesses++
+	m.energyPJ += m.AccessEnergyNJ * 1000
+	return now + m.Latency()
+}
+
+// Finalize implements Level (memory has no clocked idle energy here; DRAM
+// refresh is outside the processor energy budget the paper reports).
+func (m *Memory) Finalize(endCycle uint64) {}
+
+// EnergyPJ implements Level.
+func (m *Memory) EnergyPJ() float64 { return m.energyPJ }
+
+// Accesses returns the demand access count.
+func (m *Memory) Accesses() uint64 { return m.accesses }

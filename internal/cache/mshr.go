@@ -1,0 +1,70 @@
+package cache
+
+// mshrFile is a small fully-associative file of miss-status holding
+// registers. Each entry tracks one outstanding block miss and the cycle
+// at which its fill completes. Secondary misses to the same block
+// coalesce onto the existing entry; when all entries are busy the next
+// miss must wait for the earliest completion (a structural stall the
+// out-of-order engine partially hides and the in-order engine exposes).
+type mshrFile struct {
+	blocks  []uint64
+	readyAt []uint64
+}
+
+func newMSHRFile(entries int) *mshrFile {
+	return &mshrFile{
+		blocks:  make([]uint64, entries),
+		readyAt: make([]uint64, entries),
+	}
+}
+
+// coalesce returns the completion time of an outstanding miss for block,
+// if one exists at cycle now.
+func (m *mshrFile) coalesce(block uint64, now uint64) (uint64, bool) {
+	for i, b := range m.blocks {
+		if m.readyAt[i] > now && b == block {
+			return m.readyAt[i], true
+		}
+	}
+	return 0, false
+}
+
+// earliestFree returns the earliest cycle >= now at which an entry is
+// available.
+func (m *mshrFile) earliestFree(now uint64) uint64 {
+	var best uint64 = ^uint64(0)
+	for _, r := range m.readyAt {
+		if r <= now {
+			return now
+		}
+		if r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// allocate records a new outstanding miss completing at readyAt,
+// replacing any entry that has already drained.
+func (m *mshrFile) allocate(block uint64, readyAt uint64) {
+	oldestIdx, oldest := 0, ^uint64(0)
+	for i, r := range m.readyAt {
+		if r < oldest {
+			oldest = r
+			oldestIdx = i
+		}
+	}
+	m.blocks[oldestIdx] = block
+	m.readyAt[oldestIdx] = readyAt
+}
+
+// outstandingAt reports how many entries are busy at cycle now (tests).
+func (m *mshrFile) outstandingAt(now uint64) int {
+	n := 0
+	for _, r := range m.readyAt {
+		if r > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package cache
+
+// writebackBuffer models a small buffer that decouples victim writebacks
+// from the demand fill: a fill may proceed as soon as the victim is
+// buffered, and the buffered block drains to the next level in the
+// background. When the buffer is full the fill back-pressures until the
+// earliest entry drains.
+type writebackBuffer struct {
+	drainAt []uint64 // per-slot cycle at which the occupying entry drains
+	pending int      // index of the slot reserved by the last reserve()
+}
+
+func newWritebackBuffer(entries int) *writebackBuffer {
+	return &writebackBuffer{drainAt: make([]uint64, entries), pending: -1}
+}
+
+// reserve tries to claim a slot at cycle now; ok=false means all slots
+// are still draining.
+func (b *writebackBuffer) reserve(now uint64) (uint64, bool) {
+	for i, d := range b.drainAt {
+		if d <= now {
+			b.pending = i
+			return now, true
+		}
+	}
+	return 0, false
+}
+
+// earliestDrain returns the first cycle at which any slot frees.
+func (b *writebackBuffer) earliestDrain() uint64 {
+	best := b.drainAt[0]
+	for _, d := range b.drainAt[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// commit records the drain-completion time for the reserved slot.
+func (b *writebackBuffer) commit(drainDone uint64) {
+	if b.pending >= 0 {
+		b.drainAt[b.pending] = drainDone
+		b.pending = -1
+	}
+}
+
+// occupancyAt reports busy slots at cycle now (tests).
+func (b *writebackBuffer) occupancyAt(now uint64) int {
+	n := 0
+	for _, d := range b.drainAt {
+		if d > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"resizecache/internal/cache"
+	"resizecache/internal/geometry"
+)
+
+// L1Options configures construction of a resizable L1.
+type L1Options struct {
+	Name             string
+	Geom             geometry.Geometry
+	Org              Organization
+	Policy           Policy
+	HitLatency       uint64
+	MSHREntries      int
+	WritebackEntries int
+	Energy           geometry.EnergyModel
+	AddrBits         int
+
+	// Ablation switches (see cache.Config).
+	AblationFullPrecharge bool
+	AblationFreeFlush     bool
+}
+
+// NewL1 builds a resizable L1 cache over next: it derives the
+// organization's schedule, provisions the tag array when the schedule
+// shrinks sets, allocates the array, and attaches the policy.
+func NewL1(opt L1Options, next cache.Level) (*ResizableCache, error) {
+	sched, err := BuildSchedule(opt.Geom, opt.Org)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cache.Config{
+		Name:                  opt.Name,
+		Geom:                  opt.Geom,
+		HitLatency:            opt.HitLatency,
+		AddrBits:              opt.AddrBits,
+		Energy:                opt.Energy,
+		MSHREntries:           opt.MSHREntries,
+		WritebackEntries:      opt.WritebackEntries,
+		AblationFullPrecharge: opt.AblationFullPrecharge,
+		AblationFreeFlush:     opt.AblationFreeFlush,
+	}
+	if sched.NeedsProvisionedTag() {
+		cfg.ProvisionTagForMinSets = sched.MinSets()
+	}
+	c, err := cache.New(cfg, next)
+	if err != nil {
+		return nil, err
+	}
+	return NewResizable(c, sched, opt.Policy)
+}

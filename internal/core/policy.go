@@ -1,0 +1,100 @@
+package core
+
+// Policy is a resizing strategy. Bind attaches it to the cache it
+// controls; IntervalLength returns the monitoring interval in accesses
+// (0 disables interval callbacks); OnInterval is invoked at each interval
+// boundary with the miss count of the elapsed interval.
+type Policy interface {
+	Name() string
+	Bind(r *ResizableCache)
+	IntervalLength() uint64
+	OnInterval(now uint64, misses uint64)
+}
+
+// StaticPolicy fixes the cache at one schedule point for the whole run —
+// the paper's static resizing strategy, where profiling selects the point
+// before execution and the OS loads the size mask at launch.
+type StaticPolicy struct {
+	// PointIndex is the schedule index to run at.
+	PointIndex int
+	r          *ResizableCache
+}
+
+// Name implements Policy.
+func (s *StaticPolicy) Name() string { return "static" }
+
+// Bind applies the fixed configuration immediately (cycle 0).
+func (s *StaticPolicy) Bind(r *ResizableCache) {
+	s.r = r
+	// An invalid index is a programming error surfaced by SetIndex; keep
+	// the cache at full size in that case.
+	_ = r.SetIndex(0, s.PointIndex)
+}
+
+// IntervalLength implements Policy; static resizing needs no monitoring.
+func (s *StaticPolicy) IntervalLength() uint64 { return 0 }
+
+// OnInterval implements Policy.
+func (s *StaticPolicy) OnInterval(uint64, uint64) {}
+
+// DynamicPolicy is the miss-ratio-based dynamic resizing framework of
+// Yang et al. (HPCA-7), as evaluated by the paper: hardware counts misses
+// over fixed-length intervals (measured in cache accesses); at each
+// boundary the cache upsizes one step when interval misses exceed
+// MissBound and downsizes one step when they fall below, never shrinking
+// under SizeBoundBytes. Both parameters come from offline profiling.
+type DynamicPolicy struct {
+	// Interval is the monitoring window in cache accesses.
+	Interval uint64
+	// MissBound is the miss-count threshold per interval.
+	MissBound uint64
+	// SizeBoundBytes is the smallest capacity dynamic resizing may reach
+	// (the thrash guard). Zero means the schedule minimum.
+	SizeBoundBytes int
+	// UpsizeHoldIntervals suppresses downsizing for this many intervals
+	// after an upsize — the hysteresis that lets the controller "spend a
+	// while at the larger size" when emulating a size between two
+	// offered points (paper §4.2.1), instead of thrashing 50/50.
+	UpsizeHoldIntervals int
+
+	r    *ResizableCache
+	hold int
+
+	// Resizings counts applied size changes (for reporting).
+	Resizings uint64
+}
+
+// Name implements Policy.
+func (d *DynamicPolicy) Name() string { return "dynamic" }
+
+// Bind implements Policy; dynamic resizing starts at full size.
+func (d *DynamicPolicy) Bind(r *ResizableCache) { d.r = r }
+
+// IntervalLength implements Policy.
+func (d *DynamicPolicy) IntervalLength() uint64 { return d.Interval }
+
+// OnInterval implements Policy.
+func (d *DynamicPolicy) OnInterval(now uint64, misses uint64) {
+	switch {
+	case misses > d.MissBound:
+		if d.r.Upsize(now) {
+			d.Resizings++
+			d.hold = d.UpsizeHoldIntervals
+		}
+	default:
+		if d.hold > 0 {
+			d.hold--
+			return
+		}
+		next := d.r.Index() + 1
+		if next >= len(d.r.Sched.Points) {
+			return
+		}
+		if bound := d.SizeBoundBytes; bound > 0 && d.r.Sched.Points[next].Bytes < bound {
+			return
+		}
+		if d.r.Downsize(now) {
+			d.Resizings++
+		}
+	}
+}

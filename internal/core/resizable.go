@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"resizecache/internal/cache"
+)
+
+// ResizableCache couples a cache array with an organization's schedule
+// and a resizing policy. It implements cache.Level, so it drops into the
+// hierarchy wherever a conventional cache would.
+//
+// Per-access flow: the policy's interval machinery observes every access
+// and its hit/miss outcome; at interval boundaries the policy may request
+// a step up or down the schedule, which ResizableCache applies with the
+// organization's flush semantics (delegated to cache.Cache.SetEnabled).
+type ResizableCache struct {
+	C      *cache.Cache
+	Sched  Schedule
+	policy Policy
+
+	idx int // current schedule index
+
+	// Interval machinery (driven per access, in accesses as the paper's
+	// dynamic framework specifies).
+	intervalAccesses uint64
+	intervalMisses   uint64
+
+	// SizeTrace records the schedule index at each interval boundary;
+	// experiments use it to classify behaviour (constant / varying /
+	// emulating).
+	SizeTrace []int
+}
+
+// NewResizable wraps an allocated cache with a schedule and policy. The
+// cache must have been built at the schedule's full geometry, with
+// ProvisionTagForMinSets set if the schedule shrinks sets.
+func NewResizable(c *cache.Cache, sched Schedule, p Policy) (*ResizableCache, error) {
+	if len(sched.Points) == 0 {
+		return nil, fmt.Errorf("core: empty schedule")
+	}
+	if c.Config().Geom != sched.Geom {
+		return nil, fmt.Errorf("core: cache geometry %v does not match schedule %v",
+			c.Config().Geom, sched.Geom)
+	}
+	if sched.NeedsProvisionedTag() && c.Config().ProvisionTagForMinSets != sched.MinSets() {
+		return nil, fmt.Errorf("core: schedule needs tag provisioned for %d sets, cache has %d",
+			sched.MinSets(), c.Config().ProvisionTagForMinSets)
+	}
+	r := &ResizableCache{C: c, Sched: sched, policy: p}
+	if p != nil {
+		p.Bind(r)
+	}
+	return r, nil
+}
+
+// Current returns the active size point.
+func (r *ResizableCache) Current() SizePoint { return r.Sched.Points[r.idx] }
+
+// Index returns the active schedule index.
+func (r *ResizableCache) Index() int { return r.idx }
+
+// SetIndex jumps to schedule point i at cycle now.
+func (r *ResizableCache) SetIndex(now uint64, i int) error {
+	if i < 0 || i >= len(r.Sched.Points) {
+		return fmt.Errorf("core: schedule index %d out of range [0,%d)", i, len(r.Sched.Points))
+	}
+	p := r.Sched.Points[i]
+	if _, err := r.C.SetEnabled(now, p.Sets, p.Ways); err != nil {
+		return err
+	}
+	r.idx = i
+	return nil
+}
+
+// Downsize moves one step smaller if possible; reports whether it moved.
+func (r *ResizableCache) Downsize(now uint64) bool {
+	if r.idx+1 >= len(r.Sched.Points) {
+		return false
+	}
+	return r.SetIndex(now, r.idx+1) == nil
+}
+
+// Upsize moves one step larger if possible; reports whether it moved.
+func (r *ResizableCache) Upsize(now uint64) bool {
+	if r.idx == 0 {
+		return false
+	}
+	return r.SetIndex(now, r.idx-1) == nil
+}
+
+// Access implements cache.Level, threading each access through the
+// policy's interval accounting.
+func (r *ResizableCache) Access(now uint64, addr uint64, write bool) uint64 {
+	missesBefore := r.C.Stat.Misses.Value()
+	done := r.C.Access(now, addr, write)
+	r.intervalAccesses++
+	if r.C.Stat.Misses.Value() != missesBefore {
+		r.intervalMisses++
+	}
+	if r.policy != nil {
+		if n := r.policy.IntervalLength(); n > 0 && r.intervalAccesses >= n {
+			r.policy.OnInterval(now, r.intervalMisses)
+			r.SizeTrace = append(r.SizeTrace, r.idx)
+			r.intervalAccesses = 0
+			r.intervalMisses = 0
+		}
+	}
+	return done
+}
+
+// Finalize implements cache.Level.
+func (r *ResizableCache) Finalize(endCycle uint64) { r.C.Finalize(endCycle) }
+
+// EnergyPJ implements cache.Level.
+func (r *ResizableCache) EnergyPJ() float64 { return r.C.EnergyPJ() }

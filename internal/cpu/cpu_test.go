@@ -1,0 +1,291 @@
+package cpu
+
+import (
+	"testing"
+
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/geometry"
+	"resizecache/internal/workload"
+)
+
+// fixedLevel is a cache stand-in with constant latency.
+type fixedLevel struct {
+	lat      uint64
+	accesses uint64
+}
+
+func (f *fixedLevel) Access(now uint64, addr uint64, write bool) uint64 {
+	f.accesses++
+	return now + f.lat
+}
+func (f *fixedLevel) Finalize(uint64)   {}
+func (f *fixedLevel) EnergyPJ() float64 { return 0 }
+
+// synthSource yields a scripted list of events repeatedly.
+type synthSource struct {
+	evs []workload.Event
+	i   int
+}
+
+func (s *synthSource) Next(ev *workload.Event) bool {
+	*ev = s.evs[s.i%len(s.evs)]
+	s.i++
+	return true
+}
+
+func l1Pair(t *testing.T, dcMSHR int) (cache.Level, cache.Level) {
+	t.Helper()
+	g := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1 << 10}
+	gl2 := geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4, BlockBytes: 64, SubarrayBytes: 4 << 10}
+	mem := cache.NewMemory(64)
+	l2, err := cache.New(cache.Config{Name: "L2", Geom: gl2, HitLatency: 12,
+		Energy: geometry.Default18um(), DelayedPrecharge: true}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, mshr int) cache.Level {
+		c, err := cache.New(cache.Config{Name: name, Geom: g, HitLatency: 1,
+			Energy: geometry.Default18um(), MSHREntries: mshr, WritebackEntries: 8}, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	return mk("L1i", 2), mk("L1d", dcMSHR)
+}
+
+func intOp(pc uint64) workload.Event {
+	return workload.Event{PC: pc, Kind: workload.KindInt, Lat: 1, Dep1: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Width = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero width accepted")
+	}
+	bad = DefaultConfig()
+	bad.ROBEntries = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero ROB accepted")
+	}
+	bad = DefaultConfig()
+	bad.LSQEntries = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero LSQ accepted")
+	}
+}
+
+func TestIPCNeverExceedsWidth(t *testing.T) {
+	ic, dc := l1Pair(t, 8)
+	// Fully independent single-cycle ops: the only limit is width.
+	evs := make([]workload.Event, 64)
+	for i := range evs {
+		evs[i] = workload.Event{PC: uint64(0x400000 + i*4), Kind: workload.KindInt, Lat: 1}
+	}
+	eng, err := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(&synthSource{evs: evs}, 100000)
+	if res.IPC() > 4.0 {
+		t.Fatalf("IPC %.2f exceeds width", res.IPC())
+	}
+	if res.IPC() < 2.0 {
+		t.Fatalf("IPC %.2f too low for independent ALU ops", res.IPC())
+	}
+}
+
+func TestDependenceChainSerializes(t *testing.T) {
+	ic, dc := l1Pair(t, 8)
+	// Every op depends on the previous one: IPC must approach 1.
+	evs := []workload.Event{intOp(0x400000)}
+	eng, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+	res := eng.Run(&synthSource{evs: evs}, 50000)
+	if res.IPC() > 1.1 {
+		t.Fatalf("serial chain IPC %.2f, want <= ~1", res.IPC())
+	}
+}
+
+func TestOoOHidesDMissesBetterThanInOrder(t *testing.T) {
+	// Loads sweep a 256K region (every L1 misses) with generous dep
+	// distances: the OoO engine should overlap misses via MSHRs, the
+	// in-order engine must expose each one.
+	mkEvents := func() []workload.Event {
+		evs := make([]workload.Event, 512)
+		for i := range evs {
+			kind := workload.KindInt
+			var addr uint64
+			if i%3 == 0 {
+				kind = workload.KindLoad
+				addr = uint64(i) * 512 // distinct blocks far apart
+			}
+			evs[i] = workload.Event{PC: uint64(0x400000 + (i%64)*4), Kind: kind,
+				Addr: addr, Lat: 1, Dep1: 40}
+		}
+		return evs
+	}
+
+	icO, dcO := l1Pair(t, 8)
+	ooo, _ := NewOutOfOrder(DefaultConfig(), icO, dcO, bpred.NewDefault())
+	resO := ooo.Run(&synthSource{evs: mkEvents()}, 100000)
+
+	icI, dcI := l1Pair(t, 0) // blocking d-cache
+	ino, _ := NewInOrder(DefaultConfig(), icI, dcI, bpred.NewDefault())
+	resI := ino.Run(&synthSource{evs: mkEvents()}, 100000)
+
+	if resO.Cycles >= resI.Cycles {
+		t.Fatalf("OoO (%d cycles) should beat in-order (%d) on miss-heavy code",
+			resO.Cycles, resI.Cycles)
+	}
+	// The gap should be substantial: misses overlap 8-deep vs. serial.
+	if float64(resI.Cycles)/float64(resO.Cycles) < 1.5 {
+		t.Fatalf("in-order/OoO ratio %.2f too small: MLP not modelled",
+			float64(resI.Cycles)/float64(resO.Cycles))
+	}
+}
+
+func TestICacheMissesHurtBothEngines(t *testing.T) {
+	run := func(engine string, hotICode bool) uint64 {
+		ic, dc := l1Pair(t, 8)
+		evs := make([]workload.Event, 4096)
+		for i := range evs {
+			pc := uint64(0x400000 + (i%32)*4) // fits one or two blocks
+			if !hotICode {
+				pc = uint64(0x400000 + i*128) // new block almost every instr
+			}
+			evs[i] = workload.Event{PC: pc, Kind: workload.KindInt, Lat: 1}
+		}
+		src := &synthSource{evs: evs}
+		if engine == "ooo" {
+			e, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+			return e.Run(src, 50000).Cycles
+		}
+		e, _ := NewInOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+		return e.Run(src, 50000).Cycles
+	}
+	for _, eng := range []string{"ooo", "inorder"} {
+		hot := run(eng, true)
+		cold := run(eng, false)
+		if float64(cold)/float64(hot) < 2 {
+			t.Errorf("%s: i-miss-heavy run only %.2fx slower (%d vs %d)",
+				eng, float64(cold)/float64(hot), cold, hot)
+		}
+	}
+}
+
+// branchSource emits a branch every 4th instruction; outcomes come from a
+// live RNG so they are genuinely unlearnable when random is set.
+type branchSource struct {
+	i      int
+	r      uint64
+	random bool
+}
+
+func (s *branchSource) Next(ev *workload.Event) bool {
+	pc := uint64(0x400000 + (s.i%256)*4)
+	if s.i%4 == 0 {
+		taken := true
+		if s.random {
+			s.r ^= s.r << 13
+			s.r ^= s.r >> 7
+			s.r ^= s.r << 17
+			taken = s.r&1 == 0
+		}
+		*ev = workload.Event{PC: pc, Kind: workload.KindBranch, Taken: taken, Lat: 1}
+	} else {
+		*ev = workload.Event{PC: pc, Kind: workload.KindInt, Lat: 1}
+	}
+	s.i++
+	return true
+}
+
+func TestMispredictionsCostCycles(t *testing.T) {
+	run := func(randomBranches bool) uint64 {
+		ic, dc := l1Pair(t, 8)
+		e, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+		res := e.Run(&branchSource{r: 12345, random: randomBranches}, 50000)
+		if randomBranches && res.BranchAccuracy > 0.8 {
+			t.Fatalf("random branches predicted with accuracy %.2f", res.BranchAccuracy)
+		}
+		return res.Cycles
+	}
+	predictable := run(false)
+	random := run(true)
+	if float64(random)/float64(predictable) < 1.2 {
+		t.Fatalf("mispredictions cost too little: %d vs %d", random, predictable)
+	}
+}
+
+func TestStoresDoNotBlockOoO(t *testing.T) {
+	// Store misses should not serialize the OoO engine the way load
+	// misses do (store-buffer semantics).
+	run := func(kind workload.Kind) uint64 {
+		ic, dc := l1Pair(t, 8)
+		evs := make([]workload.Event, 256)
+		for i := range evs {
+			evs[i] = workload.Event{PC: 0x400000 + uint64(i%16)*4, Kind: kind,
+				Addr: uint64(i) * 4096, Lat: 1, Dep1: 1}
+		}
+		e, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+		return e.Run(&synthSource{evs: evs}, 20000).Cycles
+	}
+	loads := run(workload.KindLoad)
+	stores := run(workload.KindStore)
+	if stores >= loads {
+		t.Fatalf("dependent store stream (%d cycles) should outrun dependent load stream (%d)",
+			stores, loads)
+	}
+}
+
+func TestEnginesRunRealWorkloads(t *testing.T) {
+	for _, name := range []string{"gcc", "swim"} {
+		ic, dc := l1Pair(t, 8)
+		e, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+		res := e.Run(workload.NewGenerator(workload.MustGet(name)), 200000)
+		if res.Instructions != 200000 {
+			t.Fatalf("%s: ran %d instructions", name, res.Instructions)
+		}
+		if res.IPC() <= 0.1 || res.IPC() > 4 {
+			t.Fatalf("%s: implausible IPC %.2f", name, res.IPC())
+		}
+		a := res.Activity
+		if a.Loads == 0 || a.Stores == 0 || a.Branches == 0 || a.FetchGroups == 0 {
+			t.Fatalf("%s: activity not recorded: %+v", name, a)
+		}
+		if a.Mispredicts > a.Branches {
+			t.Fatalf("%s: more mispredicts than branches", name)
+		}
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() Result {
+		ic, dc := l1Pair(t, 8)
+		e, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+		return e.Run(workload.NewGenerator(workload.MustGet("vpr")), 100000)
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Activity != b.Activity {
+		t.Fatalf("nondeterministic engine: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	ic, dc := l1Pair(t, 8)
+	o, _ := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+	i, _ := NewInOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+	if o.Name() == i.Name() || o.Name() == "" {
+		t.Fatal("engine names wrong")
+	}
+	if _, err := NewOutOfOrder(Config{}, ic, dc, bpred.NewDefault()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewInOrder(Config{}, ic, dc, bpred.NewDefault()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package cpu
+
+import (
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/workload"
+)
+
+// InOrder is the in-order issue engine with a blocking d-cache: an
+// instruction issues only after all older instructions have issued and
+// its producers have completed, and a d-cache miss stalls the pipeline
+// for its full latency (the cache should be configured without MSHRs).
+// This engine exposes d-miss latency directly to execution time, the
+// regime in which the paper finds dynamic resizing clearly superior.
+type InOrder struct {
+	Cfg   Config
+	IC    cache.Level
+	DC    cache.Level
+	Bpred *bpred.Stats
+	cu    *controlUnit
+}
+
+// NewInOrder builds the engine.
+func NewInOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*InOrder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bpred.Stats{P: bp}
+	return &InOrder{Cfg: cfg, IC: ic, DC: dc, Bpred: st, cu: newControlUnit(st)}, nil
+}
+
+// Name implements Engine.
+func (e *InOrder) Name() string { return "in-order/blocking" }
+
+// Run implements Engine.
+func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
+	var (
+		res   Result
+		ev    workload.Event
+		fetch = newFetchUnit(e.IC, e.Cfg.Width)
+
+		// Scoreboard of recent completion times for dependence stalls.
+		window    = 64
+		completed = make([]uint64, window)
+
+		issueTime    uint64 // last issue cycle (in-order)
+		issueInCycle int
+	)
+
+	for res.Instructions < maxInstr && src.Next(&ev) {
+		i := res.Instructions
+		res.Instructions++
+
+		e.cu.observe(ev.PC)
+		fetched := fetch.fetch(ev.PC, &res.Activity)
+		issue := fetched + e.Cfg.DecodeLatency
+
+		// In-order: cannot issue before the previous instruction.
+		if issue < issueTime {
+			issue = issueTime
+		}
+		// Width limit within a cycle.
+		if issue == issueTime {
+			issueInCycle++
+			if issueInCycle >= e.Cfg.Width {
+				issue++
+				issueInCycle = 0
+			}
+		} else {
+			issueInCycle = 1
+		}
+
+		// Dependence stalls: producers must complete before issue.
+		for _, dep := range [2]int32{ev.Dep1, ev.Dep2} {
+			if dep > 0 && uint64(dep) <= i && int(dep) <= window {
+				if t := completed[(i-uint64(dep))%uint64(window)]; t > issue {
+					issue = t
+				}
+				res.Activity.RegReads++
+			}
+		}
+
+		var complete uint64
+		switch ev.Kind {
+		case workload.KindLoad, workload.KindStore:
+			done := e.DC.Access(issue, ev.Addr, ev.Kind == workload.KindStore)
+			complete = done
+			if ev.Kind == workload.KindLoad {
+				res.Activity.Loads++
+				res.Activity.RegWrites++
+			} else {
+				res.Activity.Stores++
+			}
+			// Blocking d-cache: the pipeline cannot issue anything until
+			// the access completes.
+			if complete > issue+1 {
+				issue = complete - 1
+			}
+		case workload.KindBranch:
+			complete = issue + uint64(ev.Lat)
+			e.cu.branch(ev.PC, ev.Taken, complete, e.Cfg.MispredictPenalty, fetch, &res.Activity)
+		case workload.KindCall:
+			complete = issue + 1
+			e.cu.call(ev.PC, fetch, &res.Activity)
+		case workload.KindReturn:
+			complete = issue + 1
+			e.cu.ret(complete, e.Cfg.MispredictPenalty, fetch, &res.Activity)
+		case workload.KindFloat:
+			res.Activity.FloatOps++
+			complete = issue + uint64(ev.Lat)
+			res.Activity.RegWrites++
+		default:
+			res.Activity.IntOps++
+			complete = issue + uint64(ev.Lat)
+			res.Activity.RegWrites++
+		}
+
+		completed[i%uint64(window)] = complete
+		issueTime = issue
+		if complete > res.Cycles {
+			res.Cycles = complete
+		}
+	}
+
+	res.Cycles++
+	res.BranchAccuracy = e.Bpred.Accuracy()
+	return res
+}

@@ -1,0 +1,148 @@
+package cpu
+
+import (
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/workload"
+)
+
+// OutOfOrder is the 4-wide out-of-order engine with a non-blocking
+// d-cache. Instruction timing follows the dataflow model: an instruction
+// issues when its producers complete and resources (ROB slot, LSQ slot)
+// are available; independent d-misses overlap up to the d-cache's MSHR
+// capacity; retirement is in order and width-limited.
+type OutOfOrder struct {
+	Cfg   Config
+	IC    cache.Level
+	DC    cache.Level
+	Bpred *bpred.Stats
+	cu    *controlUnit
+}
+
+// NewOutOfOrder builds the engine; the d-cache should be configured with
+// MSHRs (non-blocking) to match the paper's configuration.
+func NewOutOfOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*OutOfOrder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bpred.Stats{P: bp}
+	return &OutOfOrder{Cfg: cfg, IC: ic, DC: dc, Bpred: st, cu: newControlUnit(st)}, nil
+}
+
+// Name implements Engine.
+func (o *OutOfOrder) Name() string { return "out-of-order/nonblocking" }
+
+// Run implements Engine.
+func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
+	var (
+		res   Result
+		ev    workload.Event
+		fetch = newFetchUnit(o.IC, o.Cfg.Width)
+
+		rob        = make([]uint64, o.Cfg.ROBEntries) // completion time ring
+		retire     = make([]uint64, o.Cfg.ROBEntries) // retire time ring
+		lsqRetire  = make([]uint64, o.Cfg.LSQEntries) // memop retire ring
+		memopCount uint64
+
+		lastRetire    uint64
+		retireInCycle int
+	)
+
+	for res.Instructions < maxInstr && src.Next(&ev) {
+		i := res.Instructions
+		res.Instructions++
+
+		o.cu.observe(ev.PC)
+		fetched := fetch.fetch(ev.PC, &res.Activity)
+
+		// Dispatch: needs decode plus a free ROB entry (the instruction
+		// ROBEntries back must have retired).
+		dispatch := fetched + o.Cfg.DecodeLatency
+		if i >= uint64(o.Cfg.ROBEntries) {
+			if t := retire[i%uint64(o.Cfg.ROBEntries)]; t > dispatch {
+				dispatch = t
+			}
+		}
+		res.Activity.ROBInserts++
+
+		// Issue: producers must have completed. Producers older than the
+		// ROB window have necessarily retired.
+		ready := dispatch
+		for _, dep := range [2]int32{ev.Dep1, ev.Dep2} {
+			if dep > 0 && uint64(dep) <= i && dep <= int32(o.Cfg.ROBEntries) {
+				if t := rob[(i-uint64(dep))%uint64(o.Cfg.ROBEntries)]; t > ready {
+					ready = t
+				}
+				res.Activity.RegReads++
+			}
+		}
+
+		var complete uint64
+		switch ev.Kind {
+		case workload.KindLoad, workload.KindStore:
+			// LSQ slot: the memop LSQEntries back must have retired.
+			if memopCount >= uint64(o.Cfg.LSQEntries) {
+				if t := lsqRetire[memopCount%uint64(o.Cfg.LSQEntries)]; t > ready {
+					ready = t
+				}
+			}
+			res.Activity.LSQInserts++
+			done := o.DC.Access(ready, ev.Addr, ev.Kind == workload.KindStore)
+			if ev.Kind == workload.KindLoad {
+				res.Activity.Loads++
+				complete = done
+				res.Activity.RegWrites++
+			} else {
+				// Stores retire from the store buffer: their miss latency
+				// is not on the dependence path, but the access still
+				// occupies MSHR/writeback resources via the cache model.
+				res.Activity.Stores++
+				complete = ready + 1
+			}
+		case workload.KindBranch:
+			complete = ready + uint64(ev.Lat)
+			o.cu.branch(ev.PC, ev.Taken, complete, o.Cfg.MispredictPenalty, fetch, &res.Activity)
+		case workload.KindCall:
+			complete = ready + 1
+			o.cu.call(ev.PC, fetch, &res.Activity)
+		case workload.KindReturn:
+			complete = ready + 1
+			o.cu.ret(complete, o.Cfg.MispredictPenalty, fetch, &res.Activity)
+		case workload.KindFloat:
+			res.Activity.FloatOps++
+			complete = ready + uint64(ev.Lat)
+			res.Activity.RegWrites++
+		default:
+			res.Activity.IntOps++
+			complete = ready + uint64(ev.Lat)
+			res.Activity.RegWrites++
+		}
+
+		rob[i%uint64(o.Cfg.ROBEntries)] = complete
+
+		// In-order, width-limited retirement.
+		rt := complete
+		if rt < lastRetire {
+			rt = lastRetire
+		}
+		if rt == lastRetire {
+			retireInCycle++
+			if retireInCycle >= o.Cfg.Width {
+				rt++
+				retireInCycle = 0
+			}
+		} else {
+			retireInCycle = 1
+		}
+		lastRetire = rt
+		retire[i%uint64(o.Cfg.ROBEntries)] = rt
+		if ev.Kind == workload.KindLoad || ev.Kind == workload.KindStore {
+			lsqRetire[memopCount%uint64(o.Cfg.LSQEntries)] = rt
+			memopCount++
+		}
+	}
+
+	res.Cycles = lastRetire + 1
+	res.BranchAccuracy = o.Bpred.Accuracy()
+	return res
+}

@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"resizecache/internal/cpu"
+)
+
+func sampleActivity() cpu.Activity {
+	return cpu.Activity{
+		IntOps: 500, FloatOps: 100, Loads: 250, Stores: 120, Branches: 150,
+		Mispredicts: 15, FetchGroups: 300, ROBInserts: 1000, LSQInserts: 370,
+		RegReads: 800, RegWrites: 700, BpredLookups: 150,
+	}
+}
+
+func TestCorePJPositiveAndLinear(t *testing.T) {
+	e := DefaultCore()
+	one := e.CorePJ(sampleActivity(), 1000, 400)
+	if one <= 0 {
+		t.Fatal("zero core energy")
+	}
+	// Doubling activity and cycles doubles energy.
+	act := sampleActivity()
+	act.IntOps *= 2
+	act.FloatOps *= 2
+	act.Loads *= 2
+	act.Stores *= 2
+	act.Branches *= 2
+	act.ROBInserts *= 2
+	act.LSQInserts *= 2
+	act.RegReads *= 2
+	act.RegWrites *= 2
+	act.BpredLookups *= 2
+	two := e.CorePJ(act, 2000, 800)
+	if math.Abs(two-2*one) > 1e-6 {
+		t.Fatalf("core energy not linear: %v vs 2×%v", two, one)
+	}
+}
+
+func TestClockScalesWithCycles(t *testing.T) {
+	e := DefaultCore()
+	a := e.CorePJ(cpu.Activity{}, 0, 100)
+	b := e.CorePJ(cpu.Activity{}, 0, 200)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Fatalf("clock energy not per-cycle: %v vs %v", a, b)
+	}
+}
+
+func TestBreakdownTotalsAndShares(t *testing.T) {
+	b := Breakdown{CorePJ: 50, L1IPJ: 20, L1DPJ: 20, L2PJ: 5, MemPJ: 5}
+	if b.TotalPJ() != 100 {
+		t.Fatalf("total = %v", b.TotalPJ())
+	}
+	if b.TotalJ() != 100e-12 {
+		t.Fatalf("joules = %v", b.TotalJ())
+	}
+	for comp, want := range map[string]float64{
+		"core": 0.5, "l1i": 0.2, "l1d": 0.2, "l2": 0.05, "mem": 0.05,
+	} {
+		got, err := b.Share(comp)
+		if err != nil || math.Abs(got-want) > 1e-12 {
+			t.Errorf("Share(%s) = %v, %v", comp, got, err)
+		}
+	}
+	if _, err := b.Share("gpu"); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	if _, err := (Breakdown{}).Share("core"); err == nil {
+		t.Fatal("zero total accepted")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{CorePJ: 60, L1IPJ: 20, L1DPJ: 20}
+	s := b.String()
+	for _, frag := range []string{"core 60.0%", "l1i 20.0%", "l1d 20.0%"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	if (Breakdown{}).String() == "" {
+		t.Error("empty breakdown should still render")
+	}
+}
+
+func TestWattsAt(t *testing.T) {
+	b := Breakdown{CorePJ: 1e12} // 1 J
+	// 1 J over 1e9 cycles at 1 GHz = 1 second -> 1 W.
+	if w := b.WattsAt(1_000_000_000, 1e9); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("watts = %v", w)
+	}
+	if (Breakdown{}).WattsAt(0, 1e9) != 0 {
+		t.Fatal("zero cycles should yield zero watts")
+	}
+}

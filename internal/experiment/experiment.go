@@ -1,0 +1,297 @@
+// Package experiment defines the paper's evaluation: offline profiling
+// sweeps that select static sizes and dynamic parameters by minimum
+// energy-delay product, and one driver per table/figure (Table 1,
+// Figures 4-9) that regenerates the corresponding rows/series.
+//
+// All sweeps run simulations in parallel across goroutines; every
+// simulation is independently deterministic, so results do not depend on
+// scheduling.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"resizecache/internal/core"
+	"resizecache/internal/geometry"
+	"resizecache/internal/sim"
+	"resizecache/internal/workload"
+)
+
+// Side selects which L1 an experiment resizes.
+type Side int
+
+const (
+	// DSide resizes the data cache.
+	DSide Side = iota
+	// ISide resizes the instruction cache.
+	ISide
+)
+
+func (s Side) String() string {
+	if s == ISide {
+		return "i-cache"
+	}
+	return "d-cache"
+}
+
+// Options control sweep scale; the defaults regenerate the paper's
+// figures at full fidelity.
+type Options struct {
+	// Instructions per simulation.
+	Instructions uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Apps restricts the benchmark list (nil = all twelve).
+	Apps []string
+	// Engine is the processor model (Figures 4-6 and 9 use the
+	// out-of-order base configuration).
+	Engine sim.EngineKind
+}
+
+// DefaultOptions returns full-fidelity settings.
+func DefaultOptions() Options {
+	return Options{Instructions: 1_500_000, Engine: sim.OutOfOrder}
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return workload.Names()
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// l1Geom returns the experiments' 32K L1 geometry at a set-associativity.
+func l1Geom(assoc int) geometry.Geometry {
+	return geometry.Geometry{SizeBytes: 32 << 10, Assoc: assoc,
+		BlockBytes: 32, SubarrayBytes: 1 << 10}
+}
+
+// baseConfig builds the simulation config for one app with non-resizable
+// caches of the given associativities.
+func baseConfig(app string, engine sim.EngineKind, instr uint64, dAssoc, iAssoc int) sim.Config {
+	cfg := sim.Default(app)
+	cfg.Engine = engine
+	cfg.Instructions = instr
+	cfg.DCache = sim.CacheSpec{Geom: l1Geom(dAssoc), Org: core.NonResizable}
+	cfg.ICache = sim.CacheSpec{Geom: l1Geom(iAssoc), Org: core.NonResizable}
+	return cfg
+}
+
+// runParallel executes configs concurrently, preserving order.
+func runParallel(cfgs []sim.Config, workers int) ([]sim.Result, error) {
+	results := make([]sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = sim.Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: run %d (%s): %w", i, cfgs[i].Benchmark, err)
+		}
+	}
+	return results, nil
+}
+
+// Best is the outcome of a profiling sweep for one application: the
+// minimum-EDP configuration relative to the non-resizable baseline of the
+// same size and associativity.
+type Best struct {
+	App    string
+	Side   Side
+	Org    core.Organization
+	Desc   string // chosen configuration, e.g. "static 8K/4-way" or "dynamic mb=512 sb=4K"
+	Spec   sim.PolicySpec
+	Chosen sim.Result
+	Base   sim.Result
+}
+
+// EDPReductionPct is the paper's headline metric: percent reduction in
+// processor energy-delay versus the baseline.
+func (b Best) EDPReductionPct() float64 { return b.Chosen.EDP.ReductionPct(b.Base.EDP) }
+
+// SizeReductionPct is the percent reduction in average enabled capacity
+// of the resized cache.
+func (b Best) SizeReductionPct() float64 {
+	if b.Side == ISide {
+		return b.Chosen.ICache.SizeReductionPct()
+	}
+	return b.Chosen.DCache.SizeReductionPct()
+}
+
+// SlowdownPct is the performance degradation versus baseline.
+func (b Best) SlowdownPct() float64 { return 100 * b.Chosen.EDP.Slowdown(b.Base.EDP) }
+
+// apply sets the resizable side of a config.
+func applySide(cfg *sim.Config, side Side, spec sim.CacheSpec) {
+	if side == ISide {
+		cfg.ICache = spec
+	} else {
+		cfg.DCache = spec
+	}
+}
+
+// BestStatic profiles every schedule point of an organization (the
+// paper's static strategy: run each offered size offline, pick the
+// minimum-EDP one) and returns the winner for one application.
+func BestStatic(app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	sched, err := core.BuildSchedule(l1Geom(assoc), org)
+	if err != nil {
+		return Best{}, err
+	}
+	cfgs := []sim.Config{baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)}
+	for i := range sched.Points {
+		cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
+		applySide(&cfg, side, sim.CacheSpec{
+			Geom: l1Geom(assoc), Org: org,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i},
+		})
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := runParallel(cfgs, opts.workers())
+	if err != nil {
+		return Best{}, err
+	}
+	base := res[0]
+	bestIdx := 1
+	for i := 2; i < len(res); i++ {
+		if res[i].EDP.Product() < res[bestIdx].EDP.Product() {
+			bestIdx = i
+		}
+	}
+	return Best{
+		App: app, Side: side, Org: org,
+		Desc:   fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
+		Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1},
+		Chosen: res[bestIdx],
+		Base:   base,
+	}, nil
+}
+
+// DynamicParams is one dynamic-controller parameterization.
+type DynamicParams struct {
+	Interval       uint64
+	MissBound      uint64
+	SizeBoundBytes int
+	UpsizeHold     int
+}
+
+// dynamicCandidates enumerates the offline profiling grid for the
+// miss-ratio controller: miss-bounds as fractions of the interval and
+// size-bounds across the schedule's range.
+func dynamicCandidates(sched core.Schedule) []DynamicParams {
+	// Miss-bounds span well past each app's background miss level
+	// (conflict and cold misses) or the controller would pin at full
+	// size; the shorter interval tracks phases in shorter runs; the
+	// size-bound candidates are every offered size below full, since the
+	// bound is how profiling pins the controller at an app's known floor.
+	intervals := []uint64{4096, 16384, 65536}
+	missFracs := []float64{0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.15}
+	var sizeBounds []int
+	for _, p := range sched.Points[1:] {
+		sizeBounds = append(sizeBounds, p.Bytes)
+	}
+	if len(sizeBounds) == 0 {
+		sizeBounds = []int{sched.Geom.SizeBytes}
+	}
+	holds := []int{0, 3}
+	var out []DynamicParams
+	seen := map[DynamicParams]bool{}
+	for _, iv := range intervals {
+		for _, mf := range missFracs {
+			for _, sb := range sizeBounds {
+				for _, h := range holds {
+					p := DynamicParams{Interval: iv,
+						MissBound: uint64(mf * float64(iv)), SizeBoundBytes: sb,
+						UpsizeHold: h}
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BestDynamic profiles the dynamic controller's parameter grid for one
+// application and returns the minimum-EDP parameterization.
+func BestDynamic(app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	sched, err := core.BuildSchedule(l1Geom(assoc), org)
+	if err != nil {
+		return Best{}, err
+	}
+	cands := dynamicCandidates(sched)
+	cfgs := []sim.Config{baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)}
+	for _, p := range cands {
+		cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
+		applySide(&cfg, side, sim.CacheSpec{
+			Geom: l1Geom(assoc), Org: org,
+			Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
+				MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
+				UpsizeHoldIntervals: p.UpsizeHold},
+		})
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := runParallel(cfgs, opts.workers())
+	if err != nil {
+		return Best{}, err
+	}
+	base := res[0]
+	bestIdx := 1
+	for i := 2; i < len(res); i++ {
+		if res[i].EDP.Product() < res[bestIdx].EDP.Product() {
+			bestIdx = i
+		}
+	}
+	p := cands[bestIdx-1]
+	return Best{
+		App: app, Side: side, Org: org,
+		Desc: fmt.Sprintf("dynamic mb=%d sb=%s", p.MissBound,
+			geometry.FormatSize(p.SizeBoundBytes)),
+		Spec: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
+			MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
+			UpsizeHoldIntervals: p.UpsizeHold},
+		Chosen: res[bestIdx],
+		Base:   base,
+	}, nil
+}
+
+// Combined runs one simulation with both L1s resizing at their
+// individually profiled configurations (the paper's Figure 9 protocol:
+// the additivity of d- and i-cache resizing lets each be profiled
+// alone). The returned Best compares against the shared non-resizable
+// baseline.
+func Combined(app string, org core.Organization, assoc int, dBest, iBest Best, opts Options) (Best, error) {
+	cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
+	cfg.DCache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: dBest.Spec}
+	cfg.ICache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: iBest.Spec}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return Best{}, err
+	}
+	return Best{
+		App: app, Side: DSide, Org: org,
+		Desc:   fmt.Sprintf("both: %s + %s", dBest.Desc, iBest.Desc),
+		Chosen: res,
+		Base:   dBest.Base,
+	}, nil
+}

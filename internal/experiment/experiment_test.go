@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"resizecache/internal/core"
+	"resizecache/internal/sim"
+)
+
+// fastOpts trades fidelity for test speed; claim tests use tolerant
+// thresholds accordingly. Full-fidelity numbers come from cmd/figures.
+func fastOpts() Options {
+	// 1M instructions covers at least one full phase period of every
+	// profile; shorter runs truncate phase structure and distort the
+	// profiling sweeps.
+	o := DefaultOptions()
+	o.Instructions = 1_000_000
+	return o
+}
+
+func TestTable1RendersPaperSchedule(t *testing.T) {
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"32K", "24K", "12K", "6K", "3K",
+		"24K/3-way", "16K/4-way", "2K/2-way", "1K/1-way"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table1 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestTable2RendersBaseConfig(t *testing.T) {
+	s := Table2()
+	for _, frag := range []string{"4 instrs per cycle", "64 entries / 32 entries",
+		"32K 2-way", "512K 4-way", "80 + 5 per 8 bytes"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table2 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestBestStaticPicksProfiledMinimum(t *testing.T) {
+	opts := fastOpts()
+	best, err := BestStatic("m88ksim", DSide, core.SelectiveSets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m88ksim's tiny working set must downsize substantially and win EDP.
+	if best.SizeReductionPct() < 40 {
+		t.Errorf("m88ksim size reduction %.1f%%, want >= 40%%", best.SizeReductionPct())
+	}
+	if best.EDPReductionPct() <= 5 {
+		t.Errorf("m88ksim EDP reduction %.1f%%, want > 5%%", best.EDPReductionPct())
+	}
+	if best.Spec.Kind != sim.PolicyStatic {
+		t.Error("static sweep returned non-static spec")
+	}
+}
+
+func TestSwimNeverDownsizes(t *testing.T) {
+	opts := fastOpts()
+	for _, org := range []core.Organization{core.SelectiveWays, core.SelectiveSets} {
+		best, err := BestStatic("swim", DSide, org, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.SizeReductionPct() > 1 {
+			t.Errorf("swim downsized %.1f%% under %v; paper: working set fills 32K",
+				best.SizeReductionPct(), org)
+		}
+	}
+}
+
+func TestCompressFavorsWaysGranularity(t *testing.T) {
+	// compress's ~20K working set needs the 24K point only selective-ways
+	// offers at 4-way (paper §4.1).
+	opts := fastOpts()
+	w, err := BestStatic("compress", DSide, core.SelectiveWays, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BestStatic("compress", DSide, core.SelectiveSets, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.EDPReductionPct() <= s.EDPReductionPct() {
+		t.Errorf("compress: ways %.1f%% should beat sets %.1f%%",
+			w.EDPReductionPct(), s.EDPReductionPct())
+	}
+	if !strings.Contains(w.Desc, "24K") {
+		t.Errorf("compress ways chose %s, want the 24K point", w.Desc)
+	}
+}
+
+func TestConflictAppsFavorSets(t *testing.T) {
+	// Conflict-bound apps keep their conflict groups resident only while
+	// associativity is maintained (paper Fig. 5a). The paper also lists
+	// su2cor here; our su2cor profile emphasizes its periodic phase
+	// behaviour (Fig. 7) instead — see EXPERIMENTS.md deviations.
+	opts := fastOpts()
+	for _, app := range []string{"apsi", "vpr", "tomcatv"} {
+		w, err := BestStatic(app, DSide, core.SelectiveWays, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := BestStatic(app, DSide, core.SelectiveSets, 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.EDPReductionPct() <= w.EDPReductionPct() {
+			t.Errorf("%s: sets %.1f%% should beat ways %.1f%%",
+				app, s.EDPReductionPct(), w.EDPReductionPct())
+		}
+	}
+}
+
+func TestFigure4Crossover(t *testing.T) {
+	// The paper's organization conclusion: selective-sets wins at
+	// associativity <= 4, selective-ways at >= 8 — checked at the
+	// endpoints to keep the test affordable.
+	if testing.Short() {
+		t.Skip("multi-sweep in -short mode")
+	}
+	opts := fastOpts()
+	d, i, err := sweepOrgGrid(
+		[]core.Organization{core.SelectiveWays, core.SelectiveSets},
+		[]int{2, 16}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(cells []Fig4Cell, label string) {
+		get := func(org core.Organization, assoc int) float64 {
+			for _, c := range cells {
+				if c.Org == org && c.Assoc == assoc {
+					return c.EDPReductionPct
+				}
+			}
+			t.Fatalf("%s: missing cell %v/%d", label, org, assoc)
+			return 0
+		}
+		if get(core.SelectiveSets, 2) <= get(core.SelectiveWays, 2) {
+			t.Errorf("%s: sets should win at 2-way (%.1f vs %.1f)", label,
+				get(core.SelectiveSets, 2), get(core.SelectiveWays, 2))
+		}
+		if get(core.SelectiveWays, 16) <= get(core.SelectiveSets, 16) {
+			t.Errorf("%s: ways should win at 16-way (%.1f vs %.1f)", label,
+				get(core.SelectiveWays, 16), get(core.SelectiveSets, 16))
+		}
+	}
+	check(d, "d-cache")
+	check(i, "i-cache")
+}
+
+func TestHybridDominatesAtLowAssoc(t *testing.T) {
+	// Paper Fig. 6: hybrid equals or improves on both organizations. Our
+	// reproduction holds this strictly at <= 8-way; at 16-way the hybrid
+	// pays its provisioned tag array and per-way tag banks (documented in
+	// EXPERIMENTS.md), so the claim is checked at 4-way here.
+	if testing.Short() {
+		t.Skip("multi-sweep in -short mode")
+	}
+	opts := fastOpts()
+	d, i, err := sweepOrgGrid(
+		[]core.Organization{core.Hybrid, core.SelectiveWays, core.SelectiveSets},
+		[]int{4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cells := range [][]Fig4Cell{d, i} {
+		var hy, wy, st float64
+		for _, c := range cells {
+			switch c.Org {
+			case core.Hybrid:
+				hy = c.EDPReductionPct
+			case core.SelectiveWays:
+				wy = c.EDPReductionPct
+			case core.SelectiveSets:
+				st = c.EDPReductionPct
+			}
+		}
+		if hy+0.3 < wy || hy+0.3 < st {
+			t.Errorf("hybrid %.1f%% should dominate ways %.1f%% and sets %.1f%%", hy, wy, st)
+		}
+	}
+}
+
+func TestDynamicBeatsStaticOnInOrderDCache(t *testing.T) {
+	// Paper Fig. 7a: with d-miss latency exposed (in-order, blocking),
+	// dynamic resizing clearly beats static on phase-varying apps.
+	if testing.Short() {
+		t.Skip("dynamic sweep in -short mode")
+	}
+	opts := fastOpts()
+	opts.Engine = sim.InOrder
+	opts.Apps = []string{"su2cor", "compress", "gcc", "vortex"}
+	panel, err := StrategyPanel(DSide, sim.InOrder, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, se, de := panel.Averages()
+	if de <= se {
+		t.Errorf("in-order d-cache: dynamic %.1f%% should beat static %.1f%%", de, se)
+	}
+}
+
+func TestCombinedResizingIsAdditive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-run experiment in -short mode")
+	}
+	opts := fastOpts()
+	app := "m88ksim"
+	dBest, err := BestStatic(app, DSide, core.SelectiveSets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iBest, err := BestStatic(app, ISide, core.SelectiveSets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Combined(app, core.SelectiveSets, 2, dBest, iBest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := dBest.EDPReductionPct() + iBest.EDPReductionPct()
+	got := both.EDPReductionPct()
+	if got < 0.7*sum || got > 1.3*sum+2 {
+		t.Errorf("combined %.1f%% not additive vs d+i sum %.1f%%", got, sum)
+	}
+}
+
+func TestSlowdownEnvelopeHolds(t *testing.T) {
+	// Paper: every reported point is within 6%% performance degradation.
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	opts := fastOpts()
+	for _, app := range []string{"ammp", "compress", "gcc", "swim"} {
+		for _, org := range []core.Organization{core.SelectiveWays, core.SelectiveSets} {
+			best, err := BestStatic(app, DSide, org, 4, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best.SlowdownPct() > 6 {
+				t.Errorf("%s/%v: slowdown %.1f%% exceeds 6%%", app, org, best.SlowdownPct())
+			}
+		}
+	}
+}
+
+func TestRunParallelPropagatesErrors(t *testing.T) {
+	cfgs := []sim.Config{sim.Default("gcc"), sim.Default("nosuch")}
+	cfgs[0].Instructions = 1000
+	if _, err := runParallel(cfgs, 2); err == nil {
+		t.Fatal("bad config did not surface")
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if DSide.String() != "d-cache" || ISide.String() != "i-cache" {
+		t.Fatal("Side strings wrong")
+	}
+}
+
+func TestDynamicCandidatesDeduplicated(t *testing.T) {
+	sched, err := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := dynamicCandidates(sched)
+	seen := map[DynamicParams]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %+v", c)
+		}
+		seen[c] = true
+		if c.MissBound == 0 || c.Interval == 0 {
+			t.Fatalf("degenerate candidate %+v", c)
+		}
+	}
+	if len(cands) < 10 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+}
+
+func TestScheduleIndexForAvg(t *testing.T) {
+	sched, _ := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
+	if idx := scheduleIndexForAvg(sched, float64(sched.Points[0].Bytes)); idx != 0 {
+		t.Errorf("full size -> %d", idx)
+	}
+	last := len(sched.Points) - 1
+	if idx := scheduleIndexForAvg(sched, float64(sched.Points[last].Bytes)); idx != last {
+		t.Errorf("min size -> %d", idx)
+	}
+}

@@ -1,0 +1,551 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"resizecache/internal/core"
+	"resizecache/internal/geometry"
+	"resizecache/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// Table 1: hybrid offered sizes for a 32K 4-way cache with 1K subarrays.
+// ---------------------------------------------------------------------
+
+// Table1 renders the hybrid size/associativity matrix of the paper's
+// Table 1 together with the derived resizing schedule.
+func Table1() (string, error) {
+	g := l1Geom(4)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: hybrid resizing granularity, %v\n\n", g)
+	fmt.Fprintf(&b, "%-12s", "way size")
+	for w := g.Assoc; w >= 1; w-- {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("%d-way", w))
+	}
+	b.WriteString("\n")
+	for ws := g.WayBytes(); ws >= g.SubarrayBytes; ws >>= 1 {
+		fmt.Fprintf(&b, "%-12s", geometry.FormatSize(ws))
+		for w := g.Assoc; w >= 1; w-- {
+			fmt.Fprintf(&b, "%8s", geometry.FormatSize(ws*w))
+		}
+		b.WriteString("\n")
+	}
+	sched, err := core.BuildSchedule(g, core.Hybrid)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\nschedule (redundant sizes -> highest associativity):\n  ")
+	for i, p := range sched.Points {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// Table2 renders the base system configuration.
+func Table2() string {
+	cfg := sim.Default("gcc")
+	var b strings.Builder
+	b.WriteString("Table 2: base system configuration\n\n")
+	rows := [][2]string{
+		{"Issue/decode width", fmt.Sprintf("%d instrs per cycle", cfg.CPU.Width)},
+		{"ROB / LSQ", fmt.Sprintf("%d entries / %d entries", cfg.CPU.ROBEntries, cfg.CPU.LSQEntries)},
+		{"Branch predictor", "combination (gshare + bimodal)"},
+		{"writeback buffer / mshr", fmt.Sprintf("%d entries / %d entries", cfg.WritebackEntries, cfg.MSHREntries)},
+		{"Base L1 i-cache", fmt.Sprintf("%v; 1 cycle", cfg.ICache.Geom)},
+		{"Base L1 d-cache", fmt.Sprintf("%v; 1 cycle", cfg.DCache.Geom)},
+		{"L2 unified cache", fmt.Sprintf("%v; %d cycles", cfg.L2Geom, geometry.AccessLatencyCycles(cfg.L2Geom))},
+		{"Memory access latency", "(80 + 5 per 8 bytes) cycles"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: selective-ways vs selective-sets across associativities.
+// ---------------------------------------------------------------------
+
+// Fig4Cell is one bar of Figure 4: mean EDP reduction for one
+// organization at one associativity.
+type Fig4Cell struct {
+	Assoc           int
+	Org             core.Organization
+	EDPReductionPct float64
+}
+
+// Fig4Result holds both charts of Figure 4.
+type Fig4Result struct {
+	DCache []Fig4Cell
+	ICache []Fig4Cell
+}
+
+// Cell returns the mean EDP reduction for (side, org, assoc).
+func (f Fig4Result) Cell(side Side, org core.Organization, assoc int) (float64, bool) {
+	cells := f.DCache
+	if side == ISide {
+		cells = f.ICache
+	}
+	for _, c := range cells {
+		if c.Org == org && c.Assoc == assoc {
+			return c.EDPReductionPct, true
+		}
+	}
+	return 0, false
+}
+
+// orgsAndAssocs sweeps a figure's organization × associativity grid.
+func sweepOrgGrid(orgs []core.Organization, assocs []int, opts Options) (d, i []Fig4Cell, err error) {
+	for _, side := range []Side{DSide, ISide} {
+		for _, assoc := range assocs {
+			for _, org := range orgs {
+				var sum float64
+				apps := opts.apps()
+				for _, app := range apps {
+					best, err := BestStatic(app, side, org, assoc, opts)
+					if err != nil {
+						return nil, nil, err
+					}
+					sum += best.EDPReductionPct()
+				}
+				cell := Fig4Cell{Assoc: assoc, Org: org,
+					EDPReductionPct: sum / float64(len(apps))}
+				if side == DSide {
+					d = append(d, cell)
+				} else {
+					i = append(i, cell)
+				}
+			}
+		}
+	}
+	return d, i, nil
+}
+
+// Figure4 regenerates Figure 4: static selective-ways vs selective-sets,
+// mean processor EDP reduction, for 2/4/8/16-way 32K caches.
+func Figure4(opts Options) (Fig4Result, error) {
+	d, i, err := sweepOrgGrid(
+		[]core.Organization{core.SelectiveWays, core.SelectiveSets},
+		[]int{2, 4, 8, 16}, opts)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	return Fig4Result{DCache: d, ICache: i}, nil
+}
+
+// Render formats the figure as a text table.
+func (f Fig4Result) Render() string {
+	return renderOrgGrid("Figure 4: resizable cache organizations and energy-delay reductions",
+		[]core.Organization{core.SelectiveWays, core.SelectiveSets},
+		[]int{2, 4, 8, 16}, f.DCache, f.ICache)
+}
+
+func renderOrgGrid(title string, orgs []core.Organization, assocs []int, d, i []Fig4Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, side := range []struct {
+		name  string
+		cells []Fig4Cell
+	}{{"(a) D-Cache", d}, {"(b) I-Cache", i}} {
+		fmt.Fprintf(&b, "\n%s  — reduction (%%) in processor energy-delay\n", side.name)
+		fmt.Fprintf(&b, "  %-16s", "")
+		for _, a := range assocs {
+			fmt.Fprintf(&b, "%8s", fmt.Sprintf("%d-way", a))
+		}
+		b.WriteString("\n")
+		for _, org := range orgs {
+			fmt.Fprintf(&b, "  %-16s", org)
+			for _, a := range assocs {
+				val := 0.0
+				for _, c := range side.cells {
+					if c.Org == org && c.Assoc == a {
+						val = c.EDPReductionPct
+					}
+				}
+				fmt.Fprintf(&b, "%8.1f", val)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: per-application comparison at 4-way.
+// ---------------------------------------------------------------------
+
+// Fig5Row is one application's bars in Figure 5.
+type Fig5Row struct {
+	App             string
+	WaysSizeRedPct  float64
+	SetsSizeRedPct  float64
+	WaysEDPRedPct   float64
+	SetsEDPRedPct   float64
+	WaysChosen      string
+	SetsChosen      string
+	WaysSlowdownPct float64
+	SetsSlowdownPct float64
+}
+
+// Fig5Result holds per-app rows plus averages for one cache side.
+type Fig5Result struct {
+	Side Side
+	Rows []Fig5Row
+}
+
+// Averages returns mean (sizeWays, sizeSets, edpWays, edpSets).
+func (f Fig5Result) Averages() (sw, ss, ew, es float64) {
+	if len(f.Rows) == 0 {
+		return
+	}
+	for _, r := range f.Rows {
+		sw += r.WaysSizeRedPct
+		ss += r.SetsSizeRedPct
+		ew += r.WaysEDPRedPct
+		es += r.SetsEDPRedPct
+	}
+	n := float64(len(f.Rows))
+	return sw / n, ss / n, ew / n, es / n
+}
+
+// Row returns the row for an app.
+func (f Fig5Result) Row(app string) (Fig5Row, bool) {
+	for _, r := range f.Rows {
+		if r.App == app {
+			return r, true
+		}
+	}
+	return Fig5Row{}, false
+}
+
+// Figure5 regenerates Figure 5 for one side: per-app average-size and
+// EDP reductions of static selective-ways vs selective-sets on 32K 4-way.
+func Figure5(side Side, opts Options) (Fig5Result, error) {
+	out := Fig5Result{Side: side}
+	for _, app := range opts.apps() {
+		w, err := BestStatic(app, side, core.SelectiveWays, 4, opts)
+		if err != nil {
+			return out, err
+		}
+		s, err := BestStatic(app, side, core.SelectiveSets, 4, opts)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, Fig5Row{
+			App:             app,
+			WaysSizeRedPct:  w.SizeReductionPct(),
+			SetsSizeRedPct:  s.SizeReductionPct(),
+			WaysEDPRedPct:   w.EDPReductionPct(),
+			SetsEDPRedPct:   s.EDPReductionPct(),
+			WaysChosen:      w.Desc,
+			SetsChosen:      s.Desc,
+			WaysSlowdownPct: w.SlowdownPct(),
+			SetsSlowdownPct: s.SlowdownPct(),
+		})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].App < out.Rows[j].App })
+	return out, nil
+}
+
+// Render formats the figure.
+func (f Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (%s): selective-ways vs selective-sets, 32K 4-way, static\n\n", f.Side)
+	fmt.Fprintf(&b, "  %-10s %22s   %22s   %-18s %-18s\n", "",
+		"size reduction (%)", "EDP reduction (%)", "ways chose", "sets chose")
+	fmt.Fprintf(&b, "  %-10s %10s %10s   %10s %10s\n", "app", "ways", "sets", "ways", "sets")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s %10.1f %10.1f   %10.1f %10.1f   %-18s %-18s\n",
+			r.App, r.WaysSizeRedPct, r.SetsSizeRedPct, r.WaysEDPRedPct, r.SetsEDPRedPct,
+			r.WaysChosen, r.SetsChosen)
+	}
+	sw, ss, ew, es := f.Averages()
+	fmt.Fprintf(&b, "  %-10s %10.1f %10.1f   %10.1f %10.1f\n", "AVG.", sw, ss, ew, es)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: hybrid organization.
+// ---------------------------------------------------------------------
+
+// Figure6 regenerates Figure 6: hybrid vs selective-ways vs
+// selective-sets across associativities.
+func Figure6(opts Options) (Fig4Result, error) {
+	d, i, err := sweepOrgGrid(
+		[]core.Organization{core.Hybrid, core.SelectiveWays, core.SelectiveSets},
+		[]int{2, 4, 8, 16}, opts)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	return Fig4Result{DCache: d, ICache: i}, nil
+}
+
+// RenderFigure6 formats Figure 6 (same grid shape as Figure 4 plus
+// hybrid).
+func RenderFigure6(f Fig4Result) string {
+	return renderOrgGrid("Figure 6: effectiveness of hybrid organizations",
+		[]core.Organization{core.Hybrid, core.SelectiveWays, core.SelectiveSets},
+		[]int{2, 4, 8, 16}, f.DCache, f.ICache)
+}
+
+// ---------------------------------------------------------------------
+// Figures 7 & 8: static vs dynamic on the two processor types.
+// ---------------------------------------------------------------------
+
+// Fig7Row is one application under one engine: static vs dynamic.
+type Fig7Row struct {
+	App               string
+	StaticSizeRedPct  float64
+	DynamicSizeRedPct float64
+	StaticEDPRedPct   float64
+	DynamicEDPRedPct  float64
+	StaticChosen      string
+	DynamicChosen     string
+}
+
+// Fig7Result is one panel (one engine) of Figure 7 or 8.
+type Fig7Result struct {
+	Side   Side
+	Engine sim.EngineKind
+	Rows   []Fig7Row
+}
+
+// Averages returns mean (staticSize, dynSize, staticEDP, dynEDP).
+func (f Fig7Result) Averages() (ss, ds, se, de float64) {
+	if len(f.Rows) == 0 {
+		return
+	}
+	for _, r := range f.Rows {
+		ss += r.StaticSizeRedPct
+		ds += r.DynamicSizeRedPct
+		se += r.StaticEDPRedPct
+		de += r.DynamicEDPRedPct
+	}
+	n := float64(len(f.Rows))
+	return ss / n, ds / n, se / n, de / n
+}
+
+// Row returns the row for an app.
+func (f Fig7Result) Row(app string) (Fig7Row, bool) {
+	for _, r := range f.Rows {
+		if r.App == app {
+			return r, true
+		}
+	}
+	return Fig7Row{}, false
+}
+
+// StrategyPanel runs the static-vs-dynamic comparison (the machinery of
+// Figures 7 and 8) for one cache side and engine, on 32K 2-way
+// selective-sets as in the paper.
+func StrategyPanel(side Side, engine sim.EngineKind, opts Options) (Fig7Result, error) {
+	opts.Engine = engine
+	out := Fig7Result{Side: side, Engine: engine}
+	for _, app := range opts.apps() {
+		st, err := BestStatic(app, side, core.SelectiveSets, 2, opts)
+		if err != nil {
+			return out, err
+		}
+		dy, err := BestDynamic(app, side, core.SelectiveSets, 2, opts)
+		if err != nil {
+			return out, err
+		}
+		sizeRed := func(b Best) float64 { return b.SizeReductionPct() }
+		out.Rows = append(out.Rows, Fig7Row{
+			App:               app,
+			StaticSizeRedPct:  sizeRed(st),
+			DynamicSizeRedPct: sizeRed(dy),
+			StaticEDPRedPct:   st.EDPReductionPct(),
+			DynamicEDPRedPct:  dy.EDPReductionPct(),
+			StaticChosen:      st.Desc,
+			DynamicChosen:     dy.Desc,
+		})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].App < out.Rows[j].App })
+	return out, nil
+}
+
+// Figure7 regenerates Figure 7 (d-cache): panel (a) in-order/blocking,
+// panel (b) out-of-order/non-blocking.
+func Figure7(opts Options) (inorder, ooo Fig7Result, err error) {
+	inorder, err = StrategyPanel(DSide, sim.InOrder, opts)
+	if err != nil {
+		return
+	}
+	ooo, err = StrategyPanel(DSide, sim.OutOfOrder, opts)
+	return
+}
+
+// Figure8 regenerates Figure 8 (i-cache).
+func Figure8(opts Options) (inorder, ooo Fig7Result, err error) {
+	inorder, err = StrategyPanel(ISide, sim.InOrder, opts)
+	if err != nil {
+		return
+	}
+	ooo, err = StrategyPanel(ISide, sim.OutOfOrder, opts)
+	return
+}
+
+// Render formats one strategy panel.
+func (f Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s resizing, %v engine: static vs dynamic (32K 2-way selective-sets)\n\n",
+		f.Side, f.Engine)
+	fmt.Fprintf(&b, "  %-10s %22s   %22s\n", "",
+		"size reduction (%)", "EDP reduction (%)")
+	fmt.Fprintf(&b, "  %-10s %10s %10s   %10s %10s   %s\n", "app",
+		"static", "dynamic", "static", "dynamic", "chosen")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s %10.1f %10.1f   %10.1f %10.1f   %s | %s\n",
+			r.App, r.StaticSizeRedPct, r.DynamicSizeRedPct,
+			r.StaticEDPRedPct, r.DynamicEDPRedPct, r.StaticChosen, r.DynamicChosen)
+	}
+	ss, ds, se, de := f.Averages()
+	fmt.Fprintf(&b, "  %-10s %10.1f %10.1f   %10.1f %10.1f\n", "AVG.", ss, ds, se, de)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: resizing d-cache and i-cache together.
+// ---------------------------------------------------------------------
+
+// Fig9Row is one application's three bars: d alone, i alone, both.
+type Fig9Row struct {
+	App string
+	// Size reductions are normalized to the combined base d+i capacity.
+	DAloneSizeRedPct float64
+	IAloneSizeRedPct float64
+	BothSizeRedPct   float64
+	DAloneEDPRedPct  float64
+	IAloneEDPRedPct  float64
+	BothEDPRedPct    float64
+	BothSlowdownPct  float64
+}
+
+// Fig9Result holds Figure 9.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Averages returns mean (dSize, iSize, bothSize, dEDP, iEDP, bothEDP).
+func (f Fig9Result) Averages() (dsz, isz, bsz, de, ie, be float64) {
+	if len(f.Rows) == 0 {
+		return
+	}
+	for _, r := range f.Rows {
+		dsz += r.DAloneSizeRedPct
+		isz += r.IAloneSizeRedPct
+		bsz += r.BothSizeRedPct
+		de += r.DAloneEDPRedPct
+		ie += r.IAloneEDPRedPct
+		be += r.BothEDPRedPct
+	}
+	n := float64(len(f.Rows))
+	return dsz / n, isz / n, bsz / n, de / n, ie / n, be / n
+}
+
+// Row returns the row for an app.
+func (f Fig9Result) Row(app string) (Fig9Row, bool) {
+	for _, r := range f.Rows {
+		if r.App == app {
+			return r, true
+		}
+	}
+	return Fig9Row{}, false
+}
+
+// Figure9 regenerates Figure 9: static selective-sets resizing of the
+// d-cache alone, the i-cache alone, and both simultaneously, on the base
+// configuration (32K 2-way L1s, out-of-order engine). The static points
+// chosen for the "both" run are the same profiled winners as the
+// standalone runs, matching the paper's decoupled-profiling argument.
+func Figure9(opts Options) (Fig9Result, error) {
+	opts.Engine = sim.OutOfOrder
+	var out Fig9Result
+	for _, app := range opts.apps() {
+		dBest, err := BestStatic(app, DSide, core.SelectiveSets, 2, opts)
+		if err != nil {
+			return out, err
+		}
+		iBest, err := BestStatic(app, ISide, core.SelectiveSets, 2, opts)
+		if err != nil {
+			return out, err
+		}
+		// Extract chosen static indices by re-deriving the schedule.
+		sched, err := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
+		if err != nil {
+			return out, err
+		}
+		dIdx := scheduleIndexForAvg(sched, dBest.Chosen.DCache.AvgBytes)
+		iIdx := scheduleIndexForAvg(sched, iBest.Chosen.ICache.AvgBytes)
+
+		both := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
+		both.DCache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: dIdx}}
+		both.ICache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: iIdx}}
+		bothRes, err := sim.Run(both)
+		if err != nil {
+			return out, err
+		}
+
+		base := dBest.Base // non-resizable baseline, same for all three
+		full := float64(2 * 32 << 10)
+		row := Fig9Row{
+			App:              app,
+			DAloneSizeRedPct: 100 * (float64(32<<10) - dBest.Chosen.DCache.AvgBytes) / full,
+			IAloneSizeRedPct: 100 * (float64(32<<10) - iBest.Chosen.ICache.AvgBytes) / full,
+			BothSizeRedPct:   100 * (full - bothRes.DCache.AvgBytes - bothRes.ICache.AvgBytes) / full,
+			DAloneEDPRedPct:  dBest.EDPReductionPct(),
+			IAloneEDPRedPct:  iBest.EDPReductionPct(),
+			BothEDPRedPct:    bothRes.EDP.ReductionPct(base.EDP),
+			BothSlowdownPct:  100 * bothRes.EDP.Slowdown(base.EDP),
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].App < out.Rows[j].App })
+	return out, nil
+}
+
+// scheduleIndexForAvg maps a static run's average size back to its
+// schedule index (static runs hold one size for the whole run).
+func scheduleIndexForAvg(sched core.Schedule, avgBytes float64) int {
+	bestIdx, bestDiff := 0, -1.0
+	for i, p := range sched.Points {
+		d := avgBytes - float64(p.Bytes)
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestDiff = d
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// Render formats Figure 9.
+func (f Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: decoupled resizings on d-cache and i-cache (static selective-sets, 32K 2-way, OoO)\n\n")
+	fmt.Fprintf(&b, "  %-10s %28s   %28s\n", "",
+		"size reduction (%, of d+i)", "EDP reduction (%)")
+	fmt.Fprintf(&b, "  %-10s %8s %8s %8s   %8s %8s %8s %8s\n", "app",
+		"d", "i", "both", "d", "i", "both", "d+i sum")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s %8.1f %8.1f %8.1f   %8.1f %8.1f %8.1f %8.1f\n",
+			r.App, r.DAloneSizeRedPct, r.IAloneSizeRedPct, r.BothSizeRedPct,
+			r.DAloneEDPRedPct, r.IAloneEDPRedPct, r.BothEDPRedPct,
+			r.DAloneEDPRedPct+r.IAloneEDPRedPct)
+	}
+	dsz, isz, bsz, de, ie, be := f.Averages()
+	fmt.Fprintf(&b, "  %-10s %8.1f %8.1f %8.1f   %8.1f %8.1f %8.1f %8.1f\n",
+		"AVG.", dsz, isz, bsz, de, ie, be, de+ie)
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"resizecache/internal/core"
+	"resizecache/internal/geometry"
+	"resizecache/internal/sim"
+)
+
+// Sensitivity studies — the "exploiting choice" follow-ups the paper
+// leaves implicit: how the headline results move with the subarray
+// granularity (which sets the resizing floor and step), the dynamic
+// controller's interval, and the L2 size backing the resized L1s.
+
+// SensitivityRow is one parameter point of a sensitivity sweep.
+type SensitivityRow struct {
+	Label           string
+	EDPReductionPct float64 // suite mean, best static selective-sets d-cache
+	SizeRedPct      float64
+}
+
+// SubarraySensitivity sweeps the subarray size (512B, 1K, 2K, 4K) for a
+// 32K 2-way selective-sets d-cache. Smaller subarrays offer smaller
+// minimum sizes (512B subarray -> 1K minimum at 2-way), larger ones
+// coarser schedules.
+func SubarraySensitivity(opts Options) ([]SensitivityRow, error) {
+	var out []SensitivityRow
+	for _, sub := range []int{512, 1 << 10, 2 << 10, 4 << 10} {
+		geom := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: sub}
+		if err := geom.Validate(); err != nil {
+			return nil, err
+		}
+		sched, err := core.BuildSchedule(geom, core.SelectiveSets)
+		if err != nil {
+			return nil, err
+		}
+		var edp, size float64
+		apps := opts.apps()
+		for _, app := range apps {
+			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
+			base.DCache.Geom = geom
+			cfgs := []sim.Config{base}
+			for i := range sched.Points {
+				cfg := base
+				cfg.DCache = sim.CacheSpec{Geom: geom, Org: core.SelectiveSets,
+					Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}}
+				cfgs = append(cfgs, cfg)
+			}
+			res, err := runParallel(cfgs, opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			best := 1
+			for i := 2; i < len(res); i++ {
+				if res[i].EDP.Product() < res[best].EDP.Product() {
+					best = i
+				}
+			}
+			edp += res[best].EDP.ReductionPct(res[0].EDP)
+			size += res[best].DCache.SizeReductionPct()
+		}
+		n := float64(len(apps))
+		out = append(out, SensitivityRow{
+			Label:           fmt.Sprintf("%s subarray (%d points, min %s)", geometry.FormatSize(sub), len(sched.Points), geometry.FormatSize(sched.MinBytes())),
+			EDPReductionPct: edp / n,
+			SizeRedPct:      size / n,
+		})
+	}
+	return out, nil
+}
+
+// IntervalSensitivity sweeps the dynamic controller's interval for a
+// fixed miss-bound fraction and size bound, on the in-order engine where
+// adaptation lag is most exposed.
+func IntervalSensitivity(opts Options) ([]SensitivityRow, error) {
+	opts.Engine = sim.InOrder
+	var out []SensitivityRow
+	for _, interval := range []uint64{2048, 8192, 32768, 131072} {
+		var edp, size float64
+		apps := opts.apps()
+		for _, app := range apps {
+			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
+			cfg := base
+			cfg.DCache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
+				Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: interval,
+					MissBound: uint64(float64(interval) * 0.01), SizeBoundBytes: 4 << 10,
+					UpsizeHoldIntervals: 3}}
+			res, err := runParallel([]sim.Config{base, cfg}, opts.workers())
+			if err != nil {
+				return nil, err
+			}
+			edp += res[1].EDP.ReductionPct(res[0].EDP)
+			size += res[1].DCache.SizeReductionPct()
+		}
+		n := float64(len(apps))
+		out = append(out, SensitivityRow{
+			Label:           fmt.Sprintf("interval %d accesses", interval),
+			EDPReductionPct: edp / n,
+			SizeRedPct:      size / n,
+		})
+	}
+	return out, nil
+}
+
+// L2Sensitivity sweeps the L2 capacity to test the paper's claim that L1
+// resizing has minimal impact on the L2 footprint: the resizing gain
+// should be stable across L2 sizes.
+func L2Sensitivity(opts Options) ([]SensitivityRow, error) {
+	var out []SensitivityRow
+	for _, l2kb := range []int{256, 512, 1024} {
+		var edp, size float64
+		apps := opts.apps()
+		for _, app := range apps {
+			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
+			base.L2Geom = geometry.Geometry{SizeBytes: l2kb << 10, Assoc: 4,
+				BlockBytes: 64, SubarrayBytes: 4 << 10}
+			best, err := bestStaticWithBase(app, DSide, core.SelectiveSets, base, opts)
+			if err != nil {
+				return nil, err
+			}
+			edp += best.EDPReductionPct()
+			size += best.SizeReductionPct()
+		}
+		n := float64(len(apps))
+		out = append(out, SensitivityRow{
+			Label:           fmt.Sprintf("%dK L2", l2kb),
+			EDPReductionPct: edp / n,
+			SizeRedPct:      size / n,
+		})
+	}
+	return out, nil
+}
+
+// bestStaticWithBase is BestStatic over a caller-provided base config
+// (used by sweeps that vary non-L1 parameters).
+func bestStaticWithBase(app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
+	geom := base.DCache.Geom
+	if side == ISide {
+		geom = base.ICache.Geom
+	}
+	sched, err := core.BuildSchedule(geom, org)
+	if err != nil {
+		return Best{}, err
+	}
+	cfgs := []sim.Config{base}
+	for i := range sched.Points {
+		cfg := base
+		applySide(&cfg, side, sim.CacheSpec{Geom: geom, Org: org,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := runParallel(cfgs, opts.workers())
+	if err != nil {
+		return Best{}, err
+	}
+	best := 1
+	for i := 2; i < len(res); i++ {
+		if res[i].EDP.Product() < res[best].EDP.Product() {
+			best = i
+		}
+	}
+	return Best{
+		App: app, Side: side, Org: org,
+		Desc:   fmt.Sprintf("static %v", sched.Points[best-1]),
+		Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: best - 1},
+		Chosen: res[best],
+		Base:   res[0],
+	}, nil
+}
+
+// RenderSensitivity formats a sweep as a text table.
+func RenderSensitivity(title string, rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n  %-36s %14s %14s\n", title, "parameter", "EDP red (%)", "size red (%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-36s %14.1f %14.1f\n", r.Label, r.EDPReductionPct, r.SizeRedPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+// Package geometry models the physical organization of RAM-tag caches:
+// the division of tag and data arrays into SRAM subarrays, index/tag bit
+// widths, and a CACTI-lite energy model that attributes per-access
+// switching energy to precharge, bitline, wordline, sense-amplifier,
+// decoder, and output-driver activity.
+//
+// Modern high-performance caches precharge all subarrays before every
+// access to overlap precharge with address decode (Wilson & Jouppi,
+// WRL TR 93/5), so per-access energy is dominated by the number of
+// *enabled* subarrays rather than by how many are actually read. This is
+// exactly the structural property resizable caches exploit: disabling a
+// subarray removes its precharge and clock energy entirely.
+package geometry
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry describes one cache's logical and physical organization.
+// All sizes are in bytes. Sizes, block size, and subarray size must be
+// powers of two; associativity may be any positive integer (the hybrid
+// organization uses non-power-of-two way counts such as 3).
+type Geometry struct {
+	SizeBytes     int // total data capacity
+	Assoc         int // number of ways
+	BlockBytes    int // cache block (line) size
+	SubarrayBytes int // SRAM subarray granularity for enable/disable
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found.
+func (g Geometry) Validate() error {
+	switch {
+	case g.SizeBytes <= 0:
+		return fmt.Errorf("geometry: size %d must be positive", g.SizeBytes)
+	case g.Assoc <= 0:
+		return fmt.Errorf("geometry: associativity %d must be positive", g.Assoc)
+	case g.BlockBytes <= 0 || !isPow2(g.BlockBytes):
+		return fmt.Errorf("geometry: block size %d must be a positive power of two", g.BlockBytes)
+	case g.SubarrayBytes <= 0 || !isPow2(g.SubarrayBytes):
+		return fmt.Errorf("geometry: subarray size %d must be a positive power of two", g.SubarrayBytes)
+	case g.SizeBytes%g.Assoc != 0:
+		return fmt.Errorf("geometry: size %d not divisible by associativity %d", g.SizeBytes, g.Assoc)
+	}
+	way := g.SizeBytes / g.Assoc
+	switch {
+	case !isPow2(way):
+		return fmt.Errorf("geometry: way size %d must be a power of two", way)
+	case way < g.BlockBytes:
+		return fmt.Errorf("geometry: way size %d smaller than block size %d", way, g.BlockBytes)
+	case way < g.SubarrayBytes:
+		return fmt.Errorf("geometry: way size %d smaller than subarray size %d", way, g.SubarrayBytes)
+	case g.SubarrayBytes < g.BlockBytes:
+		return fmt.Errorf("geometry: subarray size %d smaller than block size %d", g.SubarrayBytes, g.BlockBytes)
+	}
+	return nil
+}
+
+// WayBytes returns the capacity of a single way.
+func (g Geometry) WayBytes() int { return g.SizeBytes / g.Assoc }
+
+// Sets returns the number of cache sets.
+func (g Geometry) Sets() int { return g.WayBytes() / g.BlockBytes }
+
+// SubarraysPerWay returns how many subarrays make up one way.
+func (g Geometry) SubarraysPerWay() int { return g.WayBytes() / g.SubarrayBytes }
+
+// TotalSubarrays returns the number of data subarrays in the cache.
+func (g Geometry) TotalSubarrays() int { return g.SubarraysPerWay() * g.Assoc }
+
+// BlocksPerSubarray returns the number of cache blocks per subarray.
+func (g Geometry) BlocksPerSubarray() int { return g.SubarrayBytes / g.BlockBytes }
+
+// IndexBits returns the number of address bits used to select a set.
+func (g Geometry) IndexBits() int { return log2(g.Sets()) }
+
+// OffsetBits returns the number of block-offset address bits.
+func (g Geometry) OffsetBits() int { return log2(g.BlockBytes) }
+
+// TagBits returns the tag width for a given physical address width.
+func (g Geometry) TagBits(addrBits int) int {
+	t := addrBits - g.IndexBits() - g.OffsetBits()
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%s %d-way %dB-block (%d sets, %d subarrays)",
+		FormatSize(g.SizeBytes), g.Assoc, g.BlockBytes, g.Sets(), g.TotalSubarrays())
+}
+
+// FormatSize renders a byte count in the paper's "32K"-style notation.
+func FormatSize(b int) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// log2 returns floor(log2(x)) for positive x; 0 for x <= 1.
+func log2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x)) - 1
+}

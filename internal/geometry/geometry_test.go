@@ -1,0 +1,198 @@
+package geometry
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func g32k2w() Geometry {
+	return Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1 << 10}
+}
+
+func TestValidateAcceptsBaseConfigs(t *testing.T) {
+	cases := []Geometry{
+		g32k2w(),
+		{SizeBytes: 32 << 10, Assoc: 4, BlockBytes: 32, SubarrayBytes: 1 << 10},
+		{SizeBytes: 32 << 10, Assoc: 16, BlockBytes: 32, SubarrayBytes: 1 << 10},
+		{SizeBytes: 512 << 10, Assoc: 4, BlockBytes: 64, SubarrayBytes: 4 << 10},
+		// Hybrid configurations use 3-way: 24K 3-way with 8K ways.
+		{SizeBytes: 24 << 10, Assoc: 3, BlockBytes: 32, SubarrayBytes: 1 << 10},
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", g, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		frag string
+	}{
+		{Geometry{SizeBytes: 0, Assoc: 1, BlockBytes: 32, SubarrayBytes: 1024}, "size"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 0, BlockBytes: 32, SubarrayBytes: 1024}, "associativity"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 33, SubarrayBytes: 1024}, "block"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1000}, "subarray"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 7, BlockBytes: 32, SubarrayBytes: 1024}, "divisible"},
+		{Geometry{SizeBytes: 24 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1024}, "way size"},
+		{Geometry{SizeBytes: 64, Assoc: 2, BlockBytes: 64, SubarrayBytes: 64}, "way size"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 32 << 10}, "way size"},
+		{Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 2048, SubarrayBytes: 1024}, "smaller than block"},
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if err == nil {
+			t.Errorf("%+v: expected error containing %q, got nil", c.g, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%+v: error %q does not contain %q", c.g, err, c.frag)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	g := g32k2w()
+	if got := g.WayBytes(); got != 16<<10 {
+		t.Errorf("WayBytes = %d", got)
+	}
+	if got := g.Sets(); got != 512 {
+		t.Errorf("Sets = %d", got)
+	}
+	if got := g.SubarraysPerWay(); got != 16 {
+		t.Errorf("SubarraysPerWay = %d", got)
+	}
+	if got := g.TotalSubarrays(); got != 32 {
+		t.Errorf("TotalSubarrays = %d", got)
+	}
+	if got := g.BlocksPerSubarray(); got != 32 {
+		t.Errorf("BlocksPerSubarray = %d", got)
+	}
+	if got := g.IndexBits(); got != 9 {
+		t.Errorf("IndexBits = %d", got)
+	}
+	if got := g.OffsetBits(); got != 5 {
+		t.Errorf("OffsetBits = %d", got)
+	}
+	if got := g.TagBits(32); got != 32-9-5 {
+		t.Errorf("TagBits = %d", got)
+	}
+}
+
+func TestTagBitsGrowsWhenSetsShrink(t *testing.T) {
+	// Selective-sets correctness hinges on this: halving the sets moves
+	// one bit from index to tag.
+	big := g32k2w()
+	small := big
+	small.SizeBytes /= 2 // 16K 2-way: 256 sets
+	if small.Validate() != nil {
+		t.Fatal("small geometry should validate")
+	}
+	if small.TagBits(40) != big.TagBits(40)+1 {
+		t.Fatalf("tag bits: small=%d big=%d, want +1", small.TagBits(40), big.TagBits(40))
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int]string{
+		32 << 10: "32K", 3 << 10: "3K", 1 << 20: "1M", 512: "512B", 1536: "1536B",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStringIncludesShape(t *testing.T) {
+	s := g32k2w().String()
+	for _, frag := range []string{"32K", "2-way", "512 sets", "32 subarrays"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestAccessEnergyScalesWithEnabledSubarrays(t *testing.T) {
+	m := Default18um()
+	p := AccessProfile{
+		EnabledDataSubarrays: 32, EnabledTagSubarrays: 2,
+		AccessedWays: 2, TagBits: 18, BlockBits: 256, RowBits: 512,
+	}
+	full := m.AccessEnergyPJ(p)
+	p.EnabledDataSubarrays = 16
+	half := m.AccessEnergyPJ(p)
+	if half >= full {
+		t.Fatalf("disabling subarrays must reduce access energy: %v >= %v", half, full)
+	}
+}
+
+func TestAccessEnergyExtraTagBitsCost(t *testing.T) {
+	m := Default18um()
+	p := AccessProfile{EnabledDataSubarrays: 32, EnabledTagSubarrays: 2,
+		AccessedWays: 2, TagBits: 18, BlockBits: 256, RowBits: 512}
+	base := m.AccessEnergyPJ(p)
+	p.TagBits = 22 // selective-sets resizing tag bits
+	withExtra := m.AccessEnergyPJ(p)
+	if withExtra <= base {
+		t.Fatal("extra tag bits must cost energy")
+	}
+	// But the cost must be small relative to the access (paper §3: the
+	// resizing tag bits are insignificant next to 256 data bitlines).
+	if (withExtra-base)/base > 0.05 {
+		t.Fatalf("resizing tag bit overhead %.1f%% too large", 100*(withExtra-base)/base)
+	}
+}
+
+func TestIdleCyclePJ(t *testing.T) {
+	m := Default18um()
+	full := m.IdleCyclePJ(32, 32<<10)
+	half := m.IdleCyclePJ(16, 16<<10)
+	if half >= full {
+		t.Fatal("idle energy must shrink with disabled subarrays")
+	}
+	if m.IdleCyclePJ(0, 0) != 0 {
+		t.Fatal("fully disabled cache should idle at zero")
+	}
+}
+
+func TestAccessLatencyCycles(t *testing.T) {
+	if got := AccessLatencyCycles(g32k2w()); got != 1 {
+		t.Fatalf("L1 latency = %d, want 1", got)
+	}
+	l2 := Geometry{SizeBytes: 512 << 10, Assoc: 4, BlockBytes: 64, SubarrayBytes: 4 << 10}
+	if got := AccessLatencyCycles(l2); got != 12 {
+		t.Fatalf("L2 latency = %d, want 12", got)
+	}
+	big := Geometry{SizeBytes: 4 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10}
+	if got := AccessLatencyCycles(big); got != 20 {
+		t.Fatalf("4M latency = %d, want 20", got)
+	}
+}
+
+// Property: for any valid power-of-two geometry, index+offset+tag bits
+// reconstruct the address width, and subarray bookkeeping is consistent.
+func TestGeometryBitAccountingProperty(t *testing.T) {
+	f := func(sizeExp, assocExp, blockExp uint8) bool {
+		se := 10 + int(sizeExp%8) // 1K..128K
+		ae := int(assocExp % 4)   // 1..8 ways
+		be := 4 + int(blockExp%3) // 16..64B blocks
+		g := Geometry{SizeBytes: 1 << se, Assoc: 1 << ae, BlockBytes: 1 << be, SubarrayBytes: 1 << 10}
+		if g.Validate() != nil {
+			return true // skip invalid combos
+		}
+		const addr = 40
+		if g.IndexBits()+g.OffsetBits()+g.TagBits(addr) != addr {
+			return false
+		}
+		if g.Sets()*g.Assoc*g.BlockBytes != g.SizeBytes {
+			return false
+		}
+		return g.TotalSubarrays()*g.SubarrayBytes == g.SizeBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package sim wires the substrates into a complete simulated processor —
+// workload generator → CPU engine → resizable L1 i-/d-caches → shared
+// L2 → memory — runs it, and reports timing, energy breakdown, and
+// resizing behaviour. One Config describes one simulation; experiments
+// (internal/experiment) run many configs in parallel.
+package sim
+
+import (
+	"fmt"
+
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/core"
+	"resizecache/internal/cpu"
+	"resizecache/internal/energy"
+	"resizecache/internal/geometry"
+	"resizecache/internal/stats"
+	"resizecache/internal/workload"
+)
+
+// EngineKind selects the processor timing model.
+type EngineKind int
+
+const (
+	// OutOfOrder is the base configuration: 4-wide OoO with a
+	// non-blocking d-cache (8 MSHRs).
+	OutOfOrder EngineKind = iota
+	// InOrder is the latency-exposing configuration: in-order issue with
+	// a blocking d-cache.
+	InOrder
+)
+
+func (e EngineKind) String() string {
+	if e == InOrder {
+		return "in-order"
+	}
+	return "out-of-order"
+}
+
+// PolicyKind selects the resizing strategy for one L1.
+type PolicyKind int
+
+const (
+	// PolicyNone keeps the cache at full size (baseline).
+	PolicyNone PolicyKind = iota
+	// PolicyStatic fixes one profiled schedule point for the run.
+	PolicyStatic
+	// PolicyDynamic applies the miss-ratio interval controller.
+	PolicyDynamic
+)
+
+// PolicySpec instantiates a resizing policy.
+type PolicySpec struct {
+	Kind PolicyKind
+	// StaticIndex is the schedule point for PolicyStatic.
+	StaticIndex int
+	// Interval (accesses), MissBound, SizeBoundBytes, and
+	// UpsizeHoldIntervals parameterize PolicyDynamic.
+	Interval            uint64
+	MissBound           uint64
+	SizeBoundBytes      int
+	UpsizeHoldIntervals int
+}
+
+func (p PolicySpec) build() core.Policy {
+	switch p.Kind {
+	case PolicyStatic:
+		return &core.StaticPolicy{PointIndex: p.StaticIndex}
+	case PolicyDynamic:
+		return &core.DynamicPolicy{Interval: p.Interval, MissBound: p.MissBound,
+			SizeBoundBytes: p.SizeBoundBytes, UpsizeHoldIntervals: p.UpsizeHoldIntervals}
+	default:
+		return nil
+	}
+}
+
+// CacheSpec configures one resizable L1.
+type CacheSpec struct {
+	Geom   geometry.Geometry
+	Org    core.Organization
+	Policy PolicySpec
+
+	// Ablation switches (benchmark-only; see cache.Config).
+	AblationFullPrecharge bool
+	AblationFreeFlush     bool
+}
+
+// Config is one complete simulation description.
+type Config struct {
+	Benchmark    string
+	Instructions uint64
+	Engine       EngineKind
+	CPU          cpu.Config
+
+	DCache CacheSpec
+	ICache CacheSpec
+	L2Geom geometry.Geometry
+
+	MSHREntries      int // d-cache MSHRs for the OoO engine
+	WritebackEntries int
+
+	Energy geometry.EnergyModel
+	Core   energy.CoreEnergies
+}
+
+// Default returns the paper's base configuration (Table 2) for a
+// benchmark: 32K 2-way L1s, 512K 4-way L2, 4-wide OoO, 2M instructions.
+func Default(benchmark string) Config {
+	l1 := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1 << 10}
+	return Config{
+		Benchmark:    benchmark,
+		Instructions: 2_000_000,
+		Engine:       OutOfOrder,
+		CPU:          cpu.DefaultConfig(),
+		DCache:       CacheSpec{Geom: l1, Org: core.NonResizable},
+		ICache:       CacheSpec{Geom: l1, Org: core.NonResizable},
+		L2Geom: geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4,
+			BlockBytes: 64, SubarrayBytes: 4 << 10},
+		MSHREntries:      8,
+		WritebackEntries: 8,
+		Energy:           geometry.Default18um(),
+		Core:             energy.DefaultCore(),
+	}
+}
+
+// CacheReport summarizes one L1's behaviour during a run.
+type CacheReport struct {
+	Accesses      uint64
+	MissRatio     float64
+	AvgBytes      float64 // time-weighted average enabled capacity
+	FullBytes     int
+	Resizes       uint64
+	FlushedBlocks uint64
+	SizeTrace     []int
+	EnergyPJ      float64
+	// SwitchingPJ / BackgroundPJ split EnergyPJ into per-access energy
+	// and clock+leakage energy (the component the paper's §3 leakage
+	// argument applies to).
+	SwitchingPJ  float64
+	BackgroundPJ float64
+}
+
+// SizeReductionPct is the paper's "reduction in average cache size".
+func (c CacheReport) SizeReductionPct() float64 {
+	if c.FullBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - c.AvgBytes/float64(c.FullBytes))
+}
+
+// Result is one simulation's complete outcome.
+type Result struct {
+	CPU    cpu.Result
+	Energy energy.Breakdown
+	EDP    stats.EDP
+	DCache CacheReport
+	ICache CacheReport
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	prof, err := workload.Get(cfg.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Instructions == 0 {
+		return Result{}, fmt.Errorf("sim: zero instruction budget")
+	}
+
+	mem := cache.NewMemory(cfg.L2Geom.BlockBytes)
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Geom: cfg.L2Geom,
+		HitLatency:       uint64(geometry.AccessLatencyCycles(cfg.L2Geom)),
+		Energy:           cfg.Energy,
+		DelayedPrecharge: true,
+	}, mem)
+	if err != nil {
+		return Result{}, err
+	}
+
+	dMSHR := cfg.MSHREntries
+	if cfg.Engine == InOrder {
+		dMSHR = 0 // blocking d-cache
+	}
+	dc, err := core.NewL1(core.L1Options{
+		Name: "L1d", Geom: cfg.DCache.Geom, Org: cfg.DCache.Org,
+		Policy: cfg.DCache.Policy.build(), HitLatency: 1,
+		MSHREntries: dMSHR, WritebackEntries: cfg.WritebackEntries,
+		Energy:                cfg.Energy,
+		AblationFullPrecharge: cfg.DCache.AblationFullPrecharge,
+		AblationFreeFlush:     cfg.DCache.AblationFreeFlush,
+	}, l2)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: d-cache: %w", err)
+	}
+	ic, err := core.NewL1(core.L1Options{
+		Name: "L1i", Geom: cfg.ICache.Geom, Org: cfg.ICache.Org,
+		Policy: cfg.ICache.Policy.build(), HitLatency: 1,
+		MSHREntries: 2, Energy: cfg.Energy,
+		AblationFullPrecharge: cfg.ICache.AblationFullPrecharge,
+		AblationFreeFlush:     cfg.ICache.AblationFreeFlush,
+	}, l2)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: i-cache: %w", err)
+	}
+
+	var engine cpu.Engine
+	if cfg.Engine == InOrder {
+		engine, err = cpu.NewInOrder(cfg.CPU, ic, dc, bpred.NewDefault())
+	} else {
+		engine, err = cpu.NewOutOfOrder(cfg.CPU, ic, dc, bpred.NewDefault())
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := engine.Run(workload.NewGenerator(prof), cfg.Instructions)
+
+	dc.Finalize(res.Cycles)
+	ic.Finalize(res.Cycles)
+	l2.Finalize(res.Cycles)
+	mem.Finalize(res.Cycles)
+
+	bd := energy.Breakdown{
+		CorePJ: cfg.Core.CorePJ(res.Activity, res.Instructions, res.Cycles),
+		L1IPJ:  ic.EnergyPJ(),
+		L1DPJ:  dc.EnergyPJ(),
+		L2PJ:   l2.EnergyPJ(),
+		MemPJ:  mem.EnergyPJ(),
+	}
+
+	report := func(r *core.ResizableCache) CacheReport {
+		return CacheReport{
+			Accesses:      r.C.Stat.Accesses.Value(),
+			MissRatio:     r.C.Stat.MissRatio(),
+			AvgBytes:      r.C.AvgEnabledBytes(),
+			FullBytes:     r.C.Config().Geom.SizeBytes,
+			Resizes:       r.C.Stat.Resizes.Value(),
+			FlushedBlocks: r.C.Stat.FlushedBlocks.Value(),
+			SizeTrace:     r.SizeTrace,
+			EnergyPJ:      r.EnergyPJ(),
+			SwitchingPJ:   r.C.SwitchingPJ(),
+			BackgroundPJ:  r.C.BackgroundPJ(),
+		}
+	}
+
+	return Result{
+		CPU:    res,
+		Energy: bd,
+		EDP:    stats.EDP{EnergyJ: bd.TotalJ(), Cycles: res.Cycles},
+		DCache: report(dc),
+		ICache: report(ic),
+	}, nil
+}

@@ -1,0 +1,359 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark profiles.
+//
+// Each profile is parameterized from the per-benchmark behaviour the
+// paper reports in Section 4 (which applications are capacity-bound vs.
+// conflict-bound, which working sets fit where, which vary over time,
+// and which exhibit "unavailable-size emulation"). Working-set levels
+// are expressed in 32-byte blocks: 128 blocks = 4K, 256 = 8K, 512 = 16K,
+// 768 = 24K, 1024 = 32K.
+//
+// The paper's qualitative facts encoded here:
+//
+//	d-cache (32K 4-way study, Fig. 5): apsi, gcc, ijpeg, su2cor, vortex,
+//	vpr are conflict-sensitive (selective-sets wins by keeping ways);
+//	ammp, applu, m88ksim need only small caches (sets' smaller minimum
+//	wins); compress needs ~20K — granularity between 16K and 32K that
+//	only selective-ways offers; swim's working set barely fits 32K so
+//	neither org downsizes; tomcatv downsizes equally but suffers extra
+//	conflict misses under selective-ways.
+//
+//	d-cache dynamic behaviour (Fig. 7): constant — ammp, applu, m88ksim,
+//	tomcatv; varying — compress, gcc, vortex, vpr; periodic — su2cor;
+//	emulation — apsi, compress, ijpeg, swim.
+//
+//	i-cache (Fig. 5b, Fig. 8): small working sets — ammp, compress,
+//	ijpeg, m88ksim, swim; associativity-bound — apsi, su2cor, vpr;
+//	applu reaches the same size under both orgs (ways then cheaper per
+//	access); gcc and tomcatv exceed 32K (no downsizing; emulation under
+//	dynamic); periodic i-working-sets — applu, apsi, ijpeg; emulation —
+//	gcc, tomcatv, vortex, vpr.
+
+var registry = map[string]*Profile{}
+
+func register(p *Profile) {
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate profile %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// Names returns all registered benchmark names, sorted (the paper's
+// alphabetical ordering in Figures 5 and 7-9).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the profile for a benchmark name.
+func Get(name string) (*Profile, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// MustGet is Get for known-good names in examples and benches.
+func MustGet(name string) *Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func init() {
+	// ---- SPEC2000 ----
+
+	register(&Profile{
+		// ammp: molecular dynamics; tiny hot data and code, constant.
+		Name:     "ammp",
+		LoadFrac: 0.30, StoreFrac: 0.09, BranchFrac: 0.08, FloatFrac: 0.28,
+		DepMeanDist: 5.5, BranchRandFrac: 0.05,
+		Phases: []Phase{{
+			Instructions: 1 << 40, // single phase, constant behaviour
+			DLevels:      []WSLevel{{Blocks: 64, Frac: 0.85}, {Blocks: 38, Frac: 0.15}},
+			ILevels:      []WSLevel{{Blocks: 56, Frac: 1.0}},
+			DCold:        0.004,
+		}},
+	})
+
+	register(&Profile{
+		// vortex: OO database; varying data working set, i-stream needs
+		// ~20K (between 16K and 32K).
+		Name:     "vortex",
+		LoadFrac: 0.27, StoreFrac: 0.15, BranchFrac: 0.16, FloatFrac: 0,
+		DepMeanDist: 3.2, BranchRandFrac: 0.12,
+		Phases: []Phase{
+			{
+				Instructions: 500_000,
+				DLevels:      []WSLevel{{Blocks: 140, Frac: 0.62}, {Blocks: 290, Frac: 0.38}},
+				ILevels:      []WSLevel{{Blocks: 620, Frac: 0.99}, {Blocks: 900, Frac: 0.01}},
+				DCold:        0.010,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.03},
+			},
+			{
+				Instructions: 400_000,
+				DLevels:      []WSLevel{{Blocks: 90, Frac: 0.80}, {Blocks: 80, Frac: 0.20}},
+				ILevels:      []WSLevel{{Blocks: 620, Frac: 0.99}, {Blocks: 900, Frac: 0.01}},
+				DCold:        0.004,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.03},
+			},
+			{
+				Instructions: 500_000,
+				DLevels:      []WSLevel{{Blocks: 200, Frac: 0.55}, {Blocks: 430, Frac: 0.45}},
+				ILevels:      []WSLevel{{Blocks: 620, Frac: 0.99}, {Blocks: 900, Frac: 0.01}},
+				DCold:        0.028,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.03},
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// vpr: place & route; conflict-bound data, medium i-stream with
+		// conflicts.
+		Name:     "vpr",
+		LoadFrac: 0.28, StoreFrac: 0.11, BranchFrac: 0.15, FloatFrac: 0.05,
+		DepMeanDist: 3.0, BranchRandFrac: 0.22,
+		Phases: []Phase{
+			{
+				Instructions: 600_000,
+				DLevels:      []WSLevel{{Blocks: 130, Frac: 0.70}, {Blocks: 290, Frac: 0.30}},
+				ILevels:      []WSLevel{{Blocks: 200, Frac: 1.0}},
+				DCold:        0.006,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.07},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.04},
+			},
+			{
+				Instructions: 500_000,
+				DLevels:      []WSLevel{{Blocks: 110, Frac: 0.62}, {Blocks: 380, Frac: 0.38}},
+				ILevels:      []WSLevel{{Blocks: 230, Frac: 1.0}},
+				DCold:        0.006,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.07},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.04},
+			},
+		},
+		Periodic: true,
+	})
+
+	// ---- SPEC95 ----
+
+	register(&Profile{
+		// applu: PDE solver; small constant data set, periodic i-stream.
+		Name:     "applu",
+		LoadFrac: 0.31, StoreFrac: 0.10, BranchFrac: 0.05, FloatFrac: 0.30,
+		DepMeanDist: 6.5, BranchRandFrac: 0.03,
+		Phases: []Phase{
+			{
+				Instructions: 450_000,
+				DLevels:      []WSLevel{{Blocks: 64, Frac: 0.88}, {Blocks: 32, Frac: 0.12}},
+				ILevels:      []WSLevel{{Blocks: 110, Frac: 1.0}},
+				DCold:        0.004,
+			},
+			{
+				Instructions: 350_000,
+				DLevels:      []WSLevel{{Blocks: 64, Frac: 0.88}, {Blocks: 32, Frac: 0.12}},
+				ILevels:      []WSLevel{{Blocks: 250, Frac: 1.0}},
+				DCold:        0.004,
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// apsi: mesoscale model; conflict-bound data sized between
+		// offered points (emulation type), periodic conflict-bound
+		// i-stream.
+		Name:     "apsi",
+		LoadFrac: 0.29, StoreFrac: 0.11, BranchFrac: 0.07, FloatFrac: 0.28,
+		DepMeanDist: 5.5, BranchRandFrac: 0.06,
+		Phases: []Phase{
+			{
+				Instructions: 500_000,
+				DLevels:      []WSLevel{{Blocks: 170, Frac: 0.74}, {Blocks: 260, Frac: 0.26}},
+				ILevels:      []WSLevel{{Blocks: 170, Frac: 1.0}},
+				DCold:        0.005,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.06},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.05},
+			},
+			{
+				Instructions: 400_000,
+				DLevels:      []WSLevel{{Blocks: 150, Frac: 0.78}, {Blocks: 90, Frac: 0.22}},
+				ILevels:      []WSLevel{{Blocks: 300, Frac: 1.0}},
+				DCold:        0.003,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.06},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.05},
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// compress: data set ~20K (between 16K and 32K: selective-ways'
+		// 24K point wins; dynamic emulates); tiny i-stream; hard
+		// branches; working set also varies.
+		Name:     "compress",
+		LoadFrac: 0.26, StoreFrac: 0.13, BranchFrac: 0.17, FloatFrac: 0,
+		DepMeanDist: 2.6, BranchRandFrac: 0.30,
+		Phases: []Phase{
+			{
+				Instructions: 600_000,
+				DLevels:      []WSLevel{{Blocks: 110, Frac: 0.52}, {Blocks: 490, Frac: 0.48, RandFrac: 0.3}},
+				ILevels:      []WSLevel{{Blocks: 62, Frac: 1.0}},
+				DCold:        0.045,
+			},
+			{
+				Instructions: 450_000,
+				DLevels:      []WSLevel{{Blocks: 100, Frac: 0.60}, {Blocks: 350, Frac: 0.40, RandFrac: 0.3}},
+				ILevels:      []WSLevel{{Blocks: 62, Frac: 1.0}},
+				DCold:        0.005,
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// gcc: compiler; strongly varying data set, i-stream > 32K so
+		// the i-cache never downsizes statically (emulates dynamically).
+		Name:     "gcc",
+		LoadFrac: 0.25, StoreFrac: 0.14, BranchFrac: 0.19, FloatFrac: 0,
+		DepMeanDist: 2.8, BranchRandFrac: 0.18,
+		Phases: []Phase{
+			{
+				Instructions: 400_000,
+				DLevels:      []WSLevel{{Blocks: 120, Frac: 0.66}, {Blocks: 260, Frac: 0.34}},
+				ILevels: []WSLevel{{Blocks: 640, Frac: 0.58, RandFrac: 0.3},
+					{Blocks: 1350, Frac: 0.42, RandFrac: 0.85}},
+				DCold:     0.015,
+				DConflict: ConflictSpec{Ways: 3, Frac: 0.08},
+			},
+			{
+				Instructions: 450_000,
+				DLevels:      []WSLevel{{Blocks: 170, Frac: 0.55}, {Blocks: 640, Frac: 0.45, RandFrac: 0.3}},
+				ILevels: []WSLevel{{Blocks: 640, Frac: 0.58, RandFrac: 0.3},
+					{Blocks: 1350, Frac: 0.42, RandFrac: 0.85}},
+				DCold:     0.018,
+				DConflict: ConflictSpec{Ways: 3, Frac: 0.08},
+			},
+			{
+				Instructions: 350_000,
+				DLevels:      []WSLevel{{Blocks: 140, Frac: 0.62}, {Blocks: 340, Frac: 0.38, RandFrac: 0.3}},
+				ILevels: []WSLevel{{Blocks: 640, Frac: 0.58, RandFrac: 0.3},
+					{Blocks: 1350, Frac: 0.42, RandFrac: 0.85}},
+				DCold:     0.015,
+				DConflict: ConflictSpec{Ways: 3, Frac: 0.08},
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// ijpeg: image compression; data ~6K (between 4K and 8K —
+		// emulation), conflict-tinged; small periodic i-stream.
+		Name:     "ijpeg",
+		LoadFrac: 0.27, StoreFrac: 0.12, BranchFrac: 0.12, FloatFrac: 0.03,
+		DepMeanDist: 3.8, BranchRandFrac: 0.08,
+		Phases: []Phase{
+			{
+				Instructions: 550_000,
+				DLevels:      []WSLevel{{Blocks: 90, Frac: 0.60}, {Blocks: 100, Frac: 0.40}},
+				ILevels:      []WSLevel{{Blocks: 90, Frac: 1.0}},
+				DCold:        0.008,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.05},
+			},
+			{
+				Instructions: 400_000,
+				DLevels:      []WSLevel{{Blocks: 50, Frac: 0.72}, {Blocks: 60, Frac: 0.28}},
+				ILevels:      []WSLevel{{Blocks: 160, Frac: 1.0}},
+				DCold:        0.008,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.05},
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// m88ksim: CPU simulator; tiny constant working sets, very
+		// predictable branches.
+		Name:     "m88ksim",
+		LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.18, FloatFrac: 0,
+		DepMeanDist: 2.8, BranchRandFrac: 0.05,
+		Phases: []Phase{{
+			Instructions: 1 << 40,
+			DLevels:      []WSLevel{{Blocks: 60, Frac: 0.88}, {Blocks: 50, Frac: 0.12}},
+			ILevels:      []WSLevel{{Blocks: 160, Frac: 1.0}},
+			DCold:        0.003,
+		}},
+	})
+
+	register(&Profile{
+		// su2cor: quantum physics; periodic data phases (execution
+		// phases repeat), conflict-bound both sides.
+		Name:     "su2cor",
+		LoadFrac: 0.30, StoreFrac: 0.10, BranchFrac: 0.06, FloatFrac: 0.30,
+		DepMeanDist: 6.0, BranchRandFrac: 0.04,
+		Phases: []Phase{
+			{
+				Instructions: 450_000,
+				DLevels:      []WSLevel{{Blocks: 100, Frac: 0.85}, {Blocks: 60, Frac: 0.15}},
+				ILevels:      []WSLevel{{Blocks: 180, Frac: 1.0}},
+				DCold:        0.003,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.03},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.04},
+			},
+			{
+				Instructions: 450_000,
+				DLevels:      []WSLevel{{Blocks: 560, Frac: 0.82}, {Blocks: 160, Frac: 0.18}},
+				ILevels:      []WSLevel{{Blocks: 180, Frac: 1.0}},
+				DCold:        0.022,
+				DConflict:    ConflictSpec{Ways: 3, Frac: 0.03},
+				IConflict:    ConflictSpec{Ways: 3, Frac: 0.04},
+			},
+		},
+		Periodic: true,
+	})
+
+	register(&Profile{
+		// swim: shallow water model; data set nearly fills 32K so any
+		// downsizing floods misses; tiny i-stream.
+		Name:     "swim",
+		LoadFrac: 0.32, StoreFrac: 0.12, BranchFrac: 0.04, FloatFrac: 0.32,
+		DepMeanDist: 7.0, BranchRandFrac: 0.02,
+		Phases: []Phase{{
+			Instructions: 1 << 40,
+			DLevels: []WSLevel{{Blocks: 880, Frac: 0.90},
+				{Blocks: 1400, Frac: 0.10, RandFrac: 0.6}},
+			ILevels: []WSLevel{{Blocks: 64, Frac: 1.0}},
+			DCold:   0.010,
+		}},
+	})
+
+	register(&Profile{
+		// tomcatv: vectorized mesh generation; data ~14K (downsizes to
+		// 16K under both orgs, but losing ways costs conflict misses);
+		// i-stream just over 32K.
+		Name:     "tomcatv",
+		LoadFrac: 0.31, StoreFrac: 0.11, BranchFrac: 0.05, FloatFrac: 0.30,
+		DepMeanDist: 6.5, BranchRandFrac: 0.03,
+		Phases: []Phase{{
+			Instructions: 1 << 40,
+			DLevels: []WSLevel{{Blocks: 420, Frac: 0.92},
+				{Blocks: 120, Frac: 0.08, RandFrac: 0.4}},
+			ILevels:   []WSLevel{{Blocks: 1150, Frac: 0.96, RandFrac: 0.8}, {Blocks: 400, Frac: 0.04}},
+			DCold:     0.006,
+			DConflict: ConflictSpec{Ways: 3, Frac: 0.08},
+		}},
+	})
+}

@@ -1,0 +1,107 @@
+package workload
+
+// ReuseProfiler measures LRU stack distances (reuse distances) of a
+// block-address stream. A fully-associative LRU cache of capacity C
+// hits exactly those accesses whose stack distance is < C, so the
+// profile is the capacity-miss curve of a workload — the tool used to
+// calibrate benchmark profiles against the behaviours the paper reports,
+// exposed for users who want to add their own profiles.
+type ReuseProfiler struct {
+	blockBytes int
+	maxTrack   int
+	stack      []uint64
+	// histogram[d] counts accesses with stack distance d (capped at
+	// maxTrack); cold counts first-touch accesses.
+	histogram []uint64
+	cold      uint64
+	total     uint64
+}
+
+// NewReuseProfiler tracks distances up to maxTrack distinct blocks.
+func NewReuseProfiler(blockBytes, maxTrack int) *ReuseProfiler {
+	if blockBytes <= 0 {
+		blockBytes = 32
+	}
+	if maxTrack <= 0 {
+		maxTrack = 4096
+	}
+	return &ReuseProfiler{
+		blockBytes: blockBytes,
+		maxTrack:   maxTrack,
+		histogram:  make([]uint64, maxTrack+1),
+	}
+}
+
+// Observe records one memory access.
+func (r *ReuseProfiler) Observe(addr uint64) {
+	r.total++
+	blk := addr / uint64(r.blockBytes)
+	for i, b := range r.stack {
+		if b == blk {
+			r.histogram[i]++
+			copy(r.stack[1:i+1], r.stack[:i])
+			r.stack[0] = blk
+			return
+		}
+	}
+	r.cold++
+	r.stack = append([]uint64{blk}, r.stack...)
+	if len(r.stack) > r.maxTrack {
+		r.histogram[r.maxTrack] += 0 // distances beyond maxTrack are cold-equivalent
+		r.stack = r.stack[:r.maxTrack]
+	}
+}
+
+// Total returns the number of observed accesses.
+func (r *ReuseProfiler) Total() uint64 { return r.total }
+
+// ColdFraction returns the fraction of first-touch (or beyond-tracking)
+// accesses.
+func (r *ReuseProfiler) ColdFraction() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.cold) / float64(r.total)
+}
+
+// HitRatioAt returns the hit ratio of an ideal fully-associative LRU
+// cache holding capacityBlocks blocks.
+func (r *ReuseProfiler) HitRatioAt(capacityBlocks int) float64 {
+	if r.total == 0 {
+		return 0
+	}
+	if capacityBlocks > r.maxTrack {
+		capacityBlocks = r.maxTrack
+	}
+	var hits uint64
+	for d := 0; d < capacityBlocks; d++ {
+		hits += r.histogram[d]
+	}
+	return float64(hits) / float64(r.total)
+}
+
+// MissCurve evaluates the miss ratio at each capacity (in blocks).
+func (r *ReuseProfiler) MissCurve(capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = 1 - r.HitRatioAt(c)
+	}
+	return out
+}
+
+// ProfileDStream runs a profile's generator for n instructions and
+// returns the reuse profile of its data stream.
+func ProfileDStream(p *Profile, n uint64, maxTrack int) *ReuseProfiler {
+	g := NewGenerator(p)
+	r := NewReuseProfiler(blockBytes, maxTrack)
+	var ev Event
+	for i := uint64(0); i < n; i++ {
+		if !g.Next(&ev) {
+			break
+		}
+		if ev.Kind == KindLoad || ev.Kind == KindStore {
+			r.Observe(ev.Addr)
+		}
+	}
+	return r
+}

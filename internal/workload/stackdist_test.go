@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReuseProfilerCyclicStream(t *testing.T) {
+	// A cyclic sweep over 64 blocks has stack distance exactly 63 for
+	// every non-cold access: a 64-block cache hits everything, a
+	// 63-block cache hits nothing.
+	r := NewReuseProfiler(32, 256)
+	for pass := 0; pass < 10; pass++ {
+		for b := 0; b < 64; b++ {
+			r.Observe(uint64(b) * 32)
+		}
+	}
+	if got := r.HitRatioAt(64); got < 0.85 {
+		t.Fatalf("HitRatioAt(64) = %.2f, want ~0.9 (only cold misses)", got)
+	}
+	if got := r.HitRatioAt(63); got != 0 {
+		t.Fatalf("HitRatioAt(63) = %.2f, want 0 for cyclic sweep", got)
+	}
+	wantCold := 64.0 / 640.0
+	if math.Abs(r.ColdFraction()-wantCold) > 1e-9 {
+		t.Fatalf("cold fraction = %v, want %v", r.ColdFraction(), wantCold)
+	}
+}
+
+func TestReuseProfilerMRUStream(t *testing.T) {
+	// Repeated access to one block: stack distance 0 after the first.
+	r := NewReuseProfiler(32, 16)
+	for i := 0; i < 100; i++ {
+		r.Observe(0x1000)
+	}
+	if got := r.HitRatioAt(1); got < 0.98 {
+		t.Fatalf("HitRatioAt(1) = %.2f", got)
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	r := ProfileDStream(MustGet("ammp"), 100_000, 1024)
+	caps := []int{32, 64, 128, 256, 512, 1024}
+	curve := r.MissCurve(caps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-9 {
+			t.Fatalf("miss curve not monotone: %v", curve)
+		}
+	}
+	// ammp's declared working set (~102 blocks) must show a knee: misses
+	// at 128 blocks well below misses at 32.
+	if curve[3] > 0.5*curve[0] {
+		t.Fatalf("no knee visible: %v", curve)
+	}
+}
+
+func TestProfilerDefaults(t *testing.T) {
+	r := NewReuseProfiler(0, 0)
+	r.Observe(64)
+	if r.Total() != 1 || r.ColdFraction() != 1 {
+		t.Fatal("defaults broken")
+	}
+	if (&ReuseProfiler{}).ColdFraction() != 0 {
+		t.Fatal("empty profiler should report 0")
+	}
+	if (&ReuseProfiler{histogram: make([]uint64, 2), maxTrack: 1}).HitRatioAt(5) != 0 {
+		t.Fatal("empty profiler hit ratio should be 0")
+	}
+}
+
+func TestProfilerTrackingBound(t *testing.T) {
+	r := NewReuseProfiler(32, 8)
+	// Touch 20 distinct blocks twice: second touches of evicted blocks
+	// count as cold (beyond tracking).
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < 20; b++ {
+			r.Observe(uint64(b) * 32)
+		}
+	}
+	if len(r.stack) > 8 {
+		t.Fatalf("stack grew past maxTrack: %d", len(r.stack))
+	}
+	if r.HitRatioAt(100) > 0.5 {
+		t.Fatal("beyond-tracking reuse should not count as hits")
+	}
+}

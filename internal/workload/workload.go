@@ -1,0 +1,384 @@
+// Package workload synthesizes the reference streams that drive the
+// simulator: one calibrated profile per SPEC95/SPEC2000 benchmark the
+// paper evaluates (ammp, applu, apsi, compress, gcc, ijpeg, m88ksim,
+// su2cor, swim, tomcatv, vortex, vpr).
+//
+// The paper's experiments are driven entirely by each benchmark's cache
+// behaviour: the shape of its miss-ratio-versus-(size, associativity)
+// surface, how that shape varies over time, and how much latency the
+// pipeline can hide. Profiles therefore describe, per execution phase:
+//
+//   - a hierarchy of data working-set *levels* (blocks touched cyclically
+//     with a given share of accesses) — capacity knees of the miss curve;
+//   - a *conflict group* (blocks spaced 64K apart that collide in any
+//     reasonable L1 indexing) whose residency requires associativity —
+//     this is what makes an application "conflict-bound";
+//   - the same two notions for the instruction stream; and
+//   - instruction mix, dependency distances (ILP), and branch behaviour.
+//
+// The generator produces a deterministic instruction-by-instruction event
+// stream; the caches under test then do all the real work. Nothing in the
+// generator knows which cache configuration is being simulated.
+package workload
+
+// Kind classifies a generated instruction.
+type Kind uint8
+
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindLoad
+	KindStore
+	KindBranch
+	// KindCall and KindReturn are unconditional control transfers
+	// predicted via the return-address stack rather than the direction
+	// predictor; the generator keeps them balanced around a bounded call
+	// depth.
+	KindCall
+	KindReturn
+)
+
+// Event is one dynamic instruction.
+type Event struct {
+	PC    uint64
+	Addr  uint64 // memory address for loads/stores
+	Kind  Kind
+	Taken bool  // branch outcome
+	Dep1  int32 // distance in instructions to first producer (0 = none)
+	Dep2  int32 // distance to second producer (0 = none)
+	Lat   uint8 // execution latency in cycles
+}
+
+// WSLevel is one working-set level: Blocks cache blocks that receive
+// Frac of the (non-cold, non-conflict) data accesses. Accesses walk the
+// level cyclically (crisp capacity knee at Blocks) except that a RandFrac
+// share jump uniformly within the level, which spreads reuse distances:
+// a cache smaller than the level still captures part of the traffic.
+// RandFrac near 1 models loosely-structured footprints (e.g. code or
+// data slightly larger than the cache where each size step costs
+// proportionally); RandFrac 0 models tight loop sweeps where any deficit
+// misses everything.
+type WSLevel struct {
+	Blocks   int
+	Frac     float64
+	RandFrac float64
+}
+
+// ConflictSpec describes a conflict group: Ways blocks that map to the
+// same set under any L1 indexing (64K stride), receiving Frac of
+// accesses. Keeping them all resident requires associativity >= Ways.
+type ConflictSpec struct {
+	Ways int
+	Frac float64
+}
+
+// Phase is one execution phase of a benchmark.
+type Phase struct {
+	// Instructions is the phase length.
+	Instructions uint64
+	// DLevels and ILevels describe data / instruction working sets.
+	DLevels []WSLevel
+	ILevels []WSLevel
+	// DCold is the fraction of data accesses that touch fresh, never
+	// reused blocks (compulsory misses).
+	DCold float64
+	// DConflict / IConflict add associativity-bound access streams.
+	DConflict ConflictSpec
+	IConflict ConflictSpec
+}
+
+// Profile is a complete benchmark description.
+type Profile struct {
+	Name string
+	// Instruction mix (fractions of the dynamic stream).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FloatFrac  float64
+	// DepMeanDist is the mean register-dependence distance; larger means
+	// more instruction-level parallelism for the out-of-order engine.
+	DepMeanDist float64
+	// BranchRandFrac is the fraction of branches with data-dependent
+	// (unpredictable) outcomes; the rest are loop-style and biased.
+	BranchRandFrac float64
+	// Phases execute in order; if Periodic, the sequence repeats.
+	Phases   []Phase
+	Periodic bool
+}
+
+// TotalPhaseInstructions sums the phase lengths (one period).
+func (p *Profile) TotalPhaseInstructions() uint64 {
+	var n uint64
+	for _, ph := range p.Phases {
+		n += ph.Instructions
+	}
+	return n
+}
+
+// Generator produces the deterministic event stream for a profile.
+type Generator struct {
+	prof *Profile
+	r    *rng
+
+	instr       uint64 // instructions generated so far
+	phaseIdx    int
+	phaseLeft   uint64
+	exhausted   bool
+	dCursors    []int // per-level block cursor
+	iCursor     int   // instruction-stream byte cursor within hot code
+	dConfCursor int
+	iConfCursor int
+	coldCursor  uint64
+
+	// current spatial run: consecutive word accesses within one block
+	runAddr uint64
+	runLeft int
+
+	pcBase    uint64
+	brCounter int
+	callDepth int
+}
+
+// Address-space layout: disjoint regions so streams never alias.
+const (
+	codeBase     = 0x0040_0000
+	codeConfBase = 0x00C0_0000
+	dataBase     = 0x1000_0000
+	dataConfBase = 0x2000_0000
+	coldBase     = 0x3000_0000
+	conflictStr  = 64 << 10 // 64K stride: same index in any L1 studied
+	blockBytes   = 32
+	instrBytes   = 4
+)
+
+// NewGenerator builds the deterministic generator for a profile.
+func NewGenerator(p *Profile) *Generator {
+	g := &Generator{
+		prof:   p,
+		r:      newRNG(seedFromString(p.Name)),
+		pcBase: codeBase,
+	}
+	g.enterPhase(0)
+	return g
+}
+
+func (g *Generator) enterPhase(i int) {
+	g.phaseIdx = i
+	ph := &g.prof.Phases[i]
+	g.phaseLeft = ph.Instructions
+	g.dCursors = make([]int, len(ph.DLevels))
+	for j := range g.dCursors {
+		// Stagger cursors so levels do not walk in lockstep.
+		if ph.DLevels[j].Blocks > 0 {
+			g.dCursors[j] = g.r.intn(ph.DLevels[j].Blocks)
+		}
+	}
+	g.iCursor = 0
+	g.runLeft = 0
+}
+
+func (g *Generator) phase() *Phase { return &g.prof.Phases[g.phaseIdx] }
+
+// advancePhase moves to the next phase; returns false when the workload
+// is exhausted (non-periodic profile ran out of phases).
+func (g *Generator) advancePhase() bool {
+	next := g.phaseIdx + 1
+	if next >= len(g.prof.Phases) {
+		if !g.prof.Periodic {
+			return false
+		}
+		next = 0
+	}
+	g.enterPhase(next)
+	return true
+}
+
+// dataAddr produces the next data address according to the phase's
+// working-set structure.
+func (g *Generator) dataAddr() uint64 {
+	// Continue an in-progress spatial run within the current block.
+	if g.runLeft > 0 {
+		g.runLeft--
+		g.runAddr += 8
+		return g.runAddr
+	}
+	ph := g.phase()
+	x := g.r.float()
+
+	// Cold stream.
+	if x < ph.DCold {
+		g.coldCursor++
+		a := coldBase + g.coldCursor*blockBytes
+		return a
+	}
+	x -= ph.DCold
+
+	// Conflict group.
+	if cf := ph.DConflict; cf.Ways > 0 && x < cf.Frac {
+		g.dConfCursor = (g.dConfCursor + 1) % cf.Ways
+		return dataConfBase + uint64(g.dConfCursor)*conflictStr
+	}
+	if cf := ph.DConflict; cf.Ways > 0 {
+		x -= cf.Frac
+	}
+
+	// Working-set levels: pick by fraction, walk cyclically with a small
+	// chance of repositioning (softens the LRU cliff), then start a short
+	// spatial run within the block.
+	var base uint64 = dataBase
+	for li, lv := range ph.DLevels {
+		if x < lv.Frac || li == len(ph.DLevels)-1 {
+			c := g.dCursors[li]
+			jumpP := lv.RandFrac
+			if jumpP < 1.0/32 {
+				jumpP = 1.0 / 32 // minimum jitter keeps knees from being cliffs
+			}
+			if g.r.float() < jumpP {
+				c = g.r.intn(lv.Blocks)
+			} else {
+				c++
+				if c >= lv.Blocks {
+					c = 0
+				}
+			}
+			g.dCursors[li] = c
+			addr := base + uint64(c)*blockBytes
+			// 0-2 further word touches within the block.
+			g.runLeft = g.r.intn(3)
+			g.runAddr = addr
+			return addr
+		}
+		x -= lv.Frac
+		base += uint64(lv.Blocks)*blockBytes + (1 << 20) // separate regions
+	}
+	return dataBase
+}
+
+// nextPC produces the next instruction address. The hot code region is
+// the phase's instruction working set, walked sequentially with wrap;
+// IConflict diverts a fraction of fetches to the conflict code group.
+func (g *Generator) nextPC() uint64 {
+	ph := g.phase()
+	if cf := ph.IConflict; cf.Ways > 0 && g.r.float() < cf.Frac {
+		g.iConfCursor = (g.iConfCursor + 1) % cf.Ways
+		return codeConfBase + uint64(g.iConfCursor)*conflictStr
+	}
+	// Determine hot-code bytes from levels: treat ILevels like DLevels.
+	var pc uint64
+	x := g.r.float()
+	var base uint64 = g.pcBase
+	for li, lv := range ph.ILevels {
+		if x < lv.Frac || li == len(ph.ILevels)-1 {
+			bytes := lv.Blocks * blockBytes
+			if bytes <= 0 {
+				bytes = blockBytes
+			}
+			if li == 0 {
+				// Hot loop code: sequential walk with RandFrac-controlled
+				// far jumps (calls/returns within the hot footprint).
+				if lv.RandFrac > 0 && g.r.float() < lv.RandFrac {
+					g.iCursor = g.r.intn(bytes/instrBytes) * instrBytes
+				}
+				pc = base + uint64(g.iCursor%bytes)
+				g.iCursor += instrBytes
+				if g.iCursor >= bytes {
+					g.iCursor = 0
+				}
+			} else {
+				// Secondary code levels (cold functions): random entry.
+				pc = base + uint64(g.r.intn(bytes/instrBytes))*instrBytes
+			}
+			return pc
+		}
+		x -= lv.Frac
+		base += uint64(lv.Blocks)*blockBytes + (1 << 20)
+	}
+	g.iCursor += instrBytes
+	return g.pcBase + uint64(g.iCursor)
+}
+
+// depDistance samples a register-dependence distance (geometric around
+// DepMeanDist), bounded to stay inside a realistic window.
+func (g *Generator) depDistance() int32 {
+	m := g.prof.DepMeanDist
+	if m < 1 {
+		m = 1
+	}
+	d := 1
+	for g.r.float() > 1/m && d < 48 {
+		d++
+	}
+	return int32(d)
+}
+
+// Next fills ev with the next instruction; it returns false when a
+// non-periodic profile is exhausted.
+func (g *Generator) Next(ev *Event) bool {
+	if g.exhausted {
+		return false
+	}
+	if g.phaseLeft == 0 {
+		if !g.advancePhase() {
+			g.exhausted = true
+			return false
+		}
+	}
+	g.phaseLeft--
+	g.instr++
+
+	p := g.prof
+	x := g.r.float()
+	ev.PC = g.nextPC()
+	ev.Addr = 0
+	ev.Taken = false
+	ev.Dep1 = g.depDistance()
+	ev.Dep2 = 0
+	ev.Lat = 1
+
+	switch {
+	case x < p.LoadFrac:
+		ev.Kind = KindLoad
+		ev.Addr = g.dataAddr()
+	case x < p.LoadFrac+p.StoreFrac:
+		ev.Kind = KindStore
+		ev.Addr = g.dataAddr()
+		ev.Dep2 = g.depDistance()
+	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+		// ~12% of control transfers are calls and another ~12% returns,
+		// kept balanced around a bounded call depth; the rest are
+		// conditional branches.
+		cr := g.r.float()
+		switch {
+		case cr < 0.12 && g.callDepth < 48:
+			ev.Kind = KindCall
+			ev.Taken = true
+			g.callDepth++
+		case cr < 0.24 && g.callDepth > 0:
+			ev.Kind = KindReturn
+			ev.Taken = true
+			g.callDepth--
+		default:
+			ev.Kind = KindBranch
+			g.brCounter++
+			if g.r.float() < p.BranchRandFrac {
+				ev.Taken = g.r.float() < 0.5
+			} else {
+				// Loop-style branch: taken except at loop exits.
+				ev.Taken = g.brCounter%16 != 0
+			}
+		}
+	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FloatFrac:
+		ev.Kind = KindFloat
+		ev.Lat = 4
+		ev.Dep2 = g.depDistance()
+	default:
+		ev.Kind = KindInt
+		if g.r.float() < 0.5 {
+			ev.Dep2 = g.depDistance()
+		}
+	}
+	return true
+}
+
+// Generated returns how many instructions have been produced.
+func (g *Generator) Generated() uint64 { return g.instr }

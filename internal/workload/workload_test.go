@@ -1,0 +1,358 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNamesCoverPaperBenchmarks(t *testing.T) {
+	want := []string{"ammp", "applu", "apsi", "compress", "gcc", "ijpeg",
+		"m88ksim", "su2cor", "swim", "tomcatv", "vortex", "vpr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if p := MustGet("gcc"); p.Name != "gcc" {
+		t.Fatal("MustGet broken")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() []Event {
+		g := NewGenerator(MustGet("vortex"))
+		evs := make([]Event, 5000)
+		for i := range evs {
+			if !g.Next(&evs[i]) {
+				t.Fatal("generator exhausted unexpectedly")
+			}
+		}
+		return evs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInstructionMixMatchesProfile(t *testing.T) {
+	for _, name := range Names() {
+		p := MustGet(name)
+		g := NewGenerator(p)
+		var ev Event
+		counts := map[Kind]int{}
+		const n = 200000
+		for i := 0; i < n; i++ {
+			if !g.Next(&ev) {
+				t.Fatalf("%s exhausted at %d", name, i)
+			}
+			counts[ev.Kind]++
+		}
+		check := func(kind Kind, want float64, label string) {
+			got := float64(counts[kind]) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("%s: %s fraction = %.3f, want %.3f", name, label, got, want)
+			}
+		}
+		check(KindLoad, p.LoadFrac, "load")
+		check(KindStore, p.StoreFrac, "store")
+		check(KindFloat, p.FloatFrac, "float")
+		// Control transfers split across branches, calls, and returns.
+		ctl := float64(counts[KindBranch]+counts[KindCall]+counts[KindReturn]) / n
+		if math.Abs(ctl-p.BranchFrac) > 0.02 {
+			t.Errorf("%s: control fraction = %.3f, want %.3f", name, ctl, p.BranchFrac)
+		}
+	}
+}
+
+func TestMemoryEventsCarryAddresses(t *testing.T) {
+	g := NewGenerator(MustGet("gcc"))
+	var ev Event
+	for i := 0; i < 50000; i++ {
+		g.Next(&ev)
+		isMem := ev.Kind == KindLoad || ev.Kind == KindStore
+		if isMem && ev.Addr == 0 {
+			t.Fatalf("memory op %d without address", i)
+		}
+		if !isMem && ev.Addr != 0 {
+			t.Fatalf("non-memory op %d with address %x", i, ev.Addr)
+		}
+		if ev.PC == 0 {
+			t.Fatalf("instruction %d without PC", i)
+		}
+	}
+}
+
+// The d-stream of a profile must exhibit capacity knees at its declared
+// working-set levels: an LRU stack simulation of distinct-block reuse
+// distances should show most accesses reusable within the first level
+// and nearly all within the largest level.
+func TestWorkingSetKnee(t *testing.T) {
+	p := MustGet("ammp") // levels: 72 and 200 blocks
+	g := NewGenerator(p)
+	var ev Event
+	// Simple fully-associative LRU stack over block addresses.
+	var stack []uint64
+	reuseWithin := func(limit int) (hits, total int) {
+		g = NewGenerator(p)
+		stack = stack[:0]
+		for i := 0; i < 150000; i++ {
+			g.Next(&ev)
+			if ev.Kind != KindLoad && ev.Kind != KindStore {
+				continue
+			}
+			blk := ev.Addr >> 5
+			pos := -1
+			for j, b := range stack {
+				if b == blk {
+					pos = j
+					break
+				}
+			}
+			total++
+			if pos >= 0 {
+				if pos < limit {
+					hits++
+				}
+				stack = append(stack[:pos], stack[pos+1:]...)
+			}
+			stack = append([]uint64{blk}, stack...)
+			if len(stack) > 4096 {
+				stack = stack[:4096]
+			}
+		}
+		return hits, total
+	}
+	h96, tot := reuseWithin(96)
+	h512, _ := reuseWithin(512)
+	small := float64(h96) / float64(tot)
+	big := float64(h512) / float64(tot)
+	if small < 0.55 {
+		t.Errorf("hot-level reuse within 96 blocks = %.2f, want > 0.55", small)
+	}
+	if big < 0.90 {
+		t.Errorf("full-WS reuse within 512 blocks = %.2f, want > 0.90", big)
+	}
+	if big-small < 0.05 {
+		t.Errorf("no second working-set knee: %.2f vs %.2f", small, big)
+	}
+}
+
+// Conflict groups must use the documented 64K stride so they collide in
+// any L1 indexing studied.
+func TestConflictGroupStride(t *testing.T) {
+	p := MustGet("vpr")
+	g := NewGenerator(p)
+	var ev Event
+	seen := map[uint64]bool{}
+	for i := 0; i < 200000; i++ {
+		g.Next(&ev)
+		if ev.Addr >= dataConfBase && ev.Addr < coldBase {
+			seen[ev.Addr] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("conflict group addresses = %d, want 3 (K=3)", len(seen))
+	}
+	for a := range seen {
+		if (a-dataConfBase)%conflictStr != 0 {
+			t.Fatalf("conflict address %x not on 64K stride", a)
+		}
+	}
+}
+
+func TestPhaseProgressionAndPeriodicity(t *testing.T) {
+	p := MustGet("su2cor") // two phases, periodic
+	g := NewGenerator(p)
+	var ev Event
+	period := p.TotalPhaseInstructions()
+	if period == 0 {
+		t.Fatal("zero period")
+	}
+	// Run two periods and verify the generator keeps producing.
+	for i := uint64(0); i < 2*period+10; i++ {
+		if !g.Next(&ev) {
+			t.Fatalf("periodic workload exhausted at %d", i)
+		}
+	}
+	// Non-periodic profile must exhaust.
+	single := &Profile{
+		Name: "oneshot", LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		DepMeanDist: 3,
+		Phases: []Phase{{Instructions: 1000,
+			DLevels: []WSLevel{{Blocks: 16, Frac: 1}},
+			ILevels: []WSLevel{{Blocks: 16, Frac: 1}}}},
+	}
+	gs := NewGenerator(single)
+	n := 0
+	for gs.Next(&ev) {
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("one-shot produced %d events, want 1000", n)
+	}
+	if gs.Next(&ev) {
+		t.Fatal("exhausted generator produced another event")
+	}
+}
+
+func TestDependencyDistancesBounded(t *testing.T) {
+	g := NewGenerator(MustGet("swim"))
+	var ev Event
+	var sum, n float64
+	for i := 0; i < 100000; i++ {
+		g.Next(&ev)
+		if ev.Dep1 < 0 || ev.Dep1 > 48 || ev.Dep2 < 0 || ev.Dep2 > 48 {
+			t.Fatalf("dep distance out of range: %+v", ev)
+		}
+		if ev.Dep1 > 0 {
+			sum += float64(ev.Dep1)
+			n++
+		}
+	}
+	mean := sum / n
+	// swim declares DepMeanDist 7.0; geometric sampling should land near.
+	if mean < 4 || mean > 10 {
+		t.Fatalf("mean dep distance = %.1f, want ~7", mean)
+	}
+}
+
+func TestBranchBiasDiffersByProfile(t *testing.T) {
+	takenRate := func(name string) float64 {
+		g := NewGenerator(MustGet(name))
+		var ev Event
+		taken, total := 0, 0
+		for i := 0; i < 100000; i++ {
+			g.Next(&ev)
+			if ev.Kind == KindBranch {
+				total++
+				if ev.Taken {
+					taken++
+				}
+			}
+		}
+		return float64(taken) / float64(total)
+	}
+	// compress has 30% random branches: taken rate pulled toward 0.5
+	// relative to m88ksim (5% random).
+	if takenRate("compress") >= takenRate("m88ksim") {
+		t.Error("compress should have less biased branches than m88ksim")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(MustGet("ijpeg"))
+	const n = 2000
+	var buf bytes.Buffer
+	w, err := NewTraceWriter(&buf, "ijpeg", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Event, n)
+	for i := range want {
+		g.Next(&want[i])
+		if err := w.Write(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "ijpeg" || r.Count != n {
+		t.Fatalf("header = %q/%d", r.Name, r.Count)
+	}
+	src := &ReplaySource{R: r}
+	var ev Event
+	for i := 0; i < n; i++ {
+		if !src.Next(&ev) {
+			t.Fatalf("trace ended early at %d: %v", i, src.Err())
+		}
+		w := want[i]
+		// Dep distances are stored as uint16; all generated values fit.
+		if ev.PC != w.PC || ev.Addr != w.Addr || ev.Kind != w.Kind ||
+			ev.Taken != w.Taken || ev.Dep1 != w.Dep1 || ev.Dep2 != w.Dep2 || ev.Lat != w.Lat {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, ev, w)
+		}
+	}
+	if src.Next(&ev) {
+		t.Fatal("trace produced extra events")
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+}
+
+func TestTraceWriterUnderfill(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewTraceWriter(&buf, "x", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := w.Write(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("underfilled trace flushed without error")
+	}
+}
+
+func TestTraceReaderBadMagic(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewBufferString("XXXXjunkjunk")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceWriterOverfill(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewTraceWriter(&buf, "x", 1)
+	var ev Event
+	if err := w.Write(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&ev); err == nil {
+		t.Fatal("overfill accepted")
+	}
+}
+
+func TestRNGDeterministicAndUniformish(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	r := newRNG(1)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.float()
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("rng mean = %v", mean)
+	}
+	if newRNG(0).s == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+	if seedFromString("a") == seedFromString("b") {
+		t.Fatal("seed collision")
+	}
+}

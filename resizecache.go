@@ -1,0 +1,184 @@
+// Package resizecache is the public facade of the resizable-cache
+// design-space simulator, a from-scratch reproduction of Yang, Powell,
+// Falsafi & Vijaykumar, "Exploiting Choice in Resizable Cache Design to
+// Optimize Deep-Submicron Processor Energy-Delay" (HPCA 2002).
+//
+// The library simulates a complete processor — out-of-order or in-order
+// pipeline, resizable L1 instruction and data caches, unified L2, main
+// memory, and a Wattch-style energy model — driven by synthetic
+// reproductions of the paper's twelve SPEC workloads. It exposes:
+//
+//   - the three resizing organizations: selective-ways, selective-sets,
+//     and the paper's hybrid selective-sets-and-ways;
+//   - the two resizing strategies: static (offline-profiled fixed size)
+//     and dynamic (miss-ratio interval controller with miss-bound and
+//     size-bound);
+//   - profiling sweeps and the drivers that regenerate every table and
+//     figure of the paper's evaluation (see cmd/figures).
+//
+// Quick start:
+//
+//	res, err := resizecache.Simulate(resizecache.Scenario{
+//	    Benchmark:    "gcc",
+//	    Organization: resizecache.SelectiveSets,
+//	    Strategy:     resizecache.Dynamic,
+//	})
+//
+// For full control over geometries, policies and engines, use the
+// lower-level sim configuration via NewConfig and RunConfig.
+package resizecache
+
+import (
+	"fmt"
+
+	"resizecache/internal/core"
+	"resizecache/internal/experiment"
+	"resizecache/internal/sim"
+	"resizecache/internal/workload"
+)
+
+// Organization selects a resizable-cache organization.
+type Organization = core.Organization
+
+// Organizations, re-exported from the core package.
+const (
+	NonResizable  = core.NonResizable
+	SelectiveWays = core.SelectiveWays
+	SelectiveSets = core.SelectiveSets
+	Hybrid        = core.Hybrid
+)
+
+// Strategy selects when the cache resizes.
+type Strategy int
+
+const (
+	// Static profiles all offered sizes offline and fixes the best one.
+	Static Strategy = iota
+	// Dynamic resizes at run time with the miss-ratio controller,
+	// choosing its parameters by offline profiling.
+	Dynamic
+)
+
+func (s Strategy) String() string {
+	if s == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Scenario is a high-level experiment description: resize one or both
+// L1 caches of the paper's base processor for one benchmark and report
+// the energy-delay outcome against the non-resizable baseline.
+type Scenario struct {
+	// Benchmark is one of Benchmarks().
+	Benchmark string
+	// Organization of the resizable cache(s).
+	Organization Organization
+	// Strategy: Static (default) or Dynamic.
+	Strategy Strategy
+	// ResizeDCache / ResizeICache select which caches resize. Both false
+	// means both resize (the paper's combined experiment).
+	ResizeDCache bool
+	ResizeICache bool
+	// Assoc is the L1 set-associativity (default 2, the base config).
+	Assoc int
+	// InOrder switches to the in-order/blocking-d-cache engine.
+	InOrder bool
+	// Instructions per run (default 1.5M).
+	Instructions uint64
+}
+
+// Outcome reports a scenario's result.
+type Outcome struct {
+	// EDPReductionPct is the processor energy-delay reduction (%) versus
+	// the non-resizable baseline.
+	EDPReductionPct float64
+	// SlowdownPct is the execution-time increase (%).
+	SlowdownPct float64
+	// DCacheSizeReductionPct / ICacheSizeReductionPct are reductions in
+	// time-averaged enabled capacity (%), per cache.
+	DCacheSizeReductionPct float64
+	ICacheSizeReductionPct float64
+	// DChosen / IChosen describe the selected configurations.
+	DChosen string
+	IChosen string
+}
+
+// Benchmarks lists the available workload names (the paper's twelve SPEC
+// applications).
+func Benchmarks() []string { return workload.Names() }
+
+// Simulate runs a scenario: it profiles the requested strategy per the
+// paper's methodology (offline sweep, minimum energy-delay product) and
+// returns the outcome.
+func Simulate(sc Scenario) (Outcome, error) {
+	if sc.Benchmark == "" {
+		return Outcome{}, fmt.Errorf("resizecache: benchmark required (one of %v)", Benchmarks())
+	}
+	if sc.Assoc == 0 {
+		sc.Assoc = 2
+	}
+	if sc.Instructions == 0 {
+		sc.Instructions = 1_500_000
+	}
+	if sc.Organization == NonResizable {
+		return Outcome{}, fmt.Errorf("resizecache: pick a resizable organization")
+	}
+	resizeD, resizeI := sc.ResizeDCache, sc.ResizeICache
+	if !resizeD && !resizeI {
+		resizeD, resizeI = true, true
+	}
+
+	opts := experiment.DefaultOptions()
+	opts.Instructions = sc.Instructions
+	if sc.InOrder {
+		opts.Engine = sim.InOrder
+	}
+
+	sweep := experiment.BestStatic
+	if sc.Strategy == Dynamic {
+		sweep = experiment.BestDynamic
+	}
+
+	var out Outcome
+	var dBest, iBest experiment.Best
+	var err error
+	if resizeD {
+		dBest, err = sweep(sc.Benchmark, experiment.DSide, sc.Organization, sc.Assoc, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.DCacheSizeReductionPct = dBest.SizeReductionPct()
+		out.DChosen = dBest.Desc
+	}
+	if resizeI {
+		iBest, err = sweep(sc.Benchmark, experiment.ISide, sc.Organization, sc.Assoc, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.ICacheSizeReductionPct = iBest.SizeReductionPct()
+		out.IChosen = iBest.Desc
+	}
+
+	switch {
+	case resizeD && resizeI:
+		// Combined run: the paper's additivity experiment shows the two
+		// resizings compose; EDP is measured in one simulation with both
+		// caches at their individually profiled configurations.
+		comb, err := experiment.Combined(sc.Benchmark, sc.Organization, sc.Assoc, dBest, iBest, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.EDPReductionPct = comb.EDPReductionPct()
+		out.SlowdownPct = comb.SlowdownPct()
+		out.DCacheSizeReductionPct = comb.Chosen.DCache.SizeReductionPct()
+		out.ICacheSizeReductionPct = comb.Chosen.ICache.SizeReductionPct()
+	case resizeD:
+		out.EDPReductionPct = dBest.EDPReductionPct()
+		out.SlowdownPct = dBest.SlowdownPct()
+	default:
+		out.EDPReductionPct = iBest.EDPReductionPct()
+		out.SlowdownPct = iBest.SlowdownPct()
+	}
+	return out, nil
+}

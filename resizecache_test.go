@@ -1,0 +1,69 @@
+package resizecache
+
+import "testing"
+
+func TestBenchmarksList(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 12 {
+		t.Fatalf("Benchmarks() = %v", b)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Scenario{}); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	if _, err := Simulate(Scenario{Benchmark: "gcc"}); err == nil {
+		t.Fatal("non-resizable organization accepted")
+	}
+	if _, err := Simulate(Scenario{Benchmark: "nosuch", Organization: SelectiveSets}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("strategy strings wrong")
+	}
+}
+
+func TestSimulateSingleCache(t *testing.T) {
+	out, err := Simulate(Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		ResizeDCache: true,
+		Instructions: 300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DCacheSizeReductionPct <= 0 {
+		t.Errorf("m88ksim d-cache did not shrink: %+v", out)
+	}
+	if out.ICacheSizeReductionPct != 0 || out.IChosen != "" {
+		t.Errorf("i-cache should be untouched: %+v", out)
+	}
+	if out.EDPReductionPct <= 0 {
+		t.Errorf("no EDP gain: %+v", out)
+	}
+}
+
+func TestSimulateBothCachesDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined sweep in -short mode")
+	}
+	out, err := Simulate(Scenario{
+		Benchmark:    "ammp",
+		Organization: SelectiveSets,
+		Instructions: 300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DChosen == "" || out.IChosen == "" {
+		t.Fatalf("both caches should be profiled: %+v", out)
+	}
+	if out.EDPReductionPct <= 0 {
+		t.Errorf("combined resizing should gain EDP: %+v", out)
+	}
+}
