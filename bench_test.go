@@ -12,9 +12,11 @@ package resizecache
 
 import (
 	"testing"
+	"time"
 
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
 )
@@ -259,6 +261,60 @@ func BenchmarkAblationNoSizeBound(b *testing.B) {
 	}
 	b.ReportMetric(bounded, "sizebound_edp_red_pct")
 	b.ReportMetric(unbounded, "nobound_edp_red_pct")
+}
+
+// ---------------------------------------------------------------------
+// Run-orchestration (internal/runner) memoization.
+// ---------------------------------------------------------------------
+
+// BenchmarkRunnerMemoization quantifies the tentpole property of the
+// run-orchestration layer: a repeated sweep resolves from the memo store
+// instead of re-simulating. Each iteration profiles one app across all
+// three organizations on a cold runner — the three BestStatic sweeps
+// share their non-resizable baseline, so even the cold pass must score
+// memo hits — then repeats the identical sweep warm, which must complete
+// with zero fresh simulations and far lower wall time.
+func BenchmarkRunnerMemoization(b *testing.B) {
+	orgs := []core.Organization{core.SelectiveWays, core.SelectiveSets, core.Hybrid}
+	var coldNS, warmNS, hits, runs float64
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Apps = []string{"m88ksim"}
+		opts.Runner = runner.New(runner.Options{})
+		sweep := func() {
+			for _, org := range orgs {
+				if _, err := experiment.BestStatic("m88ksim", experiment.DSide, org, 4, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		start := time.Now()
+		sweep()
+		cold := time.Since(start)
+		afterCold := opts.Runner.Stats()
+		if afterCold.Hits() < 1 {
+			b.Fatalf("cold sweep scored no memo hits: %+v", afterCold)
+		}
+		start = time.Now()
+		sweep()
+		warm := time.Since(start)
+		st := opts.Runner.Stats()
+		if st.Runs != afterCold.Runs {
+			b.Fatalf("warm sweep re-simulated: %d -> %d runs", afterCold.Runs, st.Runs)
+		}
+		if warm >= cold {
+			b.Fatalf("warm sweep (%v) not faster than cold (%v)", warm, cold)
+		}
+		coldNS = float64(cold.Nanoseconds())
+		warmNS = float64(warm.Nanoseconds())
+		hits = float64(st.Hits())
+		runs = float64(st.Runs)
+	}
+	b.ReportMetric(coldNS, "cold_ns")
+	b.ReportMetric(warmNS, "warm_ns")
+	b.ReportMetric(coldNS/warmNS, "speedup_x")
+	b.ReportMetric(hits, "memo_hits")
+	b.ReportMetric(runs, "sims_run")
 }
 
 // ---------------------------------------------------------------------

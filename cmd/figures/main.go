@@ -13,40 +13,92 @@
 //	figures -exp fig9                # resizing both caches
 //	figures -exp fig4 -instr 500000  # faster, lower fidelity
 //	figures -exp fig5 -apps gcc,vpr  # restrict benchmarks
+//	figures -exp all -resume out/results.json   # resumable across runs
+//
+// All simulations execute through one shared memoizing runner
+// (internal/runner), so overlapping experiments — Figure 4's grid inside
+// Figure 6's, the shared baselines of Figures 5 and 9 — simulate each
+// distinct configuration once. With -resume, results also persist to a
+// JSON store keyed by config fingerprint, so an interrupted or repeated
+// invocation re-simulates only what is missing. -stats prints the
+// scheduler's hit/miss counters to stderr on exit. Interrupting with
+// ^C cancels cleanly between simulations (and, with -resume, flushes
+// what completed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"resizecache/internal/experiment"
+	"resizecache/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9")
-		instr = flag.Uint64("instr", 1_500_000, "instructions per simulation")
-		apps  = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
-		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		exp    = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9")
+		instr  = flag.Uint64("instr", 1_500_000, "instructions per simulation")
+		apps   = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
+		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		resume = flag.String("resume", "", "JSON result-store path for cross-process resume")
+		stats  = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// First ^C cancels gracefully (between simulations, flushing the
+	// result store); un-registering then restores the default terminate
+	// behaviour so a second ^C force-quits.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	ropts := runner.Options{Workers: *par}
+	var store *runner.DiskStore
+	if *resume != "" {
+		var err error
+		store, err = runner.OpenDiskStore(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		ropts.Store = store
+	}
+	r := runner.New(ropts)
+
 	opts := experiment.DefaultOptions()
 	opts.Instructions = *instr
-	opts.Parallelism = *par
+	opts.Runner = r // -parallel is enforced by the runner's pool size
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
 
-	if err := run(*exp, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
+	runErr := run(ctx, *exp, opts)
+
+	if store != nil {
+		if err := store.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "figures: result store %s holds %d results\n",
+				store.Path(), store.Len())
+		}
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "figures:", r.Stats())
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "figures:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts experiment.Options) error {
+func run(ctx context.Context, exp string, opts experiment.Options) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -64,7 +116,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if want("fig4") {
 		ran = true
-		f, err := experiment.Figure4(opts)
+		f, err := experiment.Figure4Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -73,7 +125,7 @@ func run(exp string, opts experiment.Options) error {
 	if want("fig5") {
 		ran = true
 		for _, side := range []experiment.Side{experiment.DSide, experiment.ISide} {
-			f, err := experiment.Figure5(side, opts)
+			f, err := experiment.Figure5Context(ctx, side, opts)
 			if err != nil {
 				return err
 			}
@@ -82,7 +134,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if want("fig6") {
 		ran = true
-		f, err := experiment.Figure6(opts)
+		f, err := experiment.Figure6Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -90,7 +142,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if want("fig7") {
 		ran = true
-		inord, ooo, err := experiment.Figure7(opts)
+		inord, ooo, err := experiment.Figure7Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -99,7 +151,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if want("fig8") {
 		ran = true
-		inord, ooo, err := experiment.Figure8(opts)
+		inord, ooo, err := experiment.Figure8Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -108,7 +160,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if want("fig9") {
 		ran = true
-		f, err := experiment.Figure9(opts)
+		f, err := experiment.Figure9Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -119,7 +171,7 @@ func run(exp string, opts experiment.Options) error {
 	sens := func(name string) bool { return exp == "sens" || exp == name }
 	if sens("sens-subarray") {
 		ran = true
-		rows, err := experiment.SubarraySensitivity(opts)
+		rows, err := experiment.SubarraySensitivityContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -128,7 +180,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if sens("sens-interval") {
 		ran = true
-		rows, err := experiment.IntervalSensitivity(opts)
+		rows, err := experiment.IntervalSensitivityContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -137,7 +189,7 @@ func run(exp string, opts experiment.Options) error {
 	}
 	if sens("sens-l2") {
 		ran = true
-		rows, err := experiment.L2Sensitivity(opts)
+		rows, err := experiment.L2SensitivityContext(ctx, opts)
 		if err != nil {
 			return err
 		}

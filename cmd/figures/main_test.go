@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"resizecache/internal/experiment"
@@ -14,16 +15,16 @@ func tinyOpts() experiment.Options {
 }
 
 func TestRunTables(t *testing.T) {
-	if err := run("table1", tinyOpts()); err != nil {
+	if err := run(context.Background(), "table1", tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table2", tinyOpts()); err != nil {
+	if err := run(context.Background(), "table2", tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", tinyOpts()); err == nil {
+	if err := run(context.Background(), "fig99", tinyOpts()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -32,7 +33,7 @@ func TestRunFig5Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	if err := run("fig5", tinyOpts()); err != nil {
+	if err := run(context.Background(), "fig5", tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"resizecache/internal/core"
 	"resizecache/internal/geometry"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 )
 
@@ -89,7 +91,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := sim.Run(cfg)
+	// No signal handling: this is one simulation, and the runner only
+	// observes cancellation between simulations, so capturing SIGINT
+	// would swallow ^C; the default terminate behaviour is right here.
+	res, err := runner.Default().Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module resizecache
+
+go 1.24

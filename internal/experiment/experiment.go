@@ -3,18 +3,21 @@
 // energy-delay product, and one driver per table/figure (Table 1,
 // Figures 4-9) that regenerates the corresponding rows/series.
 //
-// All sweeps run simulations in parallel across goroutines; every
-// simulation is independently deterministic, so results do not depend on
-// scheduling.
+// All simulation execution goes through the run-orchestration layer
+// (internal/runner): sweeps submit batches of configs to a shared
+// memoizing worker pool, so repeated configurations — most prominently
+// the non-resizable baseline every sweep compares against — simulate at
+// most once per runner. Every simulation is independently deterministic,
+// so results do not depend on scheduling.
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"resizecache/internal/core"
 	"resizecache/internal/geometry"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
 )
@@ -27,13 +30,20 @@ const (
 	DSide Side = iota
 	// ISide resizes the instruction cache.
 	ISide
+	// BothSides resizes both caches simultaneously (the paper's Figure 9
+	// combined experiment).
+	BothSides
 )
 
 func (s Side) String() string {
-	if s == ISide {
+	switch s {
+	case ISide:
 		return "i-cache"
+	case BothSides:
+		return "d+i-caches"
+	default:
+		return "d-cache"
 	}
-	return "d-cache"
 }
 
 // Options control sweep scale; the defaults regenerate the paper's
@@ -41,13 +51,18 @@ func (s Side) String() string {
 type Options struct {
 	// Instructions per simulation.
 	Instructions uint64
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations within one sweep
+	// (0 = the runner's worker-pool size).
 	Parallelism int
 	// Apps restricts the benchmark list (nil = all twelve).
 	Apps []string
 	// Engine is the processor model (Figures 4-6 and 9 use the
 	// out-of-order base configuration).
 	Engine sim.EngineKind
+	// Runner executes the simulations (nil = the process-wide shared
+	// runner). Passing a dedicated runner makes a sweep hermetic; passing
+	// one with a DiskStore makes it resumable across processes.
+	Runner *runner.Runner
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -62,11 +77,17 @@ func (o Options) apps() []string {
 	return workload.Names()
 }
 
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+func (o Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
 	}
-	return runtime.GOMAXPROCS(0)
+	return runner.Default()
+}
+
+// runAll submits a batch through the configured runner, honouring the
+// sweep-level parallelism bound.
+func (o Options) runAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
+	return o.runner().RunAllLimit(ctx, cfgs, o.Parallelism)
 }
 
 // l1Geom returns the experiments' 32K L1 geometry at a set-associativity.
@@ -84,30 +105,6 @@ func baseConfig(app string, engine sim.EngineKind, instr uint64, dAssoc, iAssoc 
 	cfg.DCache = sim.CacheSpec{Geom: l1Geom(dAssoc), Org: core.NonResizable}
 	cfg.ICache = sim.CacheSpec{Geom: l1Geom(iAssoc), Org: core.NonResizable}
 	return cfg
-}
-
-// runParallel executes configs concurrently, preserving order.
-func runParallel(cfgs []sim.Config, workers int) ([]sim.Result, error) {
-	results := make([]sim.Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range cfgs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = sim.Run(cfgs[i])
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: run %d (%s): %w", i, cfgs[i].Benchmark, err)
-		}
-	}
-	return results, nil
 }
 
 // Best is the outcome of a profiling sweep for one application: the
@@ -128,18 +125,30 @@ type Best struct {
 func (b Best) EDPReductionPct() float64 { return b.Chosen.EDP.ReductionPct(b.Base.EDP) }
 
 // SizeReductionPct is the percent reduction in average enabled capacity
-// of the resized cache.
+// of the resized cache(s); for BothSides it is computed over the
+// combined d+i capacity.
 func (b Best) SizeReductionPct() float64 {
-	if b.Side == ISide {
+	switch b.Side {
+	case ISide:
 		return b.Chosen.ICache.SizeReductionPct()
+	case BothSides:
+		full := float64(b.Chosen.DCache.FullBytes + b.Chosen.ICache.FullBytes)
+		if full == 0 {
+			return 0
+		}
+		avg := b.Chosen.DCache.AvgBytes + b.Chosen.ICache.AvgBytes
+		return 100 * (1 - avg/full)
+	default:
+		return b.Chosen.DCache.SizeReductionPct()
 	}
-	return b.Chosen.DCache.SizeReductionPct()
 }
 
 // SlowdownPct is the performance degradation versus baseline.
 func (b Best) SlowdownPct() float64 { return 100 * b.Chosen.EDP.Slowdown(b.Base.EDP) }
 
-// apply sets the resizable side of a config.
+// applySide sets the resizable side of a config. Only DSide and ISide
+// are valid: combined resizing is a distinct protocol (Combined), not a
+// sweep parameter — sweeps must reject BothSides via checkSweepSide.
 func applySide(cfg *sim.Config, side Side, spec sim.CacheSpec) {
 	if side == ISide {
 		cfg.ICache = spec
@@ -148,10 +157,40 @@ func applySide(cfg *sim.Config, side Side, spec sim.CacheSpec) {
 	}
 }
 
+// checkSweepSide rejects sides a single-cache profiling sweep cannot
+// resize; without it BothSides would silently profile the d-cache only
+// while reporting combined d+i metrics.
+func checkSweepSide(side Side) error {
+	if side != DSide && side != ISide {
+		return fmt.Errorf("experiment: profiling sweeps resize one cache (got %v); use Combined for both", side)
+	}
+	return nil
+}
+
+// pickBest selects the minimum-EDP candidate from a sweep batch whose
+// first element is the baseline.
+func pickBest(res []sim.Result) int {
+	best := 1
+	for i := 2; i < len(res); i++ {
+		if res[i].EDP.Product() < res[best].EDP.Product() {
+			best = i
+		}
+	}
+	return best
+}
+
 // BestStatic profiles every schedule point of an organization (the
 // paper's static strategy: run each offered size offline, pick the
 // minimum-EDP one) and returns the winner for one application.
 func BestStatic(app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	return BestStaticContext(context.Background(), app, side, org, assoc, opts)
+}
+
+// BestStaticContext is BestStatic with cancellation.
+func BestStaticContext(ctx context.Context, app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	if err := checkSweepSide(side); err != nil {
+		return Best{}, err
+	}
 	sched, err := core.BuildSchedule(l1Geom(assoc), org)
 	if err != nil {
 		return Best{}, err
@@ -165,23 +204,17 @@ func BestStatic(app string, side Side, org core.Organization, assoc int, opts Op
 		})
 		cfgs = append(cfgs, cfg)
 	}
-	res, err := runParallel(cfgs, opts.workers())
+	res, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return Best{}, err
 	}
-	base := res[0]
-	bestIdx := 1
-	for i := 2; i < len(res); i++ {
-		if res[i].EDP.Product() < res[bestIdx].EDP.Product() {
-			bestIdx = i
-		}
-	}
+	bestIdx := pickBest(res)
 	return Best{
 		App: app, Side: side, Org: org,
 		Desc:   fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
 		Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1},
 		Chosen: res[bestIdx],
-		Base:   base,
+		Base:   res[0],
 	}, nil
 }
 
@@ -235,6 +268,14 @@ func dynamicCandidates(sched core.Schedule) []DynamicParams {
 // BestDynamic profiles the dynamic controller's parameter grid for one
 // application and returns the minimum-EDP parameterization.
 func BestDynamic(app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	return BestDynamicContext(context.Background(), app, side, org, assoc, opts)
+}
+
+// BestDynamicContext is BestDynamic with cancellation.
+func BestDynamicContext(ctx context.Context, app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
+	if err := checkSweepSide(side); err != nil {
+		return Best{}, err
+	}
 	sched, err := core.BuildSchedule(l1Geom(assoc), org)
 	if err != nil {
 		return Best{}, err
@@ -251,17 +292,11 @@ func BestDynamic(app string, side Side, org core.Organization, assoc int, opts O
 		})
 		cfgs = append(cfgs, cfg)
 	}
-	res, err := runParallel(cfgs, opts.workers())
+	res, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return Best{}, err
 	}
-	base := res[0]
-	bestIdx := 1
-	for i := 2; i < len(res); i++ {
-		if res[i].EDP.Product() < res[bestIdx].EDP.Product() {
-			bestIdx = i
-		}
-	}
+	bestIdx := pickBest(res)
 	p := cands[bestIdx-1]
 	return Best{
 		App: app, Side: side, Org: org,
@@ -271,7 +306,7 @@ func BestDynamic(app string, side Side, org core.Organization, assoc int, opts O
 			MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
 			UpsizeHoldIntervals: p.UpsizeHold},
 		Chosen: res[bestIdx],
-		Base:   base,
+		Base:   res[0],
 	}, nil
 }
 
@@ -281,15 +316,20 @@ func BestDynamic(app string, side Side, org core.Organization, assoc int, opts O
 // alone). The returned Best compares against the shared non-resizable
 // baseline.
 func Combined(app string, org core.Organization, assoc int, dBest, iBest Best, opts Options) (Best, error) {
+	return CombinedContext(context.Background(), app, org, assoc, dBest, iBest, opts)
+}
+
+// CombinedContext is Combined with cancellation.
+func CombinedContext(ctx context.Context, app string, org core.Organization, assoc int, dBest, iBest Best, opts Options) (Best, error) {
 	cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
 	cfg.DCache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: dBest.Spec}
 	cfg.ICache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: iBest.Spec}
-	res, err := sim.Run(cfg)
+	res, err := opts.runner().Run(ctx, cfg)
 	if err != nil {
 		return Best{}, err
 	}
 	return Best{
-		App: app, Side: DSide, Org: org,
+		App: app, Side: BothSides, Org: org,
 		Desc:   fmt.Sprintf("both: %s + %s", dBest.Desc, iBest.Desc),
 		Chosen: res,
 		Base:   dBest.Base,

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"resizecache/internal/core"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 )
 
@@ -125,7 +127,7 @@ func TestFigure4Crossover(t *testing.T) {
 		t.Skip("multi-sweep in -short mode")
 	}
 	opts := fastOpts()
-	d, i, err := sweepOrgGrid(
+	d, i, err := sweepOrgGrid(context.Background(),
 		[]core.Organization{core.SelectiveWays, core.SelectiveSets},
 		[]int{2, 16}, opts)
 	if err != nil {
@@ -163,7 +165,7 @@ func TestHybridDominatesAtLowAssoc(t *testing.T) {
 		t.Skip("multi-sweep in -short mode")
 	}
 	opts := fastOpts()
-	d, i, err := sweepOrgGrid(
+	d, i, err := sweepOrgGrid(context.Background(),
 		[]core.Organization{core.Hybrid, core.SelectiveWays, core.SelectiveSets},
 		[]int{4}, opts)
 	if err != nil {
@@ -250,16 +252,29 @@ func TestSlowdownEnvelopeHolds(t *testing.T) {
 	}
 }
 
-func TestRunParallelPropagatesErrors(t *testing.T) {
+func TestRunAllPropagatesErrors(t *testing.T) {
 	cfgs := []sim.Config{sim.Default("gcc"), sim.Default("nosuch")}
 	cfgs[0].Instructions = 1000
-	if _, err := runParallel(cfgs, 2); err == nil {
+	opts := DefaultOptions()
+	opts.Runner = runner.New(runner.Options{Workers: 2})
+	if _, err := opts.runAll(context.Background(), cfgs); err == nil {
 		t.Fatal("bad config did not surface")
 	}
 }
 
+func TestSweepsRejectBothSides(t *testing.T) {
+	opts := DefaultOptions()
+	if _, err := BestStatic("gcc", BothSides, core.SelectiveSets, 2, opts); err == nil {
+		t.Error("BestStatic accepted BothSides")
+	}
+	if _, err := BestDynamic("gcc", BothSides, core.SelectiveSets, 2, opts); err == nil {
+		t.Error("BestDynamic accepted BothSides")
+	}
+}
+
 func TestSideString(t *testing.T) {
-	if DSide.String() != "d-cache" || ISide.String() != "i-cache" {
+	if DSide.String() != "d-cache" || ISide.String() != "i-cache" ||
+		BothSides.String() != "d+i-caches" {
 		t.Fatal("Side strings wrong")
 	}
 }

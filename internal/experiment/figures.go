@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -100,15 +101,15 @@ func (f Fig4Result) Cell(side Side, org core.Organization, assoc int) (float64, 
 	return 0, false
 }
 
-// orgsAndAssocs sweeps a figure's organization × associativity grid.
-func sweepOrgGrid(orgs []core.Organization, assocs []int, opts Options) (d, i []Fig4Cell, err error) {
+// sweepOrgGrid sweeps a figure's organization × associativity grid.
+func sweepOrgGrid(ctx context.Context, orgs []core.Organization, assocs []int, opts Options) (d, i []Fig4Cell, err error) {
 	for _, side := range []Side{DSide, ISide} {
 		for _, assoc := range assocs {
 			for _, org := range orgs {
 				var sum float64
 				apps := opts.apps()
 				for _, app := range apps {
-					best, err := BestStatic(app, side, org, assoc, opts)
+					best, err := BestStaticContext(ctx, app, side, org, assoc, opts)
 					if err != nil {
 						return nil, nil, err
 					}
@@ -130,7 +131,12 @@ func sweepOrgGrid(orgs []core.Organization, assocs []int, opts Options) (d, i []
 // Figure4 regenerates Figure 4: static selective-ways vs selective-sets,
 // mean processor EDP reduction, for 2/4/8/16-way 32K caches.
 func Figure4(opts Options) (Fig4Result, error) {
-	d, i, err := sweepOrgGrid(
+	return Figure4Context(context.Background(), opts)
+}
+
+// Figure4Context is Figure4 with cancellation.
+func Figure4Context(ctx context.Context, opts Options) (Fig4Result, error) {
+	d, i, err := sweepOrgGrid(ctx,
 		[]core.Organization{core.SelectiveWays, core.SelectiveSets},
 		[]int{2, 4, 8, 16}, opts)
 	if err != nil {
@@ -227,13 +233,18 @@ func (f Fig5Result) Row(app string) (Fig5Row, bool) {
 // Figure5 regenerates Figure 5 for one side: per-app average-size and
 // EDP reductions of static selective-ways vs selective-sets on 32K 4-way.
 func Figure5(side Side, opts Options) (Fig5Result, error) {
+	return Figure5Context(context.Background(), side, opts)
+}
+
+// Figure5Context is Figure5 with cancellation.
+func Figure5Context(ctx context.Context, side Side, opts Options) (Fig5Result, error) {
 	out := Fig5Result{Side: side}
 	for _, app := range opts.apps() {
-		w, err := BestStatic(app, side, core.SelectiveWays, 4, opts)
+		w, err := BestStaticContext(ctx, app, side, core.SelectiveWays, 4, opts)
 		if err != nil {
 			return out, err
 		}
-		s, err := BestStatic(app, side, core.SelectiveSets, 4, opts)
+		s, err := BestStaticContext(ctx, app, side, core.SelectiveSets, 4, opts)
 		if err != nil {
 			return out, err
 		}
@@ -277,7 +288,12 @@ func (f Fig5Result) Render() string {
 // Figure6 regenerates Figure 6: hybrid vs selective-ways vs
 // selective-sets across associativities.
 func Figure6(opts Options) (Fig4Result, error) {
-	d, i, err := sweepOrgGrid(
+	return Figure6Context(context.Background(), opts)
+}
+
+// Figure6Context is Figure6 with cancellation.
+func Figure6Context(ctx context.Context, opts Options) (Fig4Result, error) {
+	d, i, err := sweepOrgGrid(ctx,
 		[]core.Organization{core.Hybrid, core.SelectiveWays, core.SelectiveSets},
 		[]int{2, 4, 8, 16}, opts)
 	if err != nil {
@@ -345,14 +361,19 @@ func (f Fig7Result) Row(app string) (Fig7Row, bool) {
 // Figures 7 and 8) for one cache side and engine, on 32K 2-way
 // selective-sets as in the paper.
 func StrategyPanel(side Side, engine sim.EngineKind, opts Options) (Fig7Result, error) {
+	return StrategyPanelContext(context.Background(), side, engine, opts)
+}
+
+// StrategyPanelContext is StrategyPanel with cancellation.
+func StrategyPanelContext(ctx context.Context, side Side, engine sim.EngineKind, opts Options) (Fig7Result, error) {
 	opts.Engine = engine
 	out := Fig7Result{Side: side, Engine: engine}
 	for _, app := range opts.apps() {
-		st, err := BestStatic(app, side, core.SelectiveSets, 2, opts)
+		st, err := BestStaticContext(ctx, app, side, core.SelectiveSets, 2, opts)
 		if err != nil {
 			return out, err
 		}
-		dy, err := BestDynamic(app, side, core.SelectiveSets, 2, opts)
+		dy, err := BestDynamicContext(ctx, app, side, core.SelectiveSets, 2, opts)
 		if err != nil {
 			return out, err
 		}
@@ -374,21 +395,31 @@ func StrategyPanel(side Side, engine sim.EngineKind, opts Options) (Fig7Result, 
 // Figure7 regenerates Figure 7 (d-cache): panel (a) in-order/blocking,
 // panel (b) out-of-order/non-blocking.
 func Figure7(opts Options) (inorder, ooo Fig7Result, err error) {
-	inorder, err = StrategyPanel(DSide, sim.InOrder, opts)
+	return Figure7Context(context.Background(), opts)
+}
+
+// Figure7Context is Figure7 with cancellation.
+func Figure7Context(ctx context.Context, opts Options) (inorder, ooo Fig7Result, err error) {
+	inorder, err = StrategyPanelContext(ctx, DSide, sim.InOrder, opts)
 	if err != nil {
 		return
 	}
-	ooo, err = StrategyPanel(DSide, sim.OutOfOrder, opts)
+	ooo, err = StrategyPanelContext(ctx, DSide, sim.OutOfOrder, opts)
 	return
 }
 
 // Figure8 regenerates Figure 8 (i-cache).
 func Figure8(opts Options) (inorder, ooo Fig7Result, err error) {
-	inorder, err = StrategyPanel(ISide, sim.InOrder, opts)
+	return Figure8Context(context.Background(), opts)
+}
+
+// Figure8Context is Figure8 with cancellation.
+func Figure8Context(ctx context.Context, opts Options) (inorder, ooo Fig7Result, err error) {
+	inorder, err = StrategyPanelContext(ctx, ISide, sim.InOrder, opts)
 	if err != nil {
 		return
 	}
-	ooo, err = StrategyPanel(ISide, sim.OutOfOrder, opts)
+	ooo, err = StrategyPanelContext(ctx, ISide, sim.OutOfOrder, opts)
 	return
 }
 
@@ -466,14 +497,19 @@ func (f Fig9Result) Row(app string) (Fig9Row, bool) {
 // chosen for the "both" run are the same profiled winners as the
 // standalone runs, matching the paper's decoupled-profiling argument.
 func Figure9(opts Options) (Fig9Result, error) {
+	return Figure9Context(context.Background(), opts)
+}
+
+// Figure9Context is Figure9 with cancellation.
+func Figure9Context(ctx context.Context, opts Options) (Fig9Result, error) {
 	opts.Engine = sim.OutOfOrder
 	var out Fig9Result
 	for _, app := range opts.apps() {
-		dBest, err := BestStatic(app, DSide, core.SelectiveSets, 2, opts)
+		dBest, err := BestStaticContext(ctx, app, DSide, core.SelectiveSets, 2, opts)
 		if err != nil {
 			return out, err
 		}
-		iBest, err := BestStatic(app, ISide, core.SelectiveSets, 2, opts)
+		iBest, err := BestStaticContext(ctx, app, ISide, core.SelectiveSets, 2, opts)
 		if err != nil {
 			return out, err
 		}
@@ -490,7 +526,7 @@ func Figure9(opts Options) (Fig9Result, error) {
 			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: dIdx}}
 		both.ICache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
 			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: iIdx}}
-		bothRes, err := sim.Run(both)
+		bothRes, err := opts.runner().Run(ctx, both)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,6 +27,11 @@ type SensitivityRow struct {
 // minimum sizes (512B subarray -> 1K minimum at 2-way), larger ones
 // coarser schedules.
 func SubarraySensitivity(opts Options) ([]SensitivityRow, error) {
+	return SubarraySensitivityContext(context.Background(), opts)
+}
+
+// SubarraySensitivityContext is SubarraySensitivity with cancellation.
+func SubarraySensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
 	var out []SensitivityRow
 	for _, sub := range []int{512, 1 << 10, 2 << 10, 4 << 10} {
 		geom := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: sub}
@@ -48,16 +54,11 @@ func SubarraySensitivity(opts Options) ([]SensitivityRow, error) {
 					Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}}
 				cfgs = append(cfgs, cfg)
 			}
-			res, err := runParallel(cfgs, opts.workers())
+			res, err := opts.runAll(ctx, cfgs)
 			if err != nil {
 				return nil, err
 			}
-			best := 1
-			for i := 2; i < len(res); i++ {
-				if res[i].EDP.Product() < res[best].EDP.Product() {
-					best = i
-				}
-			}
+			best := pickBest(res)
 			edp += res[best].EDP.ReductionPct(res[0].EDP)
 			size += res[best].DCache.SizeReductionPct()
 		}
@@ -75,6 +76,11 @@ func SubarraySensitivity(opts Options) ([]SensitivityRow, error) {
 // fixed miss-bound fraction and size bound, on the in-order engine where
 // adaptation lag is most exposed.
 func IntervalSensitivity(opts Options) ([]SensitivityRow, error) {
+	return IntervalSensitivityContext(context.Background(), opts)
+}
+
+// IntervalSensitivityContext is IntervalSensitivity with cancellation.
+func IntervalSensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
 	opts.Engine = sim.InOrder
 	var out []SensitivityRow
 	for _, interval := range []uint64{2048, 8192, 32768, 131072} {
@@ -87,7 +93,7 @@ func IntervalSensitivity(opts Options) ([]SensitivityRow, error) {
 				Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: interval,
 					MissBound: uint64(float64(interval) * 0.01), SizeBoundBytes: 4 << 10,
 					UpsizeHoldIntervals: 3}}
-			res, err := runParallel([]sim.Config{base, cfg}, opts.workers())
+			res, err := opts.runAll(ctx, []sim.Config{base, cfg})
 			if err != nil {
 				return nil, err
 			}
@@ -108,6 +114,11 @@ func IntervalSensitivity(opts Options) ([]SensitivityRow, error) {
 // resizing has minimal impact on the L2 footprint: the resizing gain
 // should be stable across L2 sizes.
 func L2Sensitivity(opts Options) ([]SensitivityRow, error) {
+	return L2SensitivityContext(context.Background(), opts)
+}
+
+// L2SensitivityContext is L2Sensitivity with cancellation.
+func L2SensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
 	var out []SensitivityRow
 	for _, l2kb := range []int{256, 512, 1024} {
 		var edp, size float64
@@ -116,7 +127,7 @@ func L2Sensitivity(opts Options) ([]SensitivityRow, error) {
 			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
 			base.L2Geom = geometry.Geometry{SizeBytes: l2kb << 10, Assoc: 4,
 				BlockBytes: 64, SubarrayBytes: 4 << 10}
-			best, err := bestStaticWithBase(app, DSide, core.SelectiveSets, base, opts)
+			best, err := bestStaticWithBase(ctx, app, DSide, core.SelectiveSets, base, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +146,7 @@ func L2Sensitivity(opts Options) ([]SensitivityRow, error) {
 
 // bestStaticWithBase is BestStatic over a caller-provided base config
 // (used by sweeps that vary non-L1 parameters).
-func bestStaticWithBase(app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
+func bestStaticWithBase(ctx context.Context, app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
 	geom := base.DCache.Geom
 	if side == ISide {
 		geom = base.ICache.Geom
@@ -151,16 +162,11 @@ func bestStaticWithBase(app string, side Side, org core.Organization, base sim.C
 			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
 		cfgs = append(cfgs, cfg)
 	}
-	res, err := runParallel(cfgs, opts.workers())
+	res, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return Best{}, err
 	}
-	best := 1
-	for i := 2; i < len(res); i++ {
-		if res[i].EDP.Product() < res[best].EDP.Product() {
-			best = i
-		}
-	}
+	best := pickBest(res)
 	return Best{
 		App: app, Side: side, Org: org,
 		Desc:   fmt.Sprintf("static %v", sched.Points[best-1]),

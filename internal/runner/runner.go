@@ -1,0 +1,263 @@
+// Package runner is the run-orchestration layer: every simulation in
+// the repository executes through a Runner, which owns the worker pool
+// and a content-addressed result store keyed by sim.Config fingerprints
+// (sim.Key). The paper's evaluation is a design-space sweep that
+// re-visits many identical configurations — every BestStatic/BestDynamic
+// call re-runs the non-resizable baseline, and figure drivers repeat
+// whole sweeps — so the Runner:
+//
+//   - memoizes completed results, so an identical config simulates once
+//     per process (or once ever, with an on-disk store);
+//   - deduplicates identical configs that are in flight concurrently,
+//     so parallel sweeps sharing a baseline do not race to re-run it;
+//   - bounds concurrency with one shared semaphore instead of a pool
+//     per sweep, so nested experiment drivers cannot oversubscribe;
+//   - honours context cancellation between (not within) simulations;
+//   - returns batch results in deterministic submission order.
+//
+// Callers either share the process-wide Default() runner (cross-sweep
+// memoization for free) or construct private runners (hermetic sessions,
+// tests, persistent stores).
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"resizecache/internal/sim"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS).
+	Workers int
+	// Store, if non-nil, persists results across processes: fingerprints
+	// found in the store resolve without simulating, and every fresh
+	// result is added to it. Call Store.Flush to write it out.
+	Store *DiskStore
+	// runSim is the simulation entry point; tests stub it.
+	runSim func(sim.Config) (sim.Result, error)
+}
+
+// Stats is a snapshot of a Runner's scheduling counters.
+type Stats struct {
+	// Submitted counts Run calls (RunAll counts once per config).
+	Submitted uint64
+	// MemoHits resolved against an already-completed in-memory result.
+	MemoHits uint64
+	// StoreHits resolved against the on-disk store without simulating.
+	StoreHits uint64
+	// InFlightDedups joined an identical config already executing.
+	InFlightDedups uint64
+	// Runs actually executed a simulation.
+	Runs uint64
+	// Errors counts simulations that returned an error.
+	Errors uint64
+}
+
+// Hits is the total number of submissions that skipped simulation.
+func (s Stats) Hits() uint64 { return s.MemoHits + s.StoreHits + s.InFlightDedups }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors",
+		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors)
+}
+
+// entry is one fingerprint's slot in the memo table. The owner (the
+// goroutine that created the entry) simulates and closes done; waiters
+// block on done. Completed entries stay in the table as the memo store.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Runner schedules simulations; see the package comment. The zero value
+// is not usable — construct with New or share Default.
+type Runner struct {
+	sem    chan struct{}
+	store  *DiskStore
+	runSim func(sim.Config) (sim.Result, error)
+
+	mu      sync.Mutex
+	entries map[sim.Key]*entry
+
+	submitted, memoHits, storeHits, dedups, runs, errs atomic.Uint64
+}
+
+// New constructs a Runner.
+func New(opts Options) *Runner {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run := opts.runSim
+	if run == nil {
+		run = sim.Run
+	}
+	return &Runner{
+		sem:     make(chan struct{}, workers),
+		store:   opts.Store,
+		runSim:  run,
+		entries: make(map[sim.Key]*entry),
+	}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultRunner *Runner
+)
+
+// Default returns the process-wide shared Runner (GOMAXPROCS workers, no
+// disk store). Sweeps that share it memoize across each other.
+func Default() *Runner {
+	defaultOnce.Do(func() { defaultRunner = New(Options{}) })
+	return defaultRunner
+}
+
+// Stats snapshots the counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Submitted:      r.submitted.Load(),
+		MemoHits:       r.memoHits.Load(),
+		StoreHits:      r.storeHits.Load(),
+		InFlightDedups: r.dedups.Load(),
+		Runs:           r.runs.Load(),
+		Errors:         r.errs.Load(),
+	}
+}
+
+// Run executes (or resolves from memo/store/in-flight work) one config.
+// Identical configs are only ever simulated once per Runner; errors are
+// memoized like results, except cancellation errors, which evict the
+// entry so a later live context can retry.
+func (r *Runner) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	r.submitted.Add(1)
+	key := cfg.Key()
+	for {
+		res, err, retry := r.runKey(ctx, key, cfg)
+		if !retry {
+			return res, err
+		}
+	}
+}
+
+// runKey resolves one fingerprint. retry is true when the entry it
+// waited on was evicted after a cancellation that does not apply to this
+// caller's still-live context.
+func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.Result, error, bool) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err, false
+	}
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		select {
+		case <-e.done: // completed: memo hit
+			r.mu.Unlock()
+			r.memoHits.Add(1)
+			return e.res, e.err, false
+		default: // executing: join it
+			r.mu.Unlock()
+			r.dedups.Add(1)
+			select {
+			case <-e.done:
+				if e.err != nil && isCancellation(e.err) && ctx.Err() == nil {
+					return sim.Result{}, nil, true // owner was cancelled, we are not
+				}
+				return e.res, e.err, false
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err(), false
+			}
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	r.entries[key] = e
+	r.mu.Unlock()
+
+	if r.store != nil {
+		if res, ok := r.store.get(key); ok {
+			r.storeHits.Add(1)
+			r.complete(key, e, res, nil)
+			return res, nil, false
+		}
+	}
+
+	// Own the entry: acquire a worker slot, simulate, publish.
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		r.complete(key, e, sim.Result{}, ctx.Err())
+		return sim.Result{}, ctx.Err(), false
+	}
+	res, err := r.runSim(cfg)
+	<-r.sem
+
+	r.runs.Add(1)
+	if err != nil {
+		r.errs.Add(1)
+	}
+	if err == nil && r.store != nil {
+		r.store.put(key, res)
+	}
+	r.complete(key, e, res, err)
+	return res, err, false
+}
+
+// complete publishes an entry's outcome. Cancellation outcomes are
+// evicted from the table so the fingerprint can be retried later.
+func (r *Runner) complete(key sim.Key, e *entry, res sim.Result, err error) {
+	e.res, e.err = res, err
+	if err != nil && isCancellation(err) {
+		r.mu.Lock()
+		delete(r.entries, key)
+		r.mu.Unlock()
+	}
+	close(e.done)
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunAll executes a batch and returns results in submission order. The
+// first failing config (by submission index) determines the returned
+// error. Concurrency is bounded by the Runner's shared worker pool.
+func (r *Runner) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
+	return r.RunAllLimit(ctx, cfgs, 0)
+}
+
+// RunAllLimit is RunAll with an additional per-batch concurrency bound
+// (<= 0 means no extra bound beyond the shared pool). Sweeps use it to
+// honour a caller-requested parallelism below the pool size.
+func (r *Runner) RunAllLimit(ctx context.Context, cfgs []sim.Config, limit int) ([]sim.Result, error) {
+	results := make([]sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var gate chan struct{}
+	if limit > 0 {
+		gate = make(chan struct{}, limit)
+	}
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if gate != nil {
+				gate <- struct{}{}
+				defer func() { <-gate }()
+			}
+			results[i], errs[i] = r.Run(ctx, cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: config %d (%s): %w", i, cfgs[i].Benchmark, err)
+		}
+	}
+	return results, nil
+}

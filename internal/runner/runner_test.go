@@ -1,0 +1,318 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resizecache/internal/sim"
+)
+
+// cfgN returns a distinct config per index (instruction count varies).
+func cfgN(i int) sim.Config {
+	c := sim.Default("gcc")
+	c.Instructions = uint64(1000 + i)
+	return c
+}
+
+// stubResult returns a recognizable result for a config.
+func stubResult(cfg sim.Config) sim.Result {
+	var r sim.Result
+	r.CPU.Instructions = cfg.Instructions
+	r.CPU.Cycles = 2 * cfg.Instructions
+	return r
+}
+
+func TestRunMemoizes(t *testing.T) {
+	var calls atomic.Int32
+	r := New(Options{Workers: 2, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	ctx := context.Background()
+	first, err := r.Run(ctx, cfgN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(ctx, cfgN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CPU != second.CPU || first.EDP != second.EDP {
+		t.Error("memoized result differs from original")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("simulated %d times, want 1", got)
+	}
+	st := r.Stats()
+	if st.Submitted != 2 || st.Runs != 1 || st.MemoHits != 1 {
+		t.Errorf("stats = %+v, want 2 submitted / 1 run / 1 memo hit", st)
+	}
+}
+
+func TestRunAllDeterministicOrderAndBaselineDedup(t *testing.T) {
+	var calls atomic.Int32
+	r := New(Options{Workers: 4, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	// A sweep-shaped batch: baseline duplicated at both ends plus three
+	// distinct candidates.
+	cfgs := []sim.Config{cfgN(0), cfgN(1), cfgN(2), cfgN(3), cfgN(0)}
+	res, err := r.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range cfgs {
+		if res[i].CPU.Instructions != want.Instructions {
+			t.Errorf("result %d out of order: got %d instructions, want %d",
+				i, res[i].CPU.Instructions, want.Instructions)
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("simulated %d distinct configs, want 4", got)
+	}
+	if hits := r.Stats().Hits(); hits != 1 {
+		t.Errorf("hits = %d, want 1 (duplicated baseline)", hits)
+	}
+}
+
+func TestConcurrentIdenticalSubmissionsDeduplicate(t *testing.T) {
+	const waiters = 8
+	release := make(chan struct{})
+	var calls atomic.Int32
+	r := New(Options{Workers: waiters, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		<-release
+		return stubResult(cfg), nil
+	}})
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Run(context.Background(), cfgN(0))
+		}(i)
+	}
+	// Wait until every submission has either started the simulation or
+	// joined it, then release the single in-flight run.
+	deadline := time.After(5 * time.Second)
+	for {
+		st := r.Stats()
+		if st.Submitted == waiters && st.InFlightDedups == waiters-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("dedup never converged: %+v", r.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("simulated %d times, want 1", got)
+	}
+}
+
+func TestRunErrorsAreMemoized(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	r := New(Options{Workers: 1, runSim: func(sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Result{}, boom
+	}})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run(context.Background(), cfgN(0)); !errors.Is(err, boom) {
+			t.Fatalf("want boom, got %v", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("failing config simulated %d times, want 1", calls.Load())
+	}
+	if r.Stats().Errors != 1 {
+		t.Errorf("errors = %d, want 1", r.Stats().Errors)
+	}
+}
+
+func TestContextCancellationMidSweep(t *testing.T) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	r := New(Options{Workers: 1, runSim: func(cfg sim.Config) (sim.Result, error) {
+		started <- struct{}{}
+		<-release
+		return stubResult(cfg), nil
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	var cfgs []sim.Config
+	for i := 0; i < 16; i++ {
+		cfgs = append(cfgs, cfgN(i))
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunAll(ctx, cfgs)
+		done <- err
+	}()
+	<-started // first simulation occupies the single worker
+	cancel()  // the other 15 are queued; cancellation must stop them
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAll did not return after cancellation")
+	}
+	if runs := r.Stats().Runs; runs >= uint64(len(cfgs)) {
+		t.Errorf("cancellation did not prevent queued runs: %d runs", runs)
+	}
+}
+
+func TestCancelledEntryRetriesOnLiveContext(t *testing.T) {
+	var calls atomic.Int32
+	r := New(Options{Workers: 1, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(cancelled, cfgN(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// A cancellation outcome must not poison the fingerprint.
+	res, err := r.Run(context.Background(), cfgN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != cfgN(0).Instructions {
+		t.Error("retry returned wrong result")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("retry simulated %d times, want 1", calls.Load())
+	}
+}
+
+func TestRunAllLimitBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	r := New(Options{Workers: 8, runSim: func(cfg sim.Config) (sim.Result, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return stubResult(cfg), nil
+	}})
+	var cfgs []sim.Config
+	for i := 0; i < 12; i++ {
+		cfgs = append(cfgs, cfgN(i))
+	}
+	if _, err := r.RunAllLimit(context.Background(), cfgs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds limit 2", p)
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	var calls atomic.Int32
+	runSim := func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}
+
+	store, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := New(Options{Workers: 2, Store: store, runSim: runSim})
+	if _, err := r1.RunAll(context.Background(), []sim.Config{cfgN(0), cfgN(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store holds %d results, want 2", store.Len())
+	}
+
+	// A fresh process (fresh store + runner) must resolve from disk.
+	store2, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.Len() != 2 {
+		t.Fatalf("reloaded store holds %d results, want 2", store2.Len())
+	}
+	r2 := New(Options{Workers: 2, Store: store2, runSim: func(sim.Config) (sim.Result, error) {
+		t.Error("store-resident config was re-simulated")
+		return sim.Result{}, fmt.Errorf("unexpected simulation")
+	}})
+	res, err := r2.Run(context.Background(), cfgN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != cfgN(1).Instructions {
+		t.Error("disk store returned wrong result")
+	}
+	if st := r2.Stats(); st.StoreHits != 1 {
+		t.Errorf("store hits = %d, want 1", st.StoreHits)
+	}
+}
+
+func TestDiskStoreFlushIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	store, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil { // nothing dirty: no file needed
+		t.Fatal(err)
+	}
+	store.put(sim.Default("gcc").Key(), sim.Result{})
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRealSimulationThroughRunner exercises the default runSim seam with
+// a tiny real simulation, end to end through memoization.
+func TestRealSimulationThroughRunner(t *testing.T) {
+	r := New(Options{Workers: 2})
+	cfg := sim.Default("m88ksim")
+	cfg.Instructions = 20_000
+	a, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU.Cycles == 0 || a.CPU.Cycles != b.CPU.Cycles {
+		t.Errorf("memoized real run mismatch: %d vs %d cycles", a.CPU.Cycles, b.CPU.Cycles)
+	}
+	if st := r.Stats(); st.Runs != 1 || st.MemoHits != 1 {
+		t.Errorf("stats = %+v, want 1 run / 1 memo hit", st)
+	}
+}

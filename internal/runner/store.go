@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"resizecache/internal/sim"
+)
+
+// storeVersion tags the on-disk JSON schema; results written by a
+// different version (or a different sim.Key encoding, which changes the
+// map keys) are discarded on load rather than misapplied.
+const storeVersion = 1
+
+// diskFile is the JSON document persisted by a DiskStore.
+type diskFile struct {
+	Version int                   `json:"version"`
+	Results map[string]sim.Result `json:"results"`
+}
+
+// DiskStore is an optional persistent result store for a Runner: a JSON
+// file mapping sim.Key hex fingerprints to sim.Results. It lets long
+// multi-process workflows (cmd/figures regenerating figure after figure)
+// resume without re-simulating configs completed by earlier runs.
+//
+// All methods are safe for concurrent use. Mutations accumulate in
+// memory; Flush writes the file atomically (temp file + rename).
+type DiskStore struct {
+	path string
+
+	mu      sync.Mutex
+	results map[string]sim.Result
+	dirty   bool
+}
+
+// OpenDiskStore loads the store at path, or creates an empty one if the
+// file does not exist yet. A file with a mismatched schema version is
+// treated as empty (it will be overwritten on Flush).
+func OpenDiskStore(path string) (*DiskStore, error) {
+	s := &DiskStore{path: path, results: make(map[string]sim.Result)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: open store %s: %w", path, err)
+	}
+	var f diskFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("runner: parse store %s: %w", path, err)
+	}
+	if f.Version == storeVersion && f.Results != nil {
+		s.results = f.Results
+	}
+	return s, nil
+}
+
+// Len returns the number of stored results.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// Path returns the backing file path.
+func (s *DiskStore) Path() string { return s.path }
+
+func (s *DiskStore) get(k sim.Key) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[k.String()]
+	return res, ok
+}
+
+func (s *DiskStore) put(k sim.Key, res sim.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[k.String()] = res
+	s.dirty = true
+}
+
+// Flush writes the store to disk if it changed since the last Flush.
+func (s *DiskStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return nil
+	}
+	data, err := json.Marshal(diskFile{Version: storeVersion, Results: s.results})
+	if err != nil {
+		return fmt.Errorf("runner: encode store: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: flush store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("runner: flush store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: flush store: %w", err)
+	}
+	s.dirty = false
+	return nil
+}

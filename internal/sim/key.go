@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key is a content-addressed fingerprint of a Config: two Configs that
+// describe the same simulation (after Canonical normalization) hash to
+// the same Key, and any semantically meaningful field difference yields
+// a different Key. Keys index the run-orchestration layer's memoized
+// result store (internal/runner) and its on-disk resume files, so the
+// encoding below is versioned: bump keyVersion whenever Config gains a
+// field or an existing field changes meaning, which invalidates stale
+// persisted results instead of silently aliasing them.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the on-disk store's map key).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyVersion tags the fingerprint encoding; see Key.
+const keyVersion = 1
+
+// Canonical returns the config with semantically inert fields zeroed so
+// that configs describing identical simulations fingerprint identically:
+//
+//   - policy parameters not read by the configured policy kind (a static
+//     policy ignores the dynamic controller's knobs and vice versa);
+//   - d-cache MSHRs under the in-order engine, which forces a blocking
+//     d-cache regardless of the configured entry count.
+//
+// Run never inspects the zeroed fields, so Canonical is behaviour
+// preserving by construction.
+func (c Config) Canonical() Config {
+	c.DCache.Policy = c.DCache.Policy.canonical()
+	c.ICache.Policy = c.ICache.Policy.canonical()
+	if c.Engine == InOrder {
+		c.MSHREntries = 0
+	}
+	return c
+}
+
+// canonical zeroes the PolicySpec fields the policy kind does not read.
+func (p PolicySpec) canonical() PolicySpec {
+	switch p.Kind {
+	case PolicyStatic:
+		return PolicySpec{Kind: PolicyStatic, StaticIndex: p.StaticIndex}
+	case PolicyDynamic:
+		p.StaticIndex = 0
+		return p
+	default:
+		return PolicySpec{}
+	}
+}
+
+// Key returns the canonical fingerprint of the config.
+func (c Config) Key() Key {
+	c = c.Canonical()
+	h := sha256.New()
+	w := keyWriter{h: h}
+	w.u64(keyVersion)
+	w.str(c.Benchmark)
+	w.u64(c.Instructions)
+	w.u64(uint64(c.Engine))
+	// CPU pipeline.
+	w.i(c.CPU.Width)
+	w.i(c.CPU.ROBEntries)
+	w.i(c.CPU.LSQEntries)
+	w.u64(c.CPU.DecodeLatency)
+	w.u64(c.CPU.MispredictPenalty)
+	// L1s and L2.
+	w.cacheSpec(c.DCache)
+	w.cacheSpec(c.ICache)
+	w.geometry(c.L2Geom.SizeBytes, c.L2Geom.Assoc, c.L2Geom.BlockBytes, c.L2Geom.SubarrayBytes)
+	w.i(c.MSHREntries)
+	w.i(c.WritebackEntries)
+	// Energy models.
+	w.f64(c.Energy.PrechargePJPerBit)
+	w.f64(c.Energy.BitlinePJPerBit)
+	w.f64(c.Energy.WordlinePJPerBit)
+	w.f64(c.Energy.SensePJPerBit)
+	w.f64(c.Energy.DecodePJPerSubarray)
+	w.f64(c.Energy.ComparePJPerBit)
+	w.f64(c.Energy.OutputPJPerBit)
+	w.f64(c.Energy.ClockPJPerSubarray)
+	w.f64(c.Energy.LeakagePJPerBytePerCycle)
+	w.f64(c.Core.DecodePJ)
+	w.f64(c.Core.ROBWritePJ)
+	w.f64(c.Core.LSQWritePJ)
+	w.f64(c.Core.RegReadPJ)
+	w.f64(c.Core.RegWritePJ)
+	w.f64(c.Core.IntALUPJ)
+	w.f64(c.Core.FPALUPJ)
+	w.f64(c.Core.BpredPJ)
+	w.f64(c.Core.BTBPJ)
+	w.f64(c.Core.RASPJ)
+	w.f64(c.Core.ResultBusPJ)
+	w.f64(c.Core.ClockPJ)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// keyWriter streams fixed-width, field-order-stable encodings into the
+// hash. Strings are length-prefixed so adjacent fields cannot alias.
+type keyWriter struct {
+	h hash.Hash
+}
+
+func (w keyWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.h.Write(b[:])
+}
+
+func (w keyWriter) i(v int) { w.u64(uint64(int64(v))) }
+
+func (w keyWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w keyWriter) b(v bool) {
+	if v {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w keyWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+// cacheSpec encodes one L1 spec.
+func (w keyWriter) cacheSpec(s CacheSpec) {
+	w.geometry(s.Geom.SizeBytes, s.Geom.Assoc, s.Geom.BlockBytes, s.Geom.SubarrayBytes)
+	w.u64(uint64(s.Org))
+	w.u64(uint64(s.Policy.Kind))
+	w.i(s.Policy.StaticIndex)
+	w.u64(s.Policy.Interval)
+	w.u64(s.Policy.MissBound)
+	w.i(s.Policy.SizeBoundBytes)
+	w.i(s.Policy.UpsizeHoldIntervals)
+	w.b(s.AblationFullPrecharge)
+	w.b(s.AblationFreeFlush)
+}
+
+func (w keyWriter) geometry(size, assoc, block, subarray int) {
+	w.i(size)
+	w.i(assoc)
+	w.i(block)
+	w.i(subarray)
+}

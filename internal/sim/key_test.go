@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"resizecache/internal/core"
+)
+
+func TestKeyStableAcrossCalls(t *testing.T) {
+	a := Default("gcc").Key()
+	b := Default("gcc").Key()
+	if a != b {
+		t.Fatal("identical configs produced different keys")
+	}
+	if a.String() == "" || len(a.String()) != 64 {
+		t.Fatalf("key hex %q not 64 chars", a.String())
+	}
+}
+
+// TestKeyDistinguishesConfigs mutates every semantically meaningful
+// field group and checks each mutation moves the fingerprint.
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	base := Default("gcc")
+	mutations := map[string]func(*Config){
+		"benchmark":     func(c *Config) { c.Benchmark = "vpr" },
+		"instructions":  func(c *Config) { c.Instructions++ },
+		"engine":        func(c *Config) { c.Engine = InOrder },
+		"cpu width":     func(c *Config) { c.CPU.Width++ },
+		"rob":           func(c *Config) { c.CPU.ROBEntries++ },
+		"dcache geom":   func(c *Config) { c.DCache.Geom.Assoc *= 2 },
+		"dcache org":    func(c *Config) { c.DCache.Org = core.SelectiveSets },
+		"icache org":    func(c *Config) { c.ICache.Org = core.SelectiveWays },
+		"dcache policy": func(c *Config) { c.DCache.Policy = PolicySpec{Kind: PolicyStatic, StaticIndex: 1} },
+		"static index": func(c *Config) {
+			c.DCache.Policy = PolicySpec{Kind: PolicyStatic, StaticIndex: 2}
+		},
+		"dynamic params": func(c *Config) {
+			c.DCache.Policy = PolicySpec{Kind: PolicyDynamic, Interval: 4096, MissBound: 64}
+		},
+		"ablation precharge": func(c *Config) { c.DCache.AblationFullPrecharge = true },
+		"ablation flush":     func(c *Config) { c.ICache.AblationFreeFlush = true },
+		"l2 geom":            func(c *Config) { c.L2Geom.SizeBytes *= 2 },
+		"mshrs":              func(c *Config) { c.MSHREntries++ },
+		"writeback":          func(c *Config) { c.WritebackEntries++ },
+		"energy model":       func(c *Config) { c.Energy.PrechargePJPerBit *= 2 },
+		"core energies":      func(c *Config) { c.Core.ClockPJ *= 2 },
+	}
+	baseKey := base.Key()
+	seen := map[Key]string{baseKey: "base"}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		k := cfg.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeyCanonicalization verifies that fields the configured policy
+// kind never reads do not perturb the fingerprint.
+func TestKeyCanonicalization(t *testing.T) {
+	mk := func(p PolicySpec) Config {
+		c := Default("gcc")
+		c.DCache.Org = core.SelectiveSets
+		c.DCache.Policy = p
+		return c
+	}
+	// A static policy ignores the dynamic controller's knobs.
+	a := mk(PolicySpec{Kind: PolicyStatic, StaticIndex: 1})
+	b := mk(PolicySpec{Kind: PolicyStatic, StaticIndex: 1, Interval: 4096, MissBound: 99})
+	if a.Key() != b.Key() {
+		t.Error("static policy key depends on dynamic-only fields")
+	}
+	// A dynamic policy ignores the static index.
+	c := mk(PolicySpec{Kind: PolicyDynamic, Interval: 4096, MissBound: 64})
+	d := mk(PolicySpec{Kind: PolicyDynamic, Interval: 4096, MissBound: 64, StaticIndex: 3})
+	if c.Key() != d.Key() {
+		t.Error("dynamic policy key depends on static index")
+	}
+	// No policy ignores everything.
+	e := mk(PolicySpec{})
+	f := mk(PolicySpec{StaticIndex: 2, Interval: 1024})
+	if e.Key() != f.Key() {
+		t.Error("nil policy key depends on policy parameters")
+	}
+	// The in-order engine forces a blocking d-cache: MSHRs are inert.
+	g := Default("gcc")
+	g.Engine = InOrder
+	h := g
+	h.MSHREntries = 32
+	if g.Key() != h.Key() {
+		t.Error("in-order key depends on d-cache MSHR entries")
+	}
+	// ... but they are meaningful out of order.
+	i := Default("gcc")
+	j := i
+	j.MSHREntries = 32
+	if i.Key() == j.Key() {
+		t.Error("out-of-order key ignores d-cache MSHR entries")
+	}
+}

@@ -29,10 +29,13 @@
 package resizecache
 
 import (
+	"context"
 	"fmt"
+	"slices"
 
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
 )
@@ -110,10 +113,58 @@ func Benchmarks() []string { return workload.Names() }
 
 // Simulate runs a scenario: it profiles the requested strategy per the
 // paper's methodology (offline sweep, minimum energy-delay product) and
-// returns the outcome.
+// returns the outcome. All simulations execute through the process-wide
+// shared runner, so repeated Simulate calls memoize against each other;
+// use a Session for an isolated memo store, or SimulateContext for
+// cancellation.
 func Simulate(sc Scenario) (Outcome, error) {
+	return SimulateContext(context.Background(), sc)
+}
+
+// SimulateContext is Simulate with cancellation: a cancelled context
+// stops the scenario's profiling sweeps between simulations.
+func SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
+	return simulate(ctx, sc, nil)
+}
+
+// Session shares one run-orchestration layer (worker pool plus memoized
+// result store, see internal/runner) across many Simulate calls while
+// staying isolated from the process-wide shared runner. Scenarios that
+// overlap — the same benchmark under different strategies, or single-
+// and dual-cache resizing of the same organization — re-use each other's
+// simulations, including the non-resizable baselines. The zero value is
+// not usable; construct with NewSession. Safe for concurrent use.
+type Session struct {
+	r *runner.Runner
+}
+
+// NewSession returns a Session with a fresh memo store.
+func NewSession() *Session {
+	return &Session{r: runner.New(runner.Options{})}
+}
+
+// Simulate is Session-scoped Simulate.
+func (s *Session) Simulate(sc Scenario) (Outcome, error) {
+	return s.SimulateContext(context.Background(), sc)
+}
+
+// SimulateContext is Session-scoped SimulateContext.
+func (s *Session) SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
+	return simulate(ctx, sc, s.r)
+}
+
+// Stats reports the session's scheduling counters: how many simulations
+// were submitted, how many actually ran, and how many were resolved from
+// the memo store or deduplicated in flight.
+func (s *Session) Stats() runner.Stats { return s.r.Stats() }
+
+func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, error) {
 	if sc.Benchmark == "" {
 		return Outcome{}, fmt.Errorf("resizecache: benchmark required (one of %v)", Benchmarks())
+	}
+	if !slices.Contains(Benchmarks(), sc.Benchmark) {
+		return Outcome{}, fmt.Errorf("resizecache: unknown benchmark %q (valid: %v)",
+			sc.Benchmark, Benchmarks())
 	}
 	if sc.Assoc == 0 {
 		sc.Assoc = 2
@@ -131,20 +182,21 @@ func Simulate(sc Scenario) (Outcome, error) {
 
 	opts := experiment.DefaultOptions()
 	opts.Instructions = sc.Instructions
+	opts.Runner = r // nil selects the shared default runner
 	if sc.InOrder {
 		opts.Engine = sim.InOrder
 	}
 
-	sweep := experiment.BestStatic
+	sweep := experiment.BestStaticContext
 	if sc.Strategy == Dynamic {
-		sweep = experiment.BestDynamic
+		sweep = experiment.BestDynamicContext
 	}
 
 	var out Outcome
 	var dBest, iBest experiment.Best
 	var err error
 	if resizeD {
-		dBest, err = sweep(sc.Benchmark, experiment.DSide, sc.Organization, sc.Assoc, opts)
+		dBest, err = sweep(ctx, sc.Benchmark, experiment.DSide, sc.Organization, sc.Assoc, opts)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -152,7 +204,7 @@ func Simulate(sc Scenario) (Outcome, error) {
 		out.DChosen = dBest.Desc
 	}
 	if resizeI {
-		iBest, err = sweep(sc.Benchmark, experiment.ISide, sc.Organization, sc.Assoc, opts)
+		iBest, err = sweep(ctx, sc.Benchmark, experiment.ISide, sc.Organization, sc.Assoc, opts)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -165,7 +217,7 @@ func Simulate(sc Scenario) (Outcome, error) {
 		// Combined run: the paper's additivity experiment shows the two
 		// resizings compose; EDP is measured in one simulation with both
 		// caches at their individually profiled configurations.
-		comb, err := experiment.Combined(sc.Benchmark, sc.Organization, sc.Assoc, dBest, iBest, opts)
+		comb, err := experiment.CombinedContext(ctx, sc.Benchmark, sc.Organization, sc.Assoc, dBest, iBest, opts)
 		if err != nil {
 			return Outcome{}, err
 		}

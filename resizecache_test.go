@@ -1,6 +1,11 @@
 package resizecache
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
 
 func TestBenchmarksList(t *testing.T) {
 	b := Benchmarks()
@@ -16,8 +21,60 @@ func TestSimulateValidation(t *testing.T) {
 	if _, err := Simulate(Scenario{Benchmark: "gcc"}); err == nil {
 		t.Fatal("non-resizable organization accepted")
 	}
-	if _, err := Simulate(Scenario{Benchmark: "nosuch", Organization: SelectiveSets}); err == nil {
+	err := func() error {
+		_, err := Simulate(Scenario{Benchmark: "nosuch", Organization: SelectiveSets})
+		return err
+	}()
+	if err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+	// The error must identify the bad name and the valid set up front,
+	// not surface from deep inside the workload layer.
+	if !strings.Contains(err.Error(), `"nosuch"`) || !strings.Contains(err.Error(), "gcc") {
+		t.Errorf("unhelpful unknown-benchmark error: %v", err)
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		ResizeDCache: true,
+		Instructions: 300_000,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSessionSharesMemoizedResults(t *testing.T) {
+	s := NewSession()
+	sc := Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		ResizeDCache: true,
+		Instructions: 200_000,
+	}
+	first, err := s.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := s.Stats()
+	second, err := s.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats()
+	if warm.Runs != cold.Runs {
+		t.Errorf("repeated scenario re-simulated: %d -> %d runs", cold.Runs, warm.Runs)
+	}
+	if warm.MemoHits <= cold.MemoHits {
+		t.Errorf("repeated scenario scored no memo hits: %+v", warm)
+	}
+	if first != second {
+		t.Errorf("memoized outcome changed: %+v vs %+v", first, second)
 	}
 }
 
