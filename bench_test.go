@@ -317,6 +317,63 @@ func BenchmarkRunnerMemoization(b *testing.B) {
 	b.ReportMetric(runs, "sims_run")
 }
 
+// BenchmarkArtifactCacheWarmFigures quantifies the sweep-artifact cache:
+// rendering one figure warms the next. Each iteration regenerates
+// Figure 4 on a cold runner, then Figure 6 — whose grid repeats every
+// (ways, sets) cell of Figure 4 — which must resolve those cells as
+// whole-sweep artifact hits, and finally Figure 4 again, which must
+// resolve every Best grid from the artifact cache with zero new
+// simulations (zero new submissions, even: warm sweeps never reach the
+// per-config layer).
+func BenchmarkArtifactCacheWarmFigures(b *testing.B) {
+	var coldNS, warmNS, crossHits, warmHits float64
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Runner = runner.New(runner.Options{})
+
+		start := time.Now()
+		if _, err := experiment.Figure4(opts); err != nil {
+			b.Fatal(err)
+		}
+		cold := time.Since(start)
+		afterFig4 := opts.Runner.Stats()
+		if afterFig4.ArtifactComputes == 0 {
+			b.Fatalf("cold figure computed no sweep artifacts: %+v", afterFig4)
+		}
+
+		if _, err := experiment.Figure6(opts); err != nil {
+			b.Fatal(err)
+		}
+		afterFig6 := opts.Runner.Stats()
+		if afterFig6.ArtifactHits == afterFig4.ArtifactHits {
+			b.Fatalf("figure 6 reused no sweep artifacts from figure 4: %+v", afterFig6)
+		}
+
+		start = time.Now()
+		if _, err := experiment.Figure4(opts); err != nil {
+			b.Fatal(err)
+		}
+		warm := time.Since(start)
+		st := opts.Runner.Stats()
+		if st.Runs != afterFig6.Runs {
+			b.Fatalf("warm figure re-simulated: %d -> %d runs", afterFig6.Runs, st.Runs)
+		}
+		if st.Submitted != afterFig6.Submitted {
+			b.Fatalf("warm figure reached the per-config layer: %d -> %d submitted",
+				afterFig6.Submitted, st.Submitted)
+		}
+		coldNS = float64(cold.Nanoseconds())
+		warmNS = float64(warm.Nanoseconds())
+		crossHits = float64(afterFig6.ArtifactHits - afterFig4.ArtifactHits)
+		warmHits = float64(st.ArtifactHits - afterFig6.ArtifactHits)
+	}
+	b.ReportMetric(coldNS, "cold_ns")
+	b.ReportMetric(warmNS, "warm_ns")
+	b.ReportMetric(coldNS/warmNS, "speedup_x")
+	b.ReportMetric(crossHits, "crossfigure_artifact_hits")
+	b.ReportMetric(warmHits, "warmfigure_artifact_hits")
+}
+
 // ---------------------------------------------------------------------
 // Raw-throughput benchmarks (simulator engineering, not paper results).
 // ---------------------------------------------------------------------

@@ -18,12 +18,18 @@
 // All simulations execute through one shared memoizing runner
 // (internal/runner), so overlapping experiments — Figure 4's grid inside
 // Figure 6's, the shared baselines of Figures 5 and 9 — simulate each
-// distinct configuration once. With -resume, results also persist to a
-// JSON store keyed by config fingerprint, so an interrupted or repeated
-// invocation re-simulates only what is missing. -stats prints the
-// scheduler's hit/miss counters to stderr on exit. Interrupting with
-// ^C cancels cleanly between simulations (and, with -resume, flushes
-// what completed).
+// distinct configuration once, and whole profiling sweeps (the
+// BestStatic/BestDynamic winner selections) memoize as sweep-level
+// artifacts, so a figure repeating a grid an earlier figure profiled
+// skips the sweep outright. With -resume, results and artifacts also
+// persist to a JSON store keyed by content fingerprint, so an
+// interrupted or repeated invocation re-simulates only what is missing
+// (persisted simulation *errors* replay without re-running; only
+// cancellations are retried). -memolimit bounds the in-memory memo
+// table with LRU eviction for very large sweeps. -stats prints the
+// scheduler's hit/miss and artifact counters to stderr on exit.
+// Interrupting with ^C cancels cleanly between simulations (and, with
+// -resume, flushes what completed).
 package main
 
 import (
@@ -44,8 +50,9 @@ func main() {
 		instr  = flag.Uint64("instr", 1_500_000, "instructions per simulation")
 		apps   = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
 		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		resume = flag.String("resume", "", "JSON result-store path for cross-process resume")
+		resume = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
 		stats  = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
+		memo   = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -59,7 +66,7 @@ func main() {
 		stop()
 	}()
 
-	ropts := runner.Options{Workers: *par}
+	ropts := runner.Options{Workers: *par, MemoLimit: *memo}
 	var store *runner.DiskStore
 	if *resume != "" {
 		var err error
@@ -85,8 +92,8 @@ func main() {
 		if err := store.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 		} else {
-			fmt.Fprintf(os.Stderr, "figures: result store %s holds %d results\n",
-				store.Path(), store.Len())
+			fmt.Fprintf(os.Stderr, "figures: result store %s holds %d results, %d sweep artifacts\n",
+				store.Path(), store.Len(), store.ArtifactLen())
 		}
 	}
 	if *stats {

@@ -7,8 +7,13 @@
 // (internal/runner): sweeps submit batches of configs to a shared
 // memoizing worker pool, so repeated configurations — most prominently
 // the non-resizable baseline every sweep compares against — simulate at
-// most once per runner. Every simulation is independently deterministic,
-// so results do not depend on scheduling.
+// most once per runner. On top of that, every winner-selection sweep
+// (BestStatic, BestDynamic and the sensitivity variants) memoizes its
+// outcome as a sweep-level artifact (see artifact.go), so a figure
+// driver repeating a grid another figure already profiled resolves the
+// whole sweep — not just its simulations — from cache. Every simulation
+// is independently deterministic, so results do not depend on
+// scheduling.
 package experiment
 
 import (
@@ -191,31 +196,47 @@ func BestStaticContext(ctx context.Context, app string, side Side, org core.Orga
 	if err := checkSweepSide(side); err != nil {
 		return Best{}, err
 	}
-	sched, err := core.BuildSchedule(l1Geom(assoc), org)
+	return bestStaticWithBase(ctx, app, side, org,
+		baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc), opts)
+}
+
+// bestStaticWithBase is the static-sweep core, parameterized over the
+// base config so sensitivity studies can vary non-L1 parameters (L2
+// size, subarray granularity). The whole sweep memoizes as one artifact
+// through the runner's artifact cache, keyed by the configs it would
+// run — so a repeated sweep (the same grid cell in a later figure, or a
+// resumed process with a persistent store) resolves without submitting
+// a single simulation.
+func bestStaticWithBase(ctx context.Context, app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
+	geom := base.DCache.Geom
+	if side == ISide {
+		geom = base.ICache.Geom
+	}
+	sched, err := core.BuildSchedule(geom, org)
 	if err != nil {
 		return Best{}, err
 	}
-	cfgs := []sim.Config{baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)}
+	cfgs := []sim.Config{base}
 	for i := range sched.Points {
-		cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
-		applySide(&cfg, side, sim.CacheSpec{
-			Geom: l1Geom(assoc), Org: org,
-			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i},
-		})
+		cfg := base
+		applySide(&cfg, side, sim.CacheSpec{Geom: geom, Org: org,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
 		cfgs = append(cfgs, cfg)
 	}
-	res, err := opts.runAll(ctx, cfgs)
-	if err != nil {
-		return Best{}, err
-	}
-	bestIdx := pickBest(res)
-	return Best{
-		App: app, Side: side, Org: org,
-		Desc:   fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
-		Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1},
-		Chosen: res[bestIdx],
-		Base:   res[0],
-	}, nil
+	return cachedBest(ctx, opts.runner(), "best-static", cfgs, func(ctx context.Context) (Best, error) {
+		res, err := opts.runAll(ctx, cfgs)
+		if err != nil {
+			return Best{}, err
+		}
+		bestIdx := pickBest(res)
+		return Best{
+			App: app, Side: side, Org: org,
+			Desc:   fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
+			Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1},
+			Chosen: res[bestIdx],
+			Base:   res[0],
+		}, nil
+	})
 }
 
 // DynamicParams is one dynamic-controller parameterization.
@@ -292,22 +313,24 @@ func BestDynamicContext(ctx context.Context, app string, side Side, org core.Org
 		})
 		cfgs = append(cfgs, cfg)
 	}
-	res, err := opts.runAll(ctx, cfgs)
-	if err != nil {
-		return Best{}, err
-	}
-	bestIdx := pickBest(res)
-	p := cands[bestIdx-1]
-	return Best{
-		App: app, Side: side, Org: org,
-		Desc: fmt.Sprintf("dynamic mb=%d sb=%s", p.MissBound,
-			geometry.FormatSize(p.SizeBoundBytes)),
-		Spec: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
-			MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
-			UpsizeHoldIntervals: p.UpsizeHold},
-		Chosen: res[bestIdx],
-		Base:   res[0],
-	}, nil
+	return cachedBest(ctx, opts.runner(), "best-dynamic", cfgs, func(ctx context.Context) (Best, error) {
+		res, err := opts.runAll(ctx, cfgs)
+		if err != nil {
+			return Best{}, err
+		}
+		bestIdx := pickBest(res)
+		p := cands[bestIdx-1]
+		return Best{
+			App: app, Side: side, Org: org,
+			Desc: fmt.Sprintf("dynamic mb=%d sb=%s", p.MissBound,
+				geometry.FormatSize(p.SizeBoundBytes)),
+			Spec: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
+				MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
+				UpsizeHoldIntervals: p.UpsizeHold},
+			Chosen: res[bestIdx],
+			Base:   res[0],
+		}, nil
+	})
 }
 
 // Combined runs one simulation with both L1s resizing at their

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"context"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -300,13 +302,190 @@ func TestDynamicCandidatesDeduplicated(t *testing.T) {
 	}
 }
 
-func TestScheduleIndexForAvg(t *testing.T) {
-	sched, _ := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
-	if idx := scheduleIndexForAvg(sched, float64(sched.Points[0].Bytes)); idx != 0 {
-		t.Errorf("full size -> %d", idx)
+// tinyArtifactOpts runs one app at minimal fidelity on a private runner
+// — enough to exercise caching plumbing without a full-fidelity sweep.
+func tinyArtifactOpts() Options {
+	opts := DefaultOptions()
+	opts.Instructions = 60_000
+	opts.Apps = []string{"m88ksim"}
+	opts.Runner = runner.New(runner.Options{})
+	return opts
+}
+
+// TestCombinedUsesProfiledSpecs guards the Figure 9 plumbing: the
+// combined run must hold exactly the schedule points named by the
+// profiled winners' Spec.StaticIndex — not points re-derived from
+// average sizes, which can mispick between near-equal entries.
+func TestCombinedUsesProfiledSpecs(t *testing.T) {
+	opts := tinyArtifactOpts()
+	sched, err := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
+	if err != nil {
+		t.Fatal(err)
 	}
-	last := len(sched.Points) - 1
-	if idx := scheduleIndexForAvg(sched, float64(sched.Points[last].Bytes)); idx != last {
-		t.Errorf("min size -> %d", idx)
+	if len(sched.Points) < 3 {
+		t.Fatalf("schedule too short: %d points", len(sched.Points))
+	}
+	dIdx, iIdx := 1, 2
+	mkBest := func(side Side, idx int) Best {
+		return Best{App: "m88ksim", Side: side, Org: core.SelectiveSets,
+			Spec: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: idx}}
+	}
+	comb, err := Combined("m88ksim", core.SelectiveSets, 2,
+		mkBest(DSide, dIdx), mkBest(ISide, iIdx), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, avg float64, idx int) {
+		want := float64(sched.Points[idx].Bytes)
+		if avg < 0.99*want || avg > 1.01*want {
+			t.Errorf("%s held %.0f bytes, want schedule point %d (%.0f)", name, avg, idx, want)
+		}
+	}
+	check("d-cache", comb.Chosen.DCache.AvgBytes, dIdx)
+	check("i-cache", comb.Chosen.ICache.AvgBytes, iIdx)
+}
+
+// TestSweepArtifactWarmsAcrossDrivers: regenerating one figure's grid
+// warms the next. Figure 6 repeats Figure 4's (ways, sets) cells and
+// adds hybrid; the repeated cells must resolve as whole-sweep artifact
+// hits, and re-rendering the first grid must submit zero configs.
+func TestSweepArtifactWarmsAcrossDrivers(t *testing.T) {
+	opts := tinyArtifactOpts()
+	ctx := context.Background()
+	grid := func(orgs ...core.Organization) {
+		t.Helper()
+		if _, _, err := sweepOrgGrid(ctx, orgs, []int{2}, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid(core.SelectiveWays, core.SelectiveSets) // Figure 4's cells
+	cold := opts.Runner.Stats()
+	if cold.ArtifactComputes != 4 { // 2 sides x 2 orgs x 1 app
+		t.Fatalf("cold grid computed %d artifacts, want 4", cold.ArtifactComputes)
+	}
+	if cold.ArtifactHits != 0 {
+		t.Fatalf("cold grid scored %d artifact hits, want 0", cold.ArtifactHits)
+	}
+
+	grid(core.Hybrid, core.SelectiveWays, core.SelectiveSets) // Figure 6 repeats them
+	warm := opts.Runner.Stats()
+	if got := warm.ArtifactHits - cold.ArtifactHits; got != 4 {
+		t.Errorf("repeated cells scored %d artifact hits, want 4", got)
+	}
+	if got := warm.ArtifactComputes - cold.ArtifactComputes; got != 2 { // hybrid only
+		t.Errorf("warm grid computed %d new artifacts, want 2 (hybrid)", got)
+	}
+
+	grid(core.SelectiveWays, core.SelectiveSets) // fully warm
+	again := opts.Runner.Stats()
+	if again.Submitted != warm.Submitted || again.Runs != warm.Runs {
+		t.Errorf("fully warm grid submitted configs: %d -> %d submitted, %d -> %d runs",
+			warm.Submitted, again.Submitted, warm.Runs, again.Runs)
+	}
+}
+
+// TestSweepArtifactResumesFromStore: with a persistent store, a fresh
+// runner (a new process in real use) resolves a repeated sweep from the
+// artifact tier — zero submissions — and returns the identical Best.
+func TestSweepArtifactResumesFromStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	store, err := runner.OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tinyArtifactOpts()
+	opts.Runner = runner.New(runner.Options{Store: store})
+	first, err := BestStatic("m88ksim", DSide, core.SelectiveSets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := runner.OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Runner = runner.New(runner.Options{Store: store2})
+	second, err := BestStatic("m88ksim", DSide, core.SelectiveSets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opts.Runner.Stats()
+	if st.ArtifactStoreHits != 1 || st.Submitted != 0 || st.Runs != 0 {
+		t.Errorf("resumed sweep stats = %+v, want 1 artifact store hit, 0 submitted, 0 runs", st)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("resumed Best differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestCachedBestRepairsUndecodablePayload: a stored payload that no
+// longer decodes must cost exactly one recompute — the fresh payload
+// repairs both tiers, so later calls (and later processes) hit again.
+func TestCachedBestRepairsUndecodablePayload(t *testing.T) {
+	store := runner.NewMemStore()
+	cfg := sim.Default("gcc")
+	cfg.Instructions = 1000
+	cfgs := []sim.Config{cfg}
+	store.RecordArtifact(sweepArtifactKey("best-static", cfgs), []byte("not json"))
+
+	var computes int
+	want := Best{App: "gcc", Desc: "static 8K/2-way"}
+	compute := func(context.Context) (Best, error) {
+		computes++
+		return want, nil
+	}
+	ctx := context.Background()
+	r1 := runner.New(runner.Options{Store: store})
+	got, err := cachedBest(ctx, r1, "best-static", cfgs, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != want.App || got.Desc != want.Desc {
+		t.Errorf("repair returned %+v, want %+v", got, want)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	// Same runner: the repaired in-memory tier must decode.
+	if _, err := cachedBest(ctx, r1, "best-static", cfgs, compute); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh runner, same store: the repaired persistent tier must decode.
+	r2 := runner.New(runner.Options{Store: store})
+	again, err := cachedBest(ctx, r2, "best-static", cfgs, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Errorf("repaired payload recomputed (computes = %d)", computes)
+	}
+	if again.Desc != want.Desc {
+		t.Errorf("repaired store returned %+v", again)
+	}
+}
+
+// TestSweepArtifactKeySeparatesSweeps: distinct sweeps must fingerprint
+// apart even when they share structure, and identical sweeps must not.
+func TestSweepArtifactKeySeparatesSweeps(t *testing.T) {
+	cfgs := func(app string, n uint64) []sim.Config {
+		c := sim.Default(app)
+		c.Instructions = n
+		return []sim.Config{c}
+	}
+	a := sweepArtifactKey("best-static", cfgs("gcc", 1000))
+	if b := sweepArtifactKey("best-static", cfgs("gcc", 1000)); a != b {
+		t.Error("identical sweeps fingerprint apart")
+	}
+	if b := sweepArtifactKey("best-dynamic", cfgs("gcc", 1000)); a == b {
+		t.Error("sweep kind does not move the fingerprint")
+	}
+	if b := sweepArtifactKey("best-static", cfgs("vpr", 1000)); a == b {
+		t.Error("config contents do not move the fingerprint")
+	}
+	if b := sweepArtifactKey("best-static", append(cfgs("gcc", 1000), cfgs("gcc", 2000)...)); a == b {
+		t.Error("config count does not move the fingerprint")
 	}
 }

@@ -513,23 +513,15 @@ func Figure9Context(ctx context.Context, opts Options) (Fig9Result, error) {
 		if err != nil {
 			return out, err
 		}
-		// Extract chosen static indices by re-deriving the schedule.
-		sched, err := core.BuildSchedule(l1Geom(2), core.SelectiveSets)
+		// The combined run reuses each profiled winner's Spec verbatim
+		// (Best.Spec.StaticIndex carries the chosen schedule point), so the
+		// "both" configuration is exactly the standalone winners composed —
+		// no lossy reverse-lookup from average sizes.
+		comb, err := CombinedContext(ctx, app, core.SelectiveSets, 2, dBest, iBest, opts)
 		if err != nil {
 			return out, err
 		}
-		dIdx := scheduleIndexForAvg(sched, dBest.Chosen.DCache.AvgBytes)
-		iIdx := scheduleIndexForAvg(sched, iBest.Chosen.ICache.AvgBytes)
-
-		both := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
-		both.DCache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
-			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: dIdx}}
-		both.ICache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
-			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: iIdx}}
-		bothRes, err := opts.runner().Run(ctx, both)
-		if err != nil {
-			return out, err
-		}
+		bothRes := comb.Chosen
 
 		base := dBest.Base // non-resizable baseline, same for all three
 		full := float64(2 * 32 << 10)
@@ -547,23 +539,6 @@ func Figure9Context(ctx context.Context, opts Options) (Fig9Result, error) {
 	}
 	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].App < out.Rows[j].App })
 	return out, nil
-}
-
-// scheduleIndexForAvg maps a static run's average size back to its
-// schedule index (static runs hold one size for the whole run).
-func scheduleIndexForAvg(sched core.Schedule, avgBytes float64) int {
-	bestIdx, bestDiff := 0, -1.0
-	for i, p := range sched.Points {
-		d := avgBytes - float64(p.Bytes)
-		if d < 0 {
-			d = -d
-		}
-		if bestDiff < 0 || d < bestDiff {
-			bestDiff = d
-			bestIdx = i
-		}
-	}
-	return bestIdx
 }
 
 // Render formats Figure 9.

@@ -47,20 +47,12 @@ func SubarraySensitivityContext(ctx context.Context, opts Options) ([]Sensitivit
 		for _, app := range apps {
 			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
 			base.DCache.Geom = geom
-			cfgs := []sim.Config{base}
-			for i := range sched.Points {
-				cfg := base
-				cfg.DCache = sim.CacheSpec{Geom: geom, Org: core.SelectiveSets,
-					Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}}
-				cfgs = append(cfgs, cfg)
-			}
-			res, err := opts.runAll(ctx, cfgs)
+			best, err := bestStaticWithBase(ctx, app, DSide, core.SelectiveSets, base, opts)
 			if err != nil {
 				return nil, err
 			}
-			best := pickBest(res)
-			edp += res[best].EDP.ReductionPct(res[0].EDP)
-			size += res[best].DCache.SizeReductionPct()
+			edp += best.EDPReductionPct()
+			size += best.SizeReductionPct()
 		}
 		n := float64(len(apps))
 		out = append(out, SensitivityRow{
@@ -142,38 +134,6 @@ func L2SensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, 
 		})
 	}
 	return out, nil
-}
-
-// bestStaticWithBase is BestStatic over a caller-provided base config
-// (used by sweeps that vary non-L1 parameters).
-func bestStaticWithBase(ctx context.Context, app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
-	geom := base.DCache.Geom
-	if side == ISide {
-		geom = base.ICache.Geom
-	}
-	sched, err := core.BuildSchedule(geom, org)
-	if err != nil {
-		return Best{}, err
-	}
-	cfgs := []sim.Config{base}
-	for i := range sched.Points {
-		cfg := base
-		applySide(&cfg, side, sim.CacheSpec{Geom: geom, Org: org,
-			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
-		cfgs = append(cfgs, cfg)
-	}
-	res, err := opts.runAll(ctx, cfgs)
-	if err != nil {
-		return Best{}, err
-	}
-	best := pickBest(res)
-	return Best{
-		App: app, Side: side, Org: org,
-		Desc:   fmt.Sprintf("static %v", sched.Points[best-1]),
-		Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: best - 1},
-		Chosen: res[best],
-		Base:   res[0],
-	}, nil
 }
 
 // RenderSensitivity formats a sweep as a text table.

@@ -7,11 +7,16 @@
 // whole sweeps — so the Runner:
 //
 //   - memoizes completed results, so an identical config simulates once
-//     per process (or once ever, with an on-disk store);
+//     per process (or once ever, with a persistent store);
 //   - deduplicates identical configs that are in flight concurrently,
 //     so parallel sweeps sharing a baseline do not race to re-run it;
+//   - memoizes sweep-level artifacts (serialized winner selections, see
+//     Artifact) so whole sweeps — not just individual configs — resolve
+//     without re-running when a later figure driver repeats them;
 //   - bounds concurrency with one shared semaphore instead of a pool
 //     per sweep, so nested experiment drivers cannot oversubscribe;
+//   - optionally bounds the in-memory memo table with LRU eviction, so
+//     very large sweeps cannot grow it without limit;
 //   - honours context cancellation between (not within) simulations;
 //   - returns batch results in deterministic submission order.
 //
@@ -21,6 +26,7 @@
 package runner
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -35,10 +41,17 @@ import (
 type Options struct {
 	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS).
 	Workers int
-	// Store, if non-nil, persists results across processes: fingerprints
-	// found in the store resolve without simulating, and every fresh
-	// result is added to it. Call Store.Flush to write it out.
-	Store *DiskStore
+	// Store, if non-nil, persists results and sweep artifacts across
+	// processes: fingerprints found in the store resolve without
+	// simulating, and every fresh outcome — including real simulation
+	// errors, but never cancellations — is added to it. Call Store.Flush
+	// to write it out.
+	Store Store
+	// MemoLimit bounds the number of completed entries kept in the
+	// in-memory memo table; the least recently used entry is evicted
+	// beyond it (0 = unbounded). Evicted configs re-simulate on the next
+	// submission unless a Store still holds them.
+	MemoLimit int
 	// runSim is the simulation entry point; tests stub it.
 	runSim func(sim.Config) (sim.Result, error)
 }
@@ -49,44 +62,63 @@ type Stats struct {
 	Submitted uint64
 	// MemoHits resolved against an already-completed in-memory result.
 	MemoHits uint64
-	// StoreHits resolved against the on-disk store without simulating.
+	// StoreHits resolved against the persistent store without simulating.
 	StoreHits uint64
 	// InFlightDedups joined an identical config already executing.
 	InFlightDedups uint64
 	// Runs actually executed a simulation.
 	Runs uint64
-	// Errors counts simulations that returned an error.
+	// Errors counts failed submissions: fresh simulations that returned
+	// an error plus stored failures replayed from the persistent store.
 	Errors uint64
+	// Evictions counts completed memo entries dropped by the LRU bound.
+	Evictions uint64
+	// ArtifactHits resolved a sweep-level artifact from the in-memory
+	// tier (including joins of an in-flight computation).
+	ArtifactHits uint64
+	// ArtifactStoreHits resolved an artifact from the persistent store.
+	ArtifactStoreHits uint64
+	// ArtifactComputes ran a sweep to produce an artifact.
+	ArtifactComputes uint64
 }
 
 // Hits is the total number of submissions that skipped simulation.
 func (s Stats) Hits() uint64 { return s.MemoHits + s.StoreHits + s.InFlightDedups }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors",
-		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors)
+	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; artifacts: %d hits, %d store hits, %d computes",
+		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors,
+		s.Evictions, s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
 }
 
 // entry is one fingerprint's slot in the memo table. The owner (the
 // goroutine that created the entry) simulates and closes done; waiters
-// block on done. Completed entries stay in the table as the memo store.
+// block on done. Completed entries stay in the table as the memo store,
+// tracked by the LRU list when a memo limit is set.
 type entry struct {
 	done chan struct{}
 	res  sim.Result
 	err  error
+	elem *list.Element // LRU position once completed (nil if unbounded)
 }
 
 // Runner schedules simulations; see the package comment. The zero value
 // is not usable — construct with New or share Default.
 type Runner struct {
-	sem    chan struct{}
-	store  *DiskStore
-	runSim func(sim.Config) (sim.Result, error)
+	sem       chan struct{}
+	store     Store
+	memoLimit int
+	runSim    func(sim.Config) (sim.Result, error)
 
 	mu      sync.Mutex
 	entries map[sim.Key]*entry
+	lru     *list.List // of sim.Key; front = most recently used
+
+	artMu     sync.Mutex
+	artifacts map[sim.Key]*artifactEntry
 
 	submitted, memoHits, storeHits, dedups, runs, errs atomic.Uint64
+	evictions, artHits, artStoreHits, artComputes      atomic.Uint64
 }
 
 // New constructs a Runner.
@@ -100,10 +132,13 @@ func New(opts Options) *Runner {
 		run = sim.Run
 	}
 	return &Runner{
-		sem:     make(chan struct{}, workers),
-		store:   opts.Store,
-		runSim:  run,
-		entries: make(map[sim.Key]*entry),
+		sem:       make(chan struct{}, workers),
+		store:     opts.Store,
+		memoLimit: opts.MemoLimit,
+		runSim:    run,
+		entries:   make(map[sim.Key]*entry),
+		lru:       list.New(),
+		artifacts: make(map[sim.Key]*artifactEntry),
 	}
 }
 
@@ -113,7 +148,7 @@ var (
 )
 
 // Default returns the process-wide shared Runner (GOMAXPROCS workers, no
-// disk store). Sweeps that share it memoize across each other.
+// persistent store). Sweeps that share it memoize across each other.
 func Default() *Runner {
 	defaultOnce.Do(func() { defaultRunner = New(Options{}) })
 	return defaultRunner
@@ -122,12 +157,16 @@ func Default() *Runner {
 // Stats snapshots the counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Submitted:      r.submitted.Load(),
-		MemoHits:       r.memoHits.Load(),
-		StoreHits:      r.storeHits.Load(),
-		InFlightDedups: r.dedups.Load(),
-		Runs:           r.runs.Load(),
-		Errors:         r.errs.Load(),
+		Submitted:         r.submitted.Load(),
+		MemoHits:          r.memoHits.Load(),
+		StoreHits:         r.storeHits.Load(),
+		InFlightDedups:    r.dedups.Load(),
+		Runs:              r.runs.Load(),
+		Errors:            r.errs.Load(),
+		Evictions:         r.evictions.Load(),
+		ArtifactHits:      r.artHits.Load(),
+		ArtifactStoreHits: r.artStoreHits.Load(),
+		ArtifactComputes:  r.artComputes.Load(),
 	}
 }
 
@@ -158,6 +197,9 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 	if e, ok := r.entries[key]; ok {
 		select {
 		case <-e.done: // completed: memo hit
+			if e.elem != nil {
+				r.lru.MoveToFront(e.elem)
+			}
 			r.mu.Unlock()
 			r.memoHits.Add(1)
 			return e.res, e.err, false
@@ -180,10 +222,17 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 	r.mu.Unlock()
 
 	if r.store != nil {
-		if res, ok := r.store.get(key); ok {
+		if sr, ok := r.store.Lookup(key); ok {
 			r.storeHits.Add(1)
-			r.complete(key, e, res, nil)
-			return res, nil, false
+			var err error
+			if sr.Err != "" {
+				// Replay the persisted failure instead of re-simulating a
+				// config known to fail.
+				err = &StoredError{Msg: sr.Err}
+				r.errs.Add(1)
+			}
+			r.complete(key, e, sr.Result, err)
+			return sr.Result, err, false
 		}
 	}
 
@@ -201,22 +250,37 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 	if err != nil {
 		r.errs.Add(1)
 	}
-	if err == nil && r.store != nil {
-		r.store.put(key, res)
+	if r.store != nil && !isCancellation(err) {
+		sr := StoredResult{Result: res}
+		if err != nil {
+			sr.Err = err.Error()
+		}
+		r.store.Record(key, sr)
 	}
 	r.complete(key, e, res, err)
 	return res, err, false
 }
 
 // complete publishes an entry's outcome. Cancellation outcomes are
-// evicted from the table so the fingerprint can be retried later.
+// evicted from the table so the fingerprint can be retried later; other
+// outcomes join the LRU list when a memo limit is set, evicting the
+// least recently used completed entries beyond the bound.
 func (r *Runner) complete(key sim.Key, e *entry, res sim.Result, err error) {
 	e.res, e.err = res, err
-	if err != nil && isCancellation(err) {
-		r.mu.Lock()
+	r.mu.Lock()
+	switch {
+	case err != nil && isCancellation(err):
 		delete(r.entries, key)
-		r.mu.Unlock()
+	case r.memoLimit > 0:
+		e.elem = r.lru.PushFront(key)
+		for r.lru.Len() > r.memoLimit {
+			oldest := r.lru.Back()
+			r.lru.Remove(oldest)
+			delete(r.entries, oldest.Value.(sim.Key))
+			r.evictions.Add(1)
+		}
 	}
+	r.mu.Unlock()
 	close(e.done)
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -286,12 +288,299 @@ func TestDiskStoreFlushIsIdempotent(t *testing.T) {
 	if err := store.Flush(); err != nil { // nothing dirty: no file needed
 		t.Fatal(err)
 	}
-	store.put(sim.Default("gcc").Key(), sim.Result{})
+	store.Record(sim.Default("gcc").Key(), StoredResult{})
 	if err := store.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.Flush(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStoredErrorReplayedWithoutSimulating(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	boom := errors.New("boom")
+	store, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := New(Options{Workers: 1, Store: store, runSim: func(sim.Config) (sim.Result, error) {
+		return sim.Result{}, boom
+	}})
+	if _, err := r1.Run(context.Background(), cfgN(0)); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process must replay the persisted failure, not re-run it.
+	store2, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	r2 := New(Options{Workers: 1, Store: store2, runSim: func(sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Result{}, nil
+	}})
+	_, err = r2.Run(context.Background(), cfgN(0))
+	var se *StoredError
+	if !errors.As(err, &se) || !strings.Contains(se.Error(), "boom") {
+		t.Fatalf("want replayed StoredError(boom), got %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("stored failure re-simulated %d times", calls.Load())
+	}
+	if st := r2.Stats(); st.StoreHits != 1 || st.Runs != 0 || st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 store hit / 0 runs / 1 error", st)
+	}
+}
+
+func TestCancellationsAreNeverPersisted(t *testing.T) {
+	store := NewMemStore()
+	r := New(Options{Workers: 1, Store: store, runSim: func(sim.Config) (sim.Result, error) {
+		return sim.Result{}, context.Canceled
+	}})
+	if _, err := r.Run(context.Background(), cfgN(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, ok := store.Lookup(cfgN(0).Key()); ok {
+		t.Error("cancellation outcome was persisted")
+	}
+	// The fingerprint stays retryable, and the retry's success persists.
+	var calls atomic.Int32
+	r2 := New(Options{Workers: 1, Store: store, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	if _, err := r2.Run(context.Background(), cfgN(0)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("retry simulated %d times, want 1", calls.Load())
+	}
+	if _, ok := store.Lookup(cfgN(0).Key()); !ok {
+		t.Error("successful retry was not persisted")
+	}
+}
+
+func TestDiskStoreCorruptAndVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(corrupt); err == nil {
+		t.Error("corrupted store file accepted")
+	}
+
+	// A version-mismatched file loads as empty and is overwritten whole
+	// on the next flush, never partially merged.
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte(`{"version":1,"results":{"deadbeef":{}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDiskStore(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("version-mismatched store loaded %d results", s.Len())
+	}
+	s.Record(cfgN(0).Key(), StoredResult{Result: stubResult(cfgN(0))})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("rewritten store holds %d results, want 1", s2.Len())
+	}
+	if _, ok := s2.Lookup(cfgN(0).Key()); !ok {
+		t.Error("rewritten store lost the fresh result")
+	}
+}
+
+func TestMemStoreIsAPluggableBackend(t *testing.T) {
+	store := NewMemStore()
+	var calls atomic.Int32
+	runSim := func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}
+	r1 := New(Options{Workers: 1, Store: store, runSim: runSim})
+	if _, err := r1.Run(context.Background(), cfgN(0)); err != nil {
+		t.Fatal(err)
+	}
+	// A second runner sharing the backend resolves without simulating.
+	r2 := New(Options{Workers: 1, Store: store, runSim: runSim})
+	res, err := r2.Run(context.Background(), cfgN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != cfgN(0).Instructions {
+		t.Error("backend returned wrong result")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("simulated %d times across runners, want 1", calls.Load())
+	}
+	if st := r2.Stats(); st.StoreHits != 1 {
+		t.Errorf("store hits = %d, want 1", st.StoreHits)
+	}
+}
+
+func TestMemoLRUEviction(t *testing.T) {
+	var calls atomic.Int32
+	r := New(Options{Workers: 1, MemoLimit: 2, runSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // fills the table, evicting cfg 0
+		if _, err := r.Run(ctx, cfgN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("cold runs = %d, want 3", calls.Load())
+	}
+	if _, err := r.Run(ctx, cfgN(2)); err != nil { // memo hit; refreshes recency
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Error("resident entry re-simulated")
+	}
+	if _, err := r.Run(ctx, cfgN(0)); err != nil { // evicted: must re-simulate
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("evicted entry not re-simulated (calls = %d)", calls.Load())
+	}
+	// cfg 2 was touched after cfg 1, so re-admitting cfg 0 evicted cfg 1
+	// — cfg 2 must still be resident (i.e. recency, not insertion order).
+	if _, err := r.Run(ctx, cfgN(2)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("recently used entry was evicted (calls = %d)", calls.Load())
+	}
+	if st := r.Stats(); st.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2", st.Evictions)
+	}
+}
+
+func TestArtifactMemoizesAndPersists(t *testing.T) {
+	store := NewMemStore()
+	r := New(Options{Workers: 1, Store: store})
+	key := sim.NewKeyBuilder("runner-test").Str("artifact").Sum()
+	var computes atomic.Int32
+	compute := func(context.Context) ([]byte, error) {
+		computes.Add(1)
+		return []byte(`{"v":1}`), nil
+	}
+	ctx := context.Background()
+	a, err := r.Artifact(ctx, key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Artifact(ctx, key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != `{"v":1}` || string(b) != string(a) {
+		t.Errorf("artifact payloads differ: %q vs %q", a, b)
+	}
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times, want 1", computes.Load())
+	}
+	if st := r.Stats(); st.ArtifactHits != 1 || st.ArtifactComputes != 1 {
+		t.Errorf("stats = %+v, want 1 artifact hit / 1 compute", st)
+	}
+
+	// A fresh runner sharing the store resolves from the persistent tier.
+	r2 := New(Options{Workers: 1, Store: store})
+	c, err := r2.Artifact(ctx, key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != string(a) {
+		t.Error("persistent tier returned wrong payload")
+	}
+	if computes.Load() != 1 {
+		t.Error("persistent tier miss recomputed the artifact")
+	}
+	if st := r2.Stats(); st.ArtifactStoreHits != 1 {
+		t.Errorf("artifact store hits = %d, want 1", st.ArtifactStoreHits)
+	}
+}
+
+func TestArtifactErrorsAreNotMemoized(t *testing.T) {
+	r := New(Options{Workers: 1})
+	key := sim.NewKeyBuilder("runner-test").Str("flaky").Sum()
+	boom := errors.New("boom")
+	fail := true
+	ctx := context.Background()
+	if _, err := r.Artifact(ctx, key, func(context.Context) ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	data, err := r.Artifact(ctx, key, func(context.Context) ([]byte, error) {
+		fail = false
+		return []byte("ok"), nil
+	})
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("failed fingerprint not retried: %q, %v", data, err)
+	}
+	if fail {
+		t.Error("second compute never ran")
+	}
+}
+
+func TestArtifactInFlightDedup(t *testing.T) {
+	const waiters = 6
+	r := New(Options{Workers: waiters})
+	key := sim.NewKeyBuilder("runner-test").Str("concurrent").Sum()
+	release := make(chan struct{})
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	outs := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = r.Artifact(context.Background(), key, func(context.Context) ([]byte, error) {
+				computes.Add(1)
+				<-release
+				return []byte("shared"), nil
+			})
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for computes.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no compute started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if string(outs[i]) != "shared" {
+			t.Errorf("waiter %d got %q", i, outs[i])
+		}
+	}
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times, want 1", computes.Load())
 	}
 }
 

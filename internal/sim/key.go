@@ -104,6 +104,55 @@ func (c Config) Key() Key {
 	return k
 }
 
+// KeyBuilder accumulates explicitly ordered fields into a
+// content-addressed fingerprint with the same encoding rules as
+// Config.Key (fixed-width integers, length-prefixed strings, the shared
+// keyVersion prefix). Higher layers use it to fingerprint values
+// *derived from* configs — most prominently sweep-level artifacts in
+// the run-orchestration layer, keyed by the fingerprints of every
+// config the sweep would run — so one versioning scheme invalidates
+// both per-config results and derived artifacts together.
+//
+// A builder is single-use: construct with NewKeyBuilder, append fields,
+// call Sum once.
+type KeyBuilder struct {
+	h hash.Hash
+	w keyWriter
+}
+
+// NewKeyBuilder starts a fingerprint in a named domain; distinct
+// domains never collide even over identical field sequences.
+func NewKeyBuilder(domain string) *KeyBuilder {
+	h := sha256.New()
+	b := &KeyBuilder{h: h, w: keyWriter{h: h}}
+	b.w.u64(keyVersion)
+	b.w.str(domain)
+	return b
+}
+
+// U64 appends an unsigned integer field.
+func (b *KeyBuilder) U64(v uint64) *KeyBuilder { b.w.u64(v); return b }
+
+// Int appends a signed integer field.
+func (b *KeyBuilder) Int(v int) *KeyBuilder { b.w.i(v); return b }
+
+// Str appends a string field (length-prefixed; never aliases).
+func (b *KeyBuilder) Str(s string) *KeyBuilder { b.w.str(s); return b }
+
+// RawKey appends another fingerprint (e.g. a Config.Key) as a field.
+func (b *KeyBuilder) RawKey(k Key) *KeyBuilder {
+	b.w.u64(uint64(len(k)))
+	b.h.Write(k[:])
+	return b
+}
+
+// Sum finalizes the fingerprint.
+func (b *KeyBuilder) Sum() Key {
+	var k Key
+	b.h.Sum(k[:0])
+	return k
+}
+
 // keyWriter streams fixed-width, field-order-stable encodings into the
 // hash. Strings are length-prefixed so adjacent fields cannot alias.
 type keyWriter struct {

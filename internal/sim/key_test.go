@@ -58,6 +58,47 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 	}
 }
 
+// TestKeyBuilderStability: identical field sequences fingerprint
+// identically, and every perturbation — value, order, field boundary,
+// domain — moves the key. The artifact cache depends on both halves:
+// stability for hits, sensitivity against collisions.
+func TestKeyBuilderStability(t *testing.T) {
+	mk := func() Key {
+		return NewKeyBuilder("d").Str("app").Int(4).U64(9).RawKey(Default("gcc").Key()).Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("identical builder sequences produced different keys")
+	}
+	variants := map[string]Key{
+		"base":           mk(),
+		"domain":         NewKeyBuilder("e").Str("app").Int(4).U64(9).RawKey(Default("gcc").Key()).Sum(),
+		"str value":      NewKeyBuilder("d").Str("app2").Int(4).U64(9).RawKey(Default("gcc").Key()).Sum(),
+		"int value":      NewKeyBuilder("d").Str("app").Int(5).U64(9).RawKey(Default("gcc").Key()).Sum(),
+		"field order":    NewKeyBuilder("d").Int(4).Str("app").U64(9).RawKey(Default("gcc").Key()).Sum(),
+		"raw key":        NewKeyBuilder("d").Str("app").Int(4).U64(9).RawKey(Default("vpr").Key()).Sum(),
+		"dropped field":  NewKeyBuilder("d").Str("app").Int(4).RawKey(Default("gcc").Key()).Sum(),
+		"no raw key":     NewKeyBuilder("d").Str("app").Int(4).U64(9).Sum(),
+		"empty sequence": NewKeyBuilder("d").Sum(),
+	}
+	seen := map[Key]string{}
+	for name, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeyBuilderNoAliasing: adjacent string fields must not alias under
+// re-chunking (the classic "ab"+"c" vs "a"+"bc" hash mistake).
+func TestKeyBuilderNoAliasing(t *testing.T) {
+	a := NewKeyBuilder("d").Str("ab").Str("c").Sum()
+	b := NewKeyBuilder("d").Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("string fields alias across boundaries")
+	}
+}
+
 // TestKeyCanonicalization verifies that fields the configured policy
 // kind never reads do not perturb the fingerprint.
 func TestKeyCanonicalization(t *testing.T) {

@@ -105,6 +105,12 @@ type Outcome struct {
 	// DChosen / IChosen describe the selected configurations.
 	DChosen string
 	IChosen string
+	// Stats snapshots the executing runner's counters after the scenario
+	// completed: per-config hits/misses plus sweep-level artifact-cache
+	// reuse. Counters are cumulative for the runner that executed the
+	// scenario (the process-wide runner for Simulate, the session's for
+	// Session.Simulate).
+	Stats runner.Stats
 }
 
 // Benchmarks lists the available workload names (the paper's twelve SPEC
@@ -127,20 +133,60 @@ func SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
 	return simulate(ctx, sc, nil)
 }
 
-// Session shares one run-orchestration layer (worker pool plus memoized
-// result store, see internal/runner) across many Simulate calls while
-// staying isolated from the process-wide shared runner. Scenarios that
-// overlap — the same benchmark under different strategies, or single-
-// and dual-cache resizing of the same organization — re-use each other's
-// simulations, including the non-resizable baselines. The zero value is
-// not usable; construct with NewSession. Safe for concurrent use.
+// Session shares one run-orchestration layer (worker pool, memoized
+// result store, and sweep-level artifact cache; see internal/runner)
+// across many Simulate calls while staying isolated from the
+// process-wide shared runner. Scenarios that overlap — the same
+// benchmark under different strategies, or single- and dual-cache
+// resizing of the same organization — re-use each other's simulations
+// (including the non-resizable baselines) and whole profiling sweeps.
+// The zero value is not usable; construct with NewSession or
+// NewSessionWith. Safe for concurrent use.
 type Session struct {
-	r *runner.Runner
+	r     *runner.Runner
+	store *runner.DiskStore
 }
 
 // NewSession returns a Session with a fresh memo store.
 func NewSession() *Session {
 	return &Session{r: runner.New(runner.Options{})}
+}
+
+// SessionOptions configure a Session's run-orchestration layer.
+type SessionOptions struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// StorePath, if non-empty, persists per-config results and sweep
+	// artifacts to a JSON store at that path, so a later session (or
+	// process) resumes without re-simulating or re-profiling. Call
+	// Flush to write it out.
+	StorePath string
+	// MemoLimit bounds the in-memory memo table, evicting the least
+	// recently used results beyond it (0 = unbounded).
+	MemoLimit int
+}
+
+// NewSessionWith returns a Session configured by opts.
+func NewSessionWith(opts SessionOptions) (*Session, error) {
+	ropts := runner.Options{Workers: opts.Workers, MemoLimit: opts.MemoLimit}
+	var store *runner.DiskStore
+	if opts.StorePath != "" {
+		var err error
+		store, err = runner.OpenDiskStore(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		ropts.Store = store
+	}
+	return &Session{r: runner.New(ropts), store: store}, nil
+}
+
+// Flush writes the session's persistent store, if it has one.
+func (s *Session) Flush() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Flush()
 }
 
 // Simulate is Session-scoped Simulate.
@@ -232,5 +278,10 @@ func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, erro
 		out.EDPReductionPct = iBest.EDPReductionPct()
 		out.SlowdownPct = iBest.SlowdownPct()
 	}
+	exec := r
+	if exec == nil {
+		exec = runner.Default()
+	}
+	out.Stats = exec.Stats()
 	return out, nil
 }

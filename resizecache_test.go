@@ -3,8 +3,11 @@ package resizecache
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"resizecache/internal/runner"
 )
 
 func TestBenchmarksList(t *testing.T) {
@@ -70,11 +73,88 @@ func TestSessionSharesMemoizedResults(t *testing.T) {
 	if warm.Runs != cold.Runs {
 		t.Errorf("repeated scenario re-simulated: %d -> %d runs", cold.Runs, warm.Runs)
 	}
-	if warm.MemoHits <= cold.MemoHits {
-		t.Errorf("repeated scenario scored no memo hits: %+v", warm)
+	// The repeat resolves at the sweep level (whole-profiling-sweep
+	// artifact hits) without even reaching the per-config memo table.
+	if warm.ArtifactHits <= cold.ArtifactHits {
+		t.Errorf("repeated scenario scored no sweep-level reuse: %+v", warm)
 	}
+	if warm.Submitted != cold.Submitted {
+		t.Errorf("repeated scenario reached the per-config layer: %+v", warm)
+	}
+	// Stats are cumulative counters, so they legitimately differ between
+	// the cold and warm call; the scenario outcome itself must not.
+	first.Stats, second.Stats = runner.Stats{}, runner.Stats{}
 	if first != second {
 		t.Errorf("memoized outcome changed: %+v vs %+v", first, second)
+	}
+}
+
+func TestOutcomeSurfacesRunnerStats(t *testing.T) {
+	s := NewSession()
+	sc := Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		ResizeDCache: true,
+		Instructions: 200_000,
+	}
+	cold, err := s.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Runs == 0 || cold.Stats.ArtifactComputes == 0 {
+		t.Errorf("cold outcome reports no work: %+v", cold.Stats)
+	}
+	warm, err := s.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.ArtifactHits == 0 {
+		t.Errorf("warm outcome reports no sweep-level reuse: %+v", warm.Stats)
+	}
+	if warm.Stats.Runs != cold.Stats.Runs {
+		t.Errorf("warm scenario re-simulated: %+v", warm.Stats)
+	}
+}
+
+func TestSessionPersistsAcrossProcessesViaStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.json")
+	sc := Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		ResizeDCache: true,
+		Instructions: 200_000,
+	}
+	s1, err := NewSessionWith(SessionOptions{StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh session on the same store (a new process, in real use)
+	// resolves the whole profiling sweep without simulating.
+	s2, err := NewSessionWith(SessionOptions{StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s2.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Runs != 0 {
+		t.Errorf("resumed session simulated %d configs, want 0", second.Stats.Runs)
+	}
+	if second.Stats.ArtifactStoreHits == 0 {
+		t.Errorf("resumed session scored no artifact store hits: %+v", second.Stats)
+	}
+	first.Stats, second.Stats = runner.Stats{}, runner.Stats{}
+	if first != second {
+		t.Errorf("resumed outcome differs: %+v vs %+v", first, second)
 	}
 }
 
