@@ -5,15 +5,20 @@
 // Each figure benchmark regenerates its experiment at reduced fidelity
 // (three representative apps, 400K instructions) so the whole suite
 // finishes in minutes; cmd/figures runs the same drivers at full
-// fidelity. Reported custom metrics (edp_red_pct and friends) carry the
-// experiment's headline result so regressions in *results*, not just
-// speed, show up in benchmark diffs.
-package resizecache
+// fidelity. The figure benchmarks run the declarative batch API end to
+// end: a fresh Session per iteration, the figure's grid expanded to a
+// Plan and executed through Session.Run. Reported custom metrics
+// (edp_red_pct and friends) carry the experiment's headline result so
+// regressions in *results*, not just speed, show up in benchmark diffs.
+package resizecache_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"resizecache"
+	"resizecache/figures"
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
 	"resizecache/internal/runner"
@@ -25,6 +30,10 @@ import (
 // app, a conflict-bound app, and a phase-varying app.
 var benchApps = []string{"m88ksim", "vpr", "su2cor"}
 
+func benchFigOpts() figures.Options {
+	return figures.Options{Instructions: 400_000, Apps: benchApps}
+}
+
 func benchOpts() experiment.Options {
 	o := experiment.DefaultOptions()
 	o.Instructions = 400_000
@@ -34,36 +43,36 @@ func benchOpts() experiment.Options {
 
 func BenchmarkTable1Hybrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table1(); err != nil {
+		if _, err := figures.Table1(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFigure4Organizations(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig4Result
+	ctx := context.Background()
+	var last figures.Fig4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.Figure4(opts)
+		last, err = figures.Figure4(ctx, resizecache.NewSession(), benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	if v, ok := last.Cell(experiment.DSide, core.SelectiveSets, 2); ok {
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveSets, 2); ok {
 		b.ReportMetric(v, "sets2way_edp_red_pct")
 	}
-	if v, ok := last.Cell(experiment.DSide, core.SelectiveWays, 16); ok {
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveWays, 16); ok {
 		b.ReportMetric(v, "ways16way_edp_red_pct")
 	}
 }
 
 func BenchmarkFigure5PerApp(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig5Result
+	ctx := context.Background()
+	var last figures.Fig5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.Figure5(experiment.DSide, opts)
+		last, err = figures.Figure5(ctx, resizecache.NewSession(), resizecache.DOnly, benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,26 +83,27 @@ func BenchmarkFigure5PerApp(b *testing.B) {
 }
 
 func BenchmarkFigure6Hybrid(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig4Result
+	ctx := context.Background()
+	var last figures.Fig4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.Figure6(opts)
+		last, err = figures.Figure6(ctx, resizecache.NewSession(), benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	if v, ok := last.Cell(experiment.DSide, core.Hybrid, 4); ok {
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.Hybrid, 4); ok {
 		b.ReportMetric(v, "hybrid4way_edp_red_pct")
 	}
 }
 
 func BenchmarkFigure7DCacheStrategies(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig7Result
+	ctx := context.Background()
+	var last figures.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.StrategyPanel(experiment.DSide, sim.InOrder, opts)
+		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
+			resizecache.DOnly, resizecache.InOrderEngine, benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,11 +114,12 @@ func BenchmarkFigure7DCacheStrategies(b *testing.B) {
 }
 
 func BenchmarkFigure8ICacheStrategies(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig7Result
+	ctx := context.Background()
+	var last figures.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.StrategyPanel(experiment.ISide, sim.OutOfOrder, opts)
+		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
+			resizecache.IOnly, resizecache.OutOfOrderEngine, benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,11 +130,11 @@ func BenchmarkFigure8ICacheStrategies(b *testing.B) {
 }
 
 func BenchmarkFigure9DualResize(b *testing.B) {
-	opts := benchOpts()
-	var last experiment.Fig9Result
+	ctx := context.Background()
+	var last figures.Fig9Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		last, err = experiment.Figure9(opts)
+		last, err = figures.Figure9(ctx, resizecache.NewSession(), benchFigOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,6 +142,61 @@ func BenchmarkFigure9DualResize(b *testing.B) {
 	_, _, _, de, ie, be := last.Averages()
 	b.ReportMetric(de+ie, "sum_edp_red_pct")
 	b.ReportMetric(be, "both_edp_red_pct")
+}
+
+// BenchmarkPlanBatchVsSequential quantifies the tentpole property of
+// the batch API: one plan over N scenarios submits its profiling sweeps
+// in one batched enqueue pass (zero fan-out barriers at gather time),
+// where N sequential Simulate calls pay one barrier per sweep and drain
+// the pool between scenarios. Both paths run the identical scenario set
+// on cold sessions; the reported metrics carry the barrier counts and
+// wall times.
+func BenchmarkPlanBatchVsSequential(b *testing.B) {
+	scenarios := make([]resizecache.Scenario, 0, len(benchApps))
+	for _, app := range benchApps {
+		scenarios = append(scenarios, resizecache.Scenario{
+			Benchmark:    app,
+			Organization: resizecache.SelectiveSets,
+			Sides:        resizecache.DOnly,
+			Instructions: 400_000,
+		})
+	}
+	plan, err := resizecache.PlanOf(scenarios...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var planNS, seqNS, planBarriers, seqBarriers float64
+	for i := 0; i < b.N; i++ {
+		batch := resizecache.NewSession()
+		start := time.Now()
+		if _, err := resizecache.Collect(batch.Run(ctx, plan)); err != nil {
+			b.Fatal(err)
+		}
+		planNS = float64(time.Since(start).Nanoseconds())
+
+		seq := resizecache.NewSession()
+		start = time.Now()
+		for _, sc := range scenarios {
+			if _, err := seq.Simulate(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		seqNS = float64(time.Since(start).Nanoseconds())
+
+		bst, sst := batch.Stats(), seq.Stats()
+		if bst.Runs != sst.Runs {
+			b.Fatalf("paths ran different work: %d vs %d sims", bst.Runs, sst.Runs)
+		}
+		if bst.Barriers >= sst.Barriers {
+			b.Fatalf("plan run did not reduce barriers: %d vs %d", bst.Barriers, sst.Barriers)
+		}
+		planBarriers, seqBarriers = float64(bst.Barriers), float64(sst.Barriers)
+	}
+	b.ReportMetric(planNS, "plan_ns")
+	b.ReportMetric(seqNS, "sequential_ns")
+	b.ReportMetric(planBarriers, "plan_barriers")
+	b.ReportMetric(seqBarriers, "sequential_barriers")
 }
 
 // ---------------------------------------------------------------------
@@ -326,35 +392,35 @@ func BenchmarkRunnerMemoization(b *testing.B) {
 // simulations (zero new submissions, even: warm sweeps never reach the
 // per-config layer).
 func BenchmarkArtifactCacheWarmFigures(b *testing.B) {
+	ctx := context.Background()
 	var coldNS, warmNS, crossHits, warmHits float64
 	for i := 0; i < b.N; i++ {
-		opts := benchOpts()
-		opts.Runner = runner.New(runner.Options{})
+		s := resizecache.NewSession()
 
 		start := time.Now()
-		if _, err := experiment.Figure4(opts); err != nil {
+		if _, err := figures.Figure4(ctx, s, benchFigOpts()); err != nil {
 			b.Fatal(err)
 		}
 		cold := time.Since(start)
-		afterFig4 := opts.Runner.Stats()
+		afterFig4 := s.Stats()
 		if afterFig4.ArtifactComputes == 0 {
 			b.Fatalf("cold figure computed no sweep artifacts: %+v", afterFig4)
 		}
 
-		if _, err := experiment.Figure6(opts); err != nil {
+		if _, err := figures.Figure6(ctx, s, benchFigOpts()); err != nil {
 			b.Fatal(err)
 		}
-		afterFig6 := opts.Runner.Stats()
+		afterFig6 := s.Stats()
 		if afterFig6.ArtifactHits == afterFig4.ArtifactHits {
 			b.Fatalf("figure 6 reused no sweep artifacts from figure 4: %+v", afterFig6)
 		}
 
 		start = time.Now()
-		if _, err := experiment.Figure4(opts); err != nil {
+		if _, err := figures.Figure4(ctx, s, benchFigOpts()); err != nil {
 			b.Fatal(err)
 		}
 		warm := time.Since(start)
-		st := opts.Runner.Stats()
+		st := s.Stats()
 		if st.Runs != afterFig6.Runs {
 			b.Fatalf("warm figure re-simulated: %d -> %d runs", afterFig6.Runs, st.Runs)
 		}

@@ -15,21 +15,23 @@
 //	figures -exp fig5 -apps gcc,vpr  # restrict benchmarks
 //	figures -exp all -resume out/results.json   # resumable across runs
 //
-// All simulations execute through one shared memoizing runner
-// (internal/runner), so overlapping experiments — Figure 4's grid inside
-// Figure 6's, the shared baselines of Figures 5 and 9 — simulate each
-// distinct configuration once, and whole profiling sweeps (the
-// BestStatic/BestDynamic winner selections) memoize as sweep-level
-// artifacts, so a figure repeating a grid an earlier figure profiled
-// skips the sweep outright. With -resume, results and artifacts also
-// persist to a JSON store keyed by content fingerprint, so an
-// interrupted or repeated invocation re-simulates only what is missing
-// (persisted simulation *errors* replay without re-running; only
-// cancellations are retried). -memolimit bounds the in-memory memo
-// table with LRU eviction for very large sweeps. -stats prints the
-// scheduler's hit/miss and artifact counters to stderr on exit.
-// Interrupting with ^C cancels cleanly between simulations (and, with
-// -resume, flushes what completed).
+// Every figure runs through the declarative batch API: its grid expands
+// to a resizecache.Plan and executes via Session.Run, which enqueues
+// the whole grid's cold profiling sweeps on the shared worker pool in
+// one batched pass and streams scenario results as they complete
+// (-progress shows the completed-of-total count). Overlapping
+// experiments — Figure 4's grid inside Figure 6's, the shared baselines
+// of Figures 5 and 9 — simulate each distinct configuration once, and
+// whole profiling sweeps memoize as sweep-level artifacts, so a figure
+// repeating a grid an earlier figure profiled skips the sweep outright.
+// With -resume, results and artifacts also persist to a JSON store
+// keyed by content fingerprint, so an interrupted or repeated
+// invocation re-simulates only what is missing (persisted simulation
+// *errors* replay without re-running; only cancellations are retried).
+// -memolimit bounds the in-memory memo table with LRU eviction.
+// -stats prints the scheduler's hit/miss, batch, and artifact counters
+// to stderr on exit. Interrupting with ^C cancels cleanly between
+// simulations (and, with -resume, flushes what completed).
 package main
 
 import (
@@ -40,19 +42,22 @@ import (
 	"os/signal"
 	"strings"
 
+	"resizecache"
+	"resizecache/figures"
 	"resizecache/internal/experiment"
 	"resizecache/internal/runner"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9")
-		instr  = flag.Uint64("instr", 1_500_000, "instructions per simulation")
-		apps   = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
-		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		resume = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
-		stats  = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
-		memo   = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9, sens, sens-*")
+		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
+		apps     = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
+		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		resume   = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
+		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
+		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
+		progress = flag.Bool("progress", false, "print completed-of-total scenario progress to stderr (figure experiments only)")
 	)
 	flag.Parse()
 
@@ -66,38 +71,54 @@ func main() {
 		stop()
 	}()
 
-	ropts := runner.Options{Workers: *par, MemoLimit: *memo}
-	var store *runner.DiskStore
-	if *resume != "" {
-		var err error
-		store, err = runner.OpenDiskStore(*resume)
-		if err != nil {
+	var appList []string
+	if *apps != "" {
+		appList = strings.Split(*apps, ",")
+	}
+
+	if sensExperiment(*exp) {
+		// The sensitivity extensions vary parameters (subarray size, L2
+		// geometry) a Scenario cannot express, so they run on the
+		// experiment layer directly — batch-scheduled on their own runner,
+		// without the plan-level progress stream.
+		if *progress {
+			fmt.Fprintln(os.Stderr, "figures: -progress is not supported for sensitivity experiments")
+		}
+		if err := runSens(ctx, *exp, *instr, appList, *par, *resume, *memo, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		ropts.Store = store
-	}
-	r := runner.New(ropts)
-
-	opts := experiment.DefaultOptions()
-	opts.Instructions = *instr
-	opts.Runner = r // -parallel is enforced by the runner's pool size
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
+		return
 	}
 
-	runErr := run(ctx, *exp, opts)
+	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{
+		Workers: *par, StorePath: *resume, MemoLimit: *memo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
-	if store != nil {
-		if err := store.Flush(); err != nil {
+	fopts := figures.Options{Instructions: *instr, Apps: appList}
+	if *progress {
+		fopts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d scenarios", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	runErr := run(ctx, *exp, session, fopts)
+
+	if *resume != "" {
+		if err := session.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 		} else {
-			fmt.Fprintf(os.Stderr, "figures: result store %s holds %d results, %d sweep artifacts\n",
-				store.Path(), store.Len(), store.ArtifactLen())
+			fmt.Fprintf(os.Stderr, "figures: result store flushed to %s\n", *resume)
 		}
 	}
 	if *stats {
-		fmt.Fprintln(os.Stderr, "figures:", r.Stats())
+		fmt.Fprintln(os.Stderr, "figures:", session.Stats())
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "figures:", runErr)
@@ -105,25 +126,27 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, exp string, opts experiment.Options) error {
+// run regenerates the tables and figures selected by exp through the
+// session's batch API.
+func run(ctx context.Context, exp string, s *resizecache.Session, fopts figures.Options) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
 	if want("table1") {
 		ran = true
-		s, err := experiment.Table1()
+		out, err := figures.Table1()
 		if err != nil {
 			return err
 		}
-		fmt.Println(s)
+		fmt.Println(out)
 	}
 	if want("table2") {
 		ran = true
-		fmt.Println(experiment.Table2())
+		fmt.Println(figures.Table2())
 	}
 	if want("fig4") {
 		ran = true
-		f, err := experiment.Figure4Context(ctx, opts)
+		f, err := figures.Figure4(ctx, s, fopts)
 		if err != nil {
 			return err
 		}
@@ -131,8 +154,8 @@ func run(ctx context.Context, exp string, opts experiment.Options) error {
 	}
 	if want("fig5") {
 		ran = true
-		for _, side := range []experiment.Side{experiment.DSide, experiment.ISide} {
-			f, err := experiment.Figure5Context(ctx, side, opts)
+		for _, side := range []resizecache.Sides{resizecache.DOnly, resizecache.IOnly} {
+			f, err := figures.Figure5(ctx, s, side, fopts)
 			if err != nil {
 				return err
 			}
@@ -141,15 +164,15 @@ func run(ctx context.Context, exp string, opts experiment.Options) error {
 	}
 	if want("fig6") {
 		ran = true
-		f, err := experiment.Figure6Context(ctx, opts)
+		f, err := figures.Figure6(ctx, s, fopts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.RenderFigure6(f))
+		fmt.Println(figures.RenderFigure6(f))
 	}
 	if want("fig7") {
 		ran = true
-		inord, ooo, err := experiment.Figure7Context(ctx, opts)
+		inord, ooo, err := figures.Figure7(ctx, s, fopts)
 		if err != nil {
 			return err
 		}
@@ -158,7 +181,7 @@ func run(ctx context.Context, exp string, opts experiment.Options) error {
 	}
 	if want("fig8") {
 		ran = true
-		inord, ooo, err := experiment.Figure8Context(ctx, opts)
+		inord, ooo, err := figures.Figure8(ctx, s, fopts)
 		if err != nil {
 			return err
 		}
@@ -167,44 +190,81 @@ func run(ctx context.Context, exp string, opts experiment.Options) error {
 	}
 	if want("fig9") {
 		ran = true
-		f, err := experiment.Figure9Context(ctx, opts)
+		f, err := figures.Figure9(ctx, s, fopts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(f.Render())
 	}
-	// Extension experiments (not in the paper; see DESIGN.md §4). They
-	// run under "-exp sens" or individually, not under "all".
-	sens := func(name string) bool { return exp == "sens" || exp == name }
-	if sens("sens-subarray") {
-		ran = true
-		rows, err := experiment.SubarraySensitivityContext(ctx, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.RenderSensitivity(
-			"Sensitivity: subarray granularity (static selective-sets d-cache)", rows))
-	}
-	if sens("sens-interval") {
-		ran = true
-		rows, err := experiment.IntervalSensitivityContext(ctx, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.RenderSensitivity(
-			"Sensitivity: dynamic interval (in-order engine, d-cache)", rows))
-	}
-	if sens("sens-l2") {
-		ran = true
-		rows, err := experiment.L2SensitivityContext(ctx, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.RenderSensitivity(
-			"Sensitivity: L2 capacity (static selective-sets d-cache)", rows))
-	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// sensExperiment reports whether exp names an extension sensitivity
+// sweep (not part of "all").
+func sensExperiment(exp string) bool {
+	switch exp {
+	case "sens", "sens-subarray", "sens-interval", "sens-l2":
+		return true
+	}
+	return false
+}
+
+// runSens runs the extension sensitivity sweeps on the experiment layer.
+func runSens(ctx context.Context, exp string, instr uint64, apps []string, par int, resume string, memo int, stats bool) error {
+	ropts := runner.Options{Workers: par, MemoLimit: memo}
+	var store *runner.DiskStore
+	if resume != "" {
+		var err error
+		store, err = runner.OpenDiskStore(resume)
+		if err != nil {
+			return err
+		}
+		ropts.Store = store
+	}
+	r := runner.New(ropts)
+
+	opts := experiment.DefaultOptions()
+	opts.Instructions = instr
+	opts.Apps = apps
+	opts.Runner = r
+
+	sens := func(name string) bool { return exp == "sens" || exp == name }
+	var err error
+	if err == nil && sens("sens-subarray") {
+		var rows []experiment.SensitivityRow
+		if rows, err = experiment.SubarraySensitivityContext(ctx, opts); err == nil {
+			fmt.Println(experiment.RenderSensitivity(
+				"Sensitivity: subarray granularity (static selective-sets d-cache)", rows))
+		}
+	}
+	if err == nil && sens("sens-interval") {
+		var rows []experiment.SensitivityRow
+		if rows, err = experiment.IntervalSensitivityContext(ctx, opts); err == nil {
+			fmt.Println(experiment.RenderSensitivity(
+				"Sensitivity: dynamic interval (in-order engine, d-cache)", rows))
+		}
+	}
+	if err == nil && sens("sens-l2") {
+		var rows []experiment.SensitivityRow
+		if rows, err = experiment.L2SensitivityContext(ctx, opts); err == nil {
+			fmt.Println(experiment.RenderSensitivity(
+				"Sensitivity: L2 capacity (static selective-sets d-cache)", rows))
+		}
+	}
+
+	if store != nil {
+		if ferr := store.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", ferr)
+		} else {
+			fmt.Fprintf(os.Stderr, "figures: result store %s holds %d results, %d sweep artifacts\n",
+				store.Path(), store.Len(), store.ArtifactLen())
+		}
+	}
+	if stats {
+		fmt.Fprintln(os.Stderr, "figures:", r.Stats())
+	}
+	return err
 }

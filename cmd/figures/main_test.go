@@ -4,28 +4,40 @@ import (
 	"context"
 	"testing"
 
-	"resizecache/internal/experiment"
+	"resizecache"
+	"resizecache/figures"
 )
 
-func tinyOpts() experiment.Options {
-	o := experiment.DefaultOptions()
-	o.Instructions = 60_000
-	o.Apps = []string{"m88ksim"}
-	return o
+func tinyOpts() figures.Options {
+	return figures.Options{Instructions: 60_000, Apps: []string{"m88ksim"}}
 }
 
 func TestRunTables(t *testing.T) {
-	if err := run(context.Background(), "table1", tinyOpts()); err != nil {
+	s := resizecache.NewSession()
+	if err := run(context.Background(), "table1", s, tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "table2", tinyOpts()); err != nil {
+	if err := run(context.Background(), "table2", s, tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "fig99", tinyOpts()); err == nil {
+	if err := run(context.Background(), "fig99", resizecache.NewSession(), tinyOpts()); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSensExperimentRouting(t *testing.T) {
+	for _, name := range []string{"sens", "sens-subarray", "sens-interval", "sens-l2"} {
+		if !sensExperiment(name) {
+			t.Errorf("%s not routed to the sensitivity path", name)
+		}
+	}
+	for _, name := range []string{"all", "fig4", "table1", "sensible"} {
+		if sensExperiment(name) {
+			t.Errorf("%s wrongly routed to the sensitivity path", name)
+		}
 	}
 }
 
@@ -33,7 +45,7 @@ func TestRunFig5Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	if err := run(context.Background(), "fig5", tinyOpts()); err != nil {
+	if err := run(context.Background(), "fig5", resizecache.NewSession(), tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
 }

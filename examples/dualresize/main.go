@@ -2,10 +2,14 @@
 // and i-cache resizings are decoupled — the combined savings are close
 // to the sum of the individual savings, because resizing one L1 barely
 // changes the other's (or the L2's) footprint. Demonstrate on three
-// benchmarks.
+// benchmarks with one declarative plan: the Sides axis expands to
+// {d alone, i alone, both} per benchmark, and Session.Run executes the
+// nine scenarios as one batch — the standalone sweeps and the combined
+// runs share their baselines and profiling sweeps automatically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,31 +17,40 @@ import (
 )
 
 func main() {
-	fmt.Println("static selective-sets on the base processor (32K 2-way L1s):")
-	fmt.Printf("  %-10s %10s %10s %10s %12s\n", "app", "d alone", "i alone", "both", "d+i sum")
-	for _, app := range []string{"ammp", "m88ksim", "ijpeg"} {
-		dOnly := simulate(app, true, false)
-		iOnly := simulate(app, false, true)
-		both := simulate(app, true, true)
-		fmt.Printf("  %-10s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
-			app, dOnly.EDPReductionPct, iOnly.EDPReductionPct,
-			both.EDPReductionPct, dOnly.EDPReductionPct+iOnly.EDPReductionPct)
-	}
-	fmt.Println("\n\"both\" tracking the sum is the paper's additivity property:")
-	fmt.Println("resizings can be profiled per cache and deployed together.")
-}
-
-func simulate(app string, d, i bool) resizecache.Outcome {
-	out, err := resizecache.Simulate(resizecache.Scenario{
-		Benchmark:    app,
-		Organization: resizecache.SelectiveSets,
-		Strategy:     resizecache.Static,
-		ResizeDCache: d,
-		ResizeICache: i,
+	grid := resizecache.Grid{
+		Benchmarks:    []string{"ammp", "m88ksim", "ijpeg"},
+		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
+		Sides: []resizecache.Sides{
+			resizecache.DOnly, resizecache.IOnly, resizecache.BothSides},
 		Instructions: 800_000,
-	})
+	}
+	plan, err := grid.Expand()
 	if err != nil {
 		log.Fatal(err)
 	}
-	return out
+	session := resizecache.NewSession()
+	results, err := resizecache.Collect(session.Run(context.Background(), plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	edp := make(map[string]map[resizecache.Sides]float64)
+	for _, r := range results {
+		app := r.Scenario.Benchmark
+		if edp[app] == nil {
+			edp[app] = make(map[resizecache.Sides]float64)
+		}
+		edp[app][r.Scenario.Sides] = r.Outcome.EDPReductionPct
+	}
+
+	fmt.Println("static selective-sets on the base processor (32K 2-way L1s):")
+	fmt.Printf("  %-10s %10s %10s %10s %12s\n", "app", "d alone", "i alone", "both", "d+i sum")
+	for _, app := range grid.Benchmarks {
+		e := edp[app]
+		fmt.Printf("  %-10s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n",
+			app, e[resizecache.DOnly], e[resizecache.IOnly],
+			e[resizecache.BothSides], e[resizecache.DOnly]+e[resizecache.IOnly])
+	}
+	fmt.Println("\n\"both\" tracking the sum is the paper's additivity property:")
+	fmt.Println("resizings can be profiled per cache and deployed together.")
 }

@@ -2,22 +2,27 @@
 // organizations offer over a 32K 4-way cache (the paper's Table 1), then
 // profile all three on a benchmark whose working set falls between
 // selective-sets' power-of-two points — the case the hybrid organization
-// was designed for.
+// was designed for. The three profilings are one declarative plan over
+// the Organizations axis; they share the non-resizable baseline, so the
+// batch simulates it once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"resizecache"
 	"resizecache/internal/core"
-	"resizecache/internal/experiment"
 	"resizecache/internal/geometry"
 )
 
 func main() {
 	g := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 4, BlockBytes: 32, SubarrayBytes: 1 << 10}
 
-	for _, org := range []core.Organization{core.SelectiveWays, core.SelectiveSets, core.Hybrid} {
+	orgs := []resizecache.Organization{
+		resizecache.SelectiveWays, resizecache.SelectiveSets, resizecache.Hybrid}
+	for _, org := range orgs {
 		sched, err := core.BuildSchedule(g, org)
 		if err != nil {
 			log.Fatal(err)
@@ -33,14 +38,23 @@ func main() {
 	// at 32K, selective-ways can take 24K, and hybrid picks its best
 	// point from the union.
 	fmt.Println("\nprofiling compress d-cache at 32K 4-way (static):")
-	opts := experiment.DefaultOptions()
-	opts.Instructions = 800_000
-	for _, org := range []core.Organization{core.SelectiveWays, core.SelectiveSets, core.Hybrid} {
-		best, err := experiment.BestStatic("compress", experiment.DSide, org, 4, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	plan, err := resizecache.Grid{
+		Benchmarks:    []string{"compress"},
+		Organizations: orgs,
+		Assocs:        []int{4},
+		Sides:         []resizecache.Sides{resizecache.DOnly},
+		Instructions:  800_000,
+	}.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := resizecache.Collect(resizecache.NewSession().Run(context.Background(), plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
 		fmt.Printf("  %-15s chose %-18s EDP %+.1f%%  size -%.1f%%  slowdown %.1f%%\n",
-			org, best.Desc, best.EDPReductionPct(), best.SizeReductionPct(), best.SlowdownPct())
+			r.Scenario.Organization, r.Outcome.DChosen, r.Outcome.EDPReductionPct,
+			r.Outcome.DCacheSizeReductionPct, r.Outcome.SlowdownPct)
 	}
 }

@@ -1,0 +1,203 @@
+package figures
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"resizecache"
+)
+
+// fastOpts trades fidelity for test speed; claim tests use tolerant
+// thresholds accordingly. Full-fidelity numbers come from cmd/figures.
+// 1M instructions covers at least one full phase period of every
+// profile; shorter runs truncate phase structure and distort the
+// profiling sweeps.
+func fastOpts() Options {
+	return Options{Instructions: 1_000_000}
+}
+
+func TestTable1RendersPaperSchedule(t *testing.T) {
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"32K", "24K", "12K", "6K", "3K",
+		"24K/3-way", "16K/4-way", "2K/2-way", "1K/1-way"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table1 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestTable2RendersBaseConfig(t *testing.T) {
+	s := Table2()
+	for _, frag := range []string{"4 instrs per cycle", "64 entries / 32 entries",
+		"32K 2-way", "512K 4-way", "80 + 5 per 8 bytes"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table2 missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestOrgGridCrossover(t *testing.T) {
+	// The paper's organization conclusion: selective-sets wins at
+	// associativity <= 4, selective-ways at >= 8 — checked at the
+	// endpoints to keep the test affordable.
+	if testing.Short() {
+		t.Skip("multi-sweep in -short mode")
+	}
+	f, err := OrgGrid(context.Background(), resizecache.NewSession(),
+		[]resizecache.Organization{resizecache.SelectiveWays, resizecache.SelectiveSets},
+		[]int{2, 16}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []resizecache.Sides{resizecache.DOnly, resizecache.IOnly} {
+		get := func(org resizecache.Organization, assoc int) float64 {
+			v, ok := f.Cell(side, org, assoc)
+			if !ok {
+				t.Fatalf("%v: missing cell %v/%d", side, org, assoc)
+			}
+			return v
+		}
+		if get(resizecache.SelectiveSets, 2) <= get(resizecache.SelectiveWays, 2) {
+			t.Errorf("%v: sets should win at 2-way (%.1f vs %.1f)", side,
+				get(resizecache.SelectiveSets, 2), get(resizecache.SelectiveWays, 2))
+		}
+		if get(resizecache.SelectiveWays, 16) <= get(resizecache.SelectiveSets, 16) {
+			t.Errorf("%v: ways should win at 16-way (%.1f vs %.1f)", side,
+				get(resizecache.SelectiveWays, 16), get(resizecache.SelectiveSets, 16))
+		}
+	}
+}
+
+func TestHybridDominatesAtLowAssoc(t *testing.T) {
+	// Paper Fig. 6: hybrid equals or improves on both organizations. Our
+	// reproduction holds this strictly at <= 8-way; at 16-way the hybrid
+	// pays its provisioned tag array and per-way tag banks (documented in
+	// EXPERIMENTS.md), so the claim is checked at 4-way here.
+	if testing.Short() {
+		t.Skip("multi-sweep in -short mode")
+	}
+	f, err := OrgGrid(context.Background(), resizecache.NewSession(),
+		[]resizecache.Organization{resizecache.Hybrid, resizecache.SelectiveWays, resizecache.SelectiveSets},
+		[]int{4}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []resizecache.Sides{resizecache.DOnly, resizecache.IOnly} {
+		get := func(org resizecache.Organization) float64 {
+			v, _ := f.Cell(side, org, 4)
+			return v
+		}
+		hy, wy, st := get(resizecache.Hybrid), get(resizecache.SelectiveWays), get(resizecache.SelectiveSets)
+		if hy+0.3 < wy || hy+0.3 < st {
+			t.Errorf("%v: hybrid %.1f%% should dominate ways %.1f%% and sets %.1f%%", side, hy, wy, st)
+		}
+	}
+}
+
+func TestDynamicBeatsStaticOnInOrderDCache(t *testing.T) {
+	// Paper Fig. 7a: with d-miss latency exposed (in-order, blocking),
+	// dynamic resizing clearly beats static on phase-varying apps.
+	if testing.Short() {
+		t.Skip("dynamic sweep in -short mode")
+	}
+	o := fastOpts()
+	o.Apps = []string{"su2cor", "compress", "gcc", "vortex"}
+	panel, err := StrategyPanel(context.Background(), resizecache.NewSession(),
+		resizecache.DOnly, resizecache.InOrderEngine, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, se, de := panel.Averages()
+	if de <= se {
+		t.Errorf("in-order d-cache: dynamic %.1f%% should beat static %.1f%%", de, se)
+	}
+}
+
+// tinyOpts runs one app at minimal fidelity — enough to exercise the
+// plan plumbing without a full-fidelity sweep.
+func tinyOpts() Options {
+	return Options{Instructions: 60_000, Apps: []string{"m88ksim"}}
+}
+
+// TestFigureGridsRunAsBatchedPlans: each figure driver must execute its
+// whole grid as one Session.Run plan — a single enqueue pass, zero
+// fan-out barriers at gather time — and repeating an overlapping figure
+// on the same session must reuse its sweeps without simulating.
+func TestFigureGridsRunAsBatchedPlans(t *testing.T) {
+	ctx := context.Background()
+	s := resizecache.NewSession()
+	var progressed int
+	o := tinyOpts()
+	o.Progress = func(done, total int) { progressed = done }
+	if _, err := Figure4(ctx, s, o); err != nil {
+		t.Fatal(err)
+	}
+	cold := s.Stats()
+	if cold.EnqueueBatches != 1 {
+		t.Errorf("Figure 4 used %d enqueue passes, want 1", cold.EnqueueBatches)
+	}
+	if cold.Barriers != 0 {
+		t.Errorf("Figure 4 gathers fanned out %d barriers, want 0", cold.Barriers)
+	}
+	// 1 app × 2 orgs × 4 assocs × 2 sides.
+	if progressed != 16 {
+		t.Errorf("progress callback ended at %d, want 16", progressed)
+	}
+
+	// Figure 6 repeats every (ways, sets) cell of Figure 4; only the
+	// hybrid sweeps are new work, and they ride one more batched pass.
+	if _, err := Figure6(ctx, s, tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats()
+	if warm.ArtifactHits <= cold.ArtifactHits {
+		t.Errorf("Figure 6 reused no sweeps from Figure 4: %+v", warm)
+	}
+	if warm.Barriers != 0 {
+		t.Errorf("warm figure fanned out %d barriers", warm.Barriers)
+	}
+
+	// Fully warm: re-rendering Figure 4 must not simulate or enqueue.
+	if _, err := Figure4(ctx, s, tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	again := s.Stats()
+	if again.Runs != warm.Runs || again.Enqueued != warm.Enqueued {
+		t.Errorf("warm Figure 4 did fresh work: %+v -> %+v", warm, again)
+	}
+}
+
+func TestFigure9DecoupledRows(t *testing.T) {
+	f, err := Figure9(context.Background(), resizecache.NewSession(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := f.Row("m88ksim")
+	if !ok {
+		t.Fatal("missing m88ksim row")
+	}
+	// m88ksim downsizes both caches: every size column is positive and
+	// the combined reduction at least matches the larger standalone one
+	// (each standalone column is normalized to the combined capacity).
+	if r.DAloneSizeRedPct <= 0 || r.IAloneSizeRedPct <= 0 || r.BothSizeRedPct <= 0 {
+		t.Errorf("size columns not positive: %+v", r)
+	}
+	if r.BothSizeRedPct+0.5 < r.DAloneSizeRedPct || r.BothSizeRedPct+0.5 < r.IAloneSizeRedPct {
+		t.Errorf("combined size reduction below a standalone one: %+v", r)
+	}
+}
+
+func TestPanelsRejectBothSides(t *testing.T) {
+	ctx := context.Background()
+	s := resizecache.NewSession()
+	if _, err := Figure5(ctx, s, resizecache.BothSides, tinyOpts()); err == nil {
+		t.Error("Figure5 accepted BothSides")
+	}
+	if _, err := StrategyPanel(ctx, s, resizecache.BothSides, resizecache.OutOfOrderEngine, tinyOpts()); err == nil {
+		t.Error("StrategyPanel accepted BothSides")
+	}
+}

@@ -1,24 +1,23 @@
-package experiment
+package figures
 
 import (
 	"strings"
 	"testing"
 
-	"resizecache/internal/core"
-	"resizecache/internal/sim"
+	"resizecache"
 )
 
 func TestFig4ResultAccessorsAndRender(t *testing.T) {
 	f := Fig4Result{
-		DCache: []Fig4Cell{{Assoc: 2, Org: core.SelectiveWays, EDPReductionPct: 5.5},
-			{Assoc: 2, Org: core.SelectiveSets, EDPReductionPct: 9.1}},
-		ICache: []Fig4Cell{{Assoc: 2, Org: core.SelectiveWays, EDPReductionPct: 6.0},
-			{Assoc: 2, Org: core.SelectiveSets, EDPReductionPct: 11.2}},
+		DCache: []Fig4Cell{{Assoc: 2, Org: resizecache.SelectiveWays, EDPReductionPct: 5.5},
+			{Assoc: 2, Org: resizecache.SelectiveSets, EDPReductionPct: 9.1}},
+		ICache: []Fig4Cell{{Assoc: 2, Org: resizecache.SelectiveWays, EDPReductionPct: 6.0},
+			{Assoc: 2, Org: resizecache.SelectiveSets, EDPReductionPct: 11.2}},
 	}
-	if v, ok := f.Cell(DSide, core.SelectiveSets, 2); !ok || v != 9.1 {
+	if v, ok := f.Cell(resizecache.DOnly, resizecache.SelectiveSets, 2); !ok || v != 9.1 {
 		t.Fatalf("Cell = %v,%v", v, ok)
 	}
-	if _, ok := f.Cell(ISide, core.Hybrid, 16); ok {
+	if _, ok := f.Cell(resizecache.IOnly, resizecache.Hybrid, 16); ok {
 		t.Fatal("missing cell reported present")
 	}
 	s := f.Render()
@@ -34,7 +33,7 @@ func TestFig4ResultAccessorsAndRender(t *testing.T) {
 }
 
 func TestFig5ResultAccessorsAndRender(t *testing.T) {
-	f := Fig5Result{Side: DSide, Rows: []Fig5Row{
+	f := Fig5Result{Side: resizecache.DOnly, Rows: []Fig5Row{
 		{App: "gcc", WaysSizeRedPct: 50, SetsSizeRedPct: 50, WaysEDPRedPct: 2, SetsEDPRedPct: 4,
 			WaysChosen: "static 16K/2-way", SetsChosen: "static 16K/4-way"},
 		{App: "vpr", WaysSizeRedPct: 25, SetsSizeRedPct: 50, WaysEDPRedPct: 1, SetsEDPRedPct: 5},
@@ -65,7 +64,7 @@ func TestFig5ResultAccessorsAndRender(t *testing.T) {
 }
 
 func TestFig7ResultAccessorsAndRender(t *testing.T) {
-	f := Fig7Result{Side: ISide, Engine: sim.InOrder, Rows: []Fig7Row{
+	f := Fig7Result{Side: resizecache.IOnly, Engine: resizecache.InOrderEngine, Rows: []Fig7Row{
 		{App: "su2cor", StaticSizeRedPct: 50, DynamicSizeRedPct: 60,
 			StaticEDPRedPct: 6, DynamicEDPRedPct: 8,
 			StaticChosen: "static 16K", DynamicChosen: "dynamic mb=512"},
@@ -118,13 +117,4 @@ func TestFig9ResultAccessorsAndRender(t *testing.T) {
 	if a1+a2+a3+a4+a5+a6 != 0 {
 		t.Error("empty averages should be zero")
 	}
-}
-
-func TestBestAccessorsOnSides(t *testing.T) {
-	b := Best{Side: ISide, Chosen: sim.Result{}, Base: sim.Result{}}
-	// Zero results: reductions degenerate but must not panic.
-	_ = b.SizeReductionPct()
-	_ = b.SlowdownPct()
-	b.Side = DSide
-	_ = b.SizeReductionPct()
 }

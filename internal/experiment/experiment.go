@@ -1,19 +1,23 @@
-// Package experiment defines the paper's evaluation: offline profiling
-// sweeps that select static sizes and dynamic parameters by minimum
-// energy-delay product, and one driver per table/figure (Table 1,
-// Figures 4-9) that regenerates the corresponding rows/series.
+// Package experiment defines the paper's evaluation machinery: offline
+// profiling sweeps that select static sizes and dynamic parameters by
+// minimum energy-delay product (BestStatic/BestDynamic/Combined, with
+// SweepSpec as the shared sweep descriptor), plus the extension
+// sensitivity studies. The table/figure drivers themselves live in the
+// public figures package, built on the facade's Grid/Plan/Session.Run
+// batch API.
 //
 // All simulation execution goes through the run-orchestration layer
 // (internal/runner): sweeps submit batches of configs to a shared
 // memoizing worker pool, so repeated configurations — most prominently
 // the non-resizable baseline every sweep compares against — simulate at
-// most once per runner. On top of that, every winner-selection sweep
-// (BestStatic, BestDynamic and the sensitivity variants) memoizes its
-// outcome as a sweep-level artifact (see artifact.go), so a figure
-// driver repeating a grid another figure already profiled resolves the
-// whole sweep — not just its simulations — from cache. Every simulation
-// is independently deterministic, so results do not depend on
-// scheduling.
+// most once per runner, and a plan's sweeps can be enqueued up front in
+// one batched pass (EnqueueSweeps) so gathers join in-flight work. On
+// top of that, every winner-selection sweep (BestSpec and the
+// sensitivity variants) memoizes its outcome as a sweep-level artifact
+// (see artifact.go), so a driver repeating a grid another figure
+// already profiled resolves the whole sweep — not just its simulations
+// — from cache. Every simulation is independently deterministic, so
+// results do not depend on scheduling.
 package experiment
 
 import (
@@ -184,6 +188,160 @@ func pickBest(res []sim.Result) int {
 	return best
 }
 
+// SweepSpec identifies one profiling sweep — the unit a BestStatic or
+// BestDynamic call executes, and the unit plan-level batch scheduling
+// enqueues up front (see EnqueueSweeps). Base is the fully resolved
+// non-resizable baseline config (benchmark, engine, instruction budget,
+// associativities, and any sensitivity overrides such as subarray or L2
+// geometry); the sweep derives its candidate configs from it
+// deterministically, so a spec built twice enumerates byte-identical
+// batches and fingerprints to the same artifact.
+type SweepSpec struct {
+	App     string
+	Side    Side
+	Org     core.Organization
+	Dynamic bool
+	Base    sim.Config
+}
+
+// NewSweepSpec builds the spec for one (app, side, org, assoc) sweep
+// under opts — exactly the sweep BestStaticContext/BestDynamicContext
+// run for the same arguments.
+func NewSweepSpec(app string, side Side, org core.Organization, assoc int, dynamic bool, opts Options) SweepSpec {
+	return SweepSpec{App: app, Side: side, Org: org, Dynamic: dynamic,
+		Base: baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)}
+}
+
+// kind is the artifact-cache namespace of the sweep.
+func (s SweepSpec) kind() string {
+	if s.Dynamic {
+		return "best-dynamic"
+	}
+	return "best-static"
+}
+
+// sweep enumerates the batch the spec would run — the baseline followed
+// by every candidate — plus a describe function mapping the winning
+// batch index to the chosen description and policy.
+func (s SweepSpec) sweep() (cfgs []sim.Config, describe func(bestIdx int) (string, sim.PolicySpec), err error) {
+	geom := s.Base.DCache.Geom
+	if s.Side == ISide {
+		geom = s.Base.ICache.Geom
+	}
+	sched, err := core.BuildSchedule(geom, s.Org)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfgs = []sim.Config{s.Base}
+	if s.Dynamic {
+		cands := dynamicCandidates(sched)
+		for _, p := range cands {
+			cfg := s.Base
+			applySide(&cfg, s.Side, sim.CacheSpec{Geom: geom, Org: s.Org,
+				Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
+					MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
+					UpsizeHoldIntervals: p.UpsizeHold}})
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs, func(bestIdx int) (string, sim.PolicySpec) {
+			p := cands[bestIdx-1]
+			return fmt.Sprintf("dynamic mb=%d sb=%s", p.MissBound,
+					geometry.FormatSize(p.SizeBoundBytes)),
+				sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
+					MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
+					UpsizeHoldIntervals: p.UpsizeHold}
+		}, nil
+	}
+	for i := range sched.Points {
+		cfg := s.Base
+		applySide(&cfg, s.Side, sim.CacheSpec{Geom: geom, Org: s.Org,
+			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, func(bestIdx int) (string, sim.PolicySpec) {
+		return fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
+			sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1}
+	}, nil
+}
+
+// BestSpec profiles one sweep and returns its minimum-EDP winner versus
+// the baseline.
+func BestSpec(spec SweepSpec, opts Options) (Best, error) {
+	return BestSpecContext(context.Background(), spec, opts)
+}
+
+// BestSpecContext is the sweep core: it runs (or resolves) the spec's
+// batch and selects the winner. The whole sweep memoizes as one
+// artifact through the runner's artifact cache, keyed by the configs it
+// would run — so a repeated sweep (the same grid cell in a later
+// figure, or a resumed process with a persistent store) resolves
+// without submitting a single simulation, and a sweep enqueued up front
+// by a plan gathers by joining the in-flight work instead of fanning
+// out its own barrier.
+func BestSpecContext(ctx context.Context, spec SweepSpec, opts Options) (Best, error) {
+	if err := checkSweepSide(spec.Side); err != nil {
+		return Best{}, err
+	}
+	cfgs, describe, err := spec.sweep()
+	if err != nil {
+		return Best{}, err
+	}
+	return cachedBest(ctx, opts.runner(), spec.kind(), cfgs, func(ctx context.Context) (Best, error) {
+		res, err := opts.runAll(ctx, cfgs)
+		if err != nil {
+			return Best{}, err
+		}
+		bestIdx := pickBest(res)
+		desc, pspec := describe(bestIdx)
+		return Best{
+			App: spec.App, Side: spec.Side, Org: spec.Org,
+			Desc: desc, Spec: pspec,
+			Chosen: res[bestIdx],
+			Base:   res[0],
+		}, nil
+	})
+}
+
+// EnqueueSweeps submits the simulations of every cold sweep in specs to
+// the runner in one batched, non-blocking pass: sweeps whose artifact is
+// already cached (either tier) are skipped outright, the rest have their
+// configs deduplicated by fingerprint (sweeps of one plan share
+// baselines) and handed to Runner.Enqueue in one call. The later
+// per-sweep gathers (BestSpecContext) then join the in-flight work
+// instead of each fanning out its own barrier, so a multi-scenario
+// plan's simulations interleave freely on the shared pool. Best-effort:
+// a spec whose schedule cannot be built is skipped here and surfaces its
+// error from the gather. Returns the number of configs enqueued and a
+// wait function with Runner.Enqueue's semantics (cancel ctx, then wait,
+// before flushing a store out from under abandoned stragglers).
+func EnqueueSweeps(ctx context.Context, specs []SweepSpec, opts Options) (int, func()) {
+	r := opts.runner()
+	seen := make(map[sim.Key]bool)
+	var cfgs []sim.Config
+	for _, spec := range specs {
+		if spec.Side != DSide && spec.Side != ISide {
+			continue
+		}
+		scfgs, _, err := spec.sweep()
+		if err != nil {
+			continue
+		}
+		if r.HasArtifact(sweepArtifactKey(spec.kind(), scfgs)) {
+			continue
+		}
+		for i := range scfgs {
+			if k := scfgs[i].Key(); !seen[k] {
+				seen[k] = true
+				cfgs = append(cfgs, scfgs[i])
+			}
+		}
+	}
+	if len(cfgs) == 0 {
+		return 0, func() {}
+	}
+	return r.Enqueue(ctx, cfgs)
+}
+
 // BestStatic profiles every schedule point of an organization (the
 // paper's static strategy: run each offered size offline, pick the
 // minimum-EDP one) and returns the winner for one application.
@@ -193,50 +351,7 @@ func BestStatic(app string, side Side, org core.Organization, assoc int, opts Op
 
 // BestStaticContext is BestStatic with cancellation.
 func BestStaticContext(ctx context.Context, app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
-	if err := checkSweepSide(side); err != nil {
-		return Best{}, err
-	}
-	return bestStaticWithBase(ctx, app, side, org,
-		baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc), opts)
-}
-
-// bestStaticWithBase is the static-sweep core, parameterized over the
-// base config so sensitivity studies can vary non-L1 parameters (L2
-// size, subarray granularity). The whole sweep memoizes as one artifact
-// through the runner's artifact cache, keyed by the configs it would
-// run — so a repeated sweep (the same grid cell in a later figure, or a
-// resumed process with a persistent store) resolves without submitting
-// a single simulation.
-func bestStaticWithBase(ctx context.Context, app string, side Side, org core.Organization, base sim.Config, opts Options) (Best, error) {
-	geom := base.DCache.Geom
-	if side == ISide {
-		geom = base.ICache.Geom
-	}
-	sched, err := core.BuildSchedule(geom, org)
-	if err != nil {
-		return Best{}, err
-	}
-	cfgs := []sim.Config{base}
-	for i := range sched.Points {
-		cfg := base
-		applySide(&cfg, side, sim.CacheSpec{Geom: geom, Org: org,
-			Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: i}})
-		cfgs = append(cfgs, cfg)
-	}
-	return cachedBest(ctx, opts.runner(), "best-static", cfgs, func(ctx context.Context) (Best, error) {
-		res, err := opts.runAll(ctx, cfgs)
-		if err != nil {
-			return Best{}, err
-		}
-		bestIdx := pickBest(res)
-		return Best{
-			App: app, Side: side, Org: org,
-			Desc:   fmt.Sprintf("static %v", sched.Points[bestIdx-1]),
-			Spec:   sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: bestIdx - 1},
-			Chosen: res[bestIdx],
-			Base:   res[0],
-		}, nil
-	})
+	return BestSpecContext(ctx, NewSweepSpec(app, side, org, assoc, false, opts), opts)
 }
 
 // DynamicParams is one dynamic-controller parameterization.
@@ -294,43 +409,7 @@ func BestDynamic(app string, side Side, org core.Organization, assoc int, opts O
 
 // BestDynamicContext is BestDynamic with cancellation.
 func BestDynamicContext(ctx context.Context, app string, side Side, org core.Organization, assoc int, opts Options) (Best, error) {
-	if err := checkSweepSide(side); err != nil {
-		return Best{}, err
-	}
-	sched, err := core.BuildSchedule(l1Geom(assoc), org)
-	if err != nil {
-		return Best{}, err
-	}
-	cands := dynamicCandidates(sched)
-	cfgs := []sim.Config{baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)}
-	for _, p := range cands {
-		cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
-		applySide(&cfg, side, sim.CacheSpec{
-			Geom: l1Geom(assoc), Org: org,
-			Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
-				MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
-				UpsizeHoldIntervals: p.UpsizeHold},
-		})
-		cfgs = append(cfgs, cfg)
-	}
-	return cachedBest(ctx, opts.runner(), "best-dynamic", cfgs, func(ctx context.Context) (Best, error) {
-		res, err := opts.runAll(ctx, cfgs)
-		if err != nil {
-			return Best{}, err
-		}
-		bestIdx := pickBest(res)
-		p := cands[bestIdx-1]
-		return Best{
-			App: app, Side: side, Org: org,
-			Desc: fmt.Sprintf("dynamic mb=%d sb=%s", p.MissBound,
-				geometry.FormatSize(p.SizeBoundBytes)),
-			Spec: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: p.Interval,
-				MissBound: p.MissBound, SizeBoundBytes: p.SizeBoundBytes,
-				UpsizeHoldIntervals: p.UpsizeHold},
-			Chosen: res[bestIdx],
-			Base:   res[0],
-		}, nil
-	})
+	return BestSpecContext(ctx, NewSweepSpec(app, side, org, assoc, true, opts), opts)
 }
 
 // Combined runs one simulation with both L1s resizing at their

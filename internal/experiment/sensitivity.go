@@ -14,6 +14,11 @@ import (
 // leaves implicit: how the headline results move with the subarray
 // granularity (which sets the resizing floor and step), the dynamic
 // controller's interval, and the L2 size backing the resized L1s.
+//
+// Each driver batch-schedules its whole parameter grid: every cold
+// sweep (or raw config pair) is enqueued on the runner in one pass
+// before any gathering starts, so the worker pool interleaves across
+// parameter points instead of draining at each point's barrier.
 
 // SensitivityRow is one parameter point of a sensitivity sweep.
 type SensitivityRow struct {
@@ -32,7 +37,13 @@ func SubarraySensitivity(opts Options) ([]SensitivityRow, error) {
 
 // SubarraySensitivityContext is SubarraySensitivity with cancellation.
 func SubarraySensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
-	var out []SensitivityRow
+	apps := opts.apps()
+	type point struct {
+		label string
+		specs []SweepSpec
+	}
+	var points []point
+	var all []SweepSpec
 	for _, sub := range []int{512, 1 << 10, 2 << 10, 4 << 10} {
 		geom := geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: sub}
 		if err := geom.Validate(); err != nil {
@@ -42,12 +53,28 @@ func SubarraySensitivityContext(ctx context.Context, opts Options) ([]Sensitivit
 		if err != nil {
 			return nil, err
 		}
-		var edp, size float64
-		apps := opts.apps()
+		p := point{label: fmt.Sprintf("%s subarray (%d points, min %s)",
+			geometry.FormatSize(sub), len(sched.Points), geometry.FormatSize(sched.MinBytes()))}
 		for _, app := range apps {
 			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
 			base.DCache.Geom = geom
-			best, err := bestStaticWithBase(ctx, app, DSide, core.SelectiveSets, base, opts)
+			p.specs = append(p.specs, SweepSpec{App: app, Side: DSide,
+				Org: core.SelectiveSets, Base: base})
+		}
+		points = append(points, p)
+		all = append(all, p.specs...)
+	}
+	// One batched pass over the whole grid; on an early error return,
+	// cancel and drain the stragglers so a caller flushing a store right
+	// after cannot race their result writes.
+	enqCtx, stopEnqueue := context.WithCancel(ctx)
+	_, wait := EnqueueSweeps(enqCtx, all, opts)
+	defer func() { stopEnqueue(); wait() }()
+	var out []SensitivityRow
+	for _, p := range points {
+		var edp, size float64
+		for _, spec := range p.specs {
+			best, err := BestSpecContext(ctx, spec, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -55,11 +82,8 @@ func SubarraySensitivityContext(ctx context.Context, opts Options) ([]Sensitivit
 			size += best.SizeReductionPct()
 		}
 		n := float64(len(apps))
-		out = append(out, SensitivityRow{
-			Label:           fmt.Sprintf("%s subarray (%d points, min %s)", geometry.FormatSize(sub), len(sched.Points), geometry.FormatSize(sched.MinBytes())),
-			EDPReductionPct: edp / n,
-			SizeRedPct:      size / n,
-		})
+		out = append(out, SensitivityRow{Label: p.label,
+			EDPReductionPct: edp / n, SizeRedPct: size / n})
 	}
 	return out, nil
 }
@@ -74,18 +98,36 @@ func IntervalSensitivity(opts Options) ([]SensitivityRow, error) {
 // IntervalSensitivityContext is IntervalSensitivity with cancellation.
 func IntervalSensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
 	opts.Engine = sim.InOrder
-	var out []SensitivityRow
-	for _, interval := range []uint64{2048, 8192, 32768, 131072} {
-		var edp, size float64
-		apps := opts.apps()
+	apps := opts.apps()
+	intervals := []uint64{2048, 8192, 32768, 131072}
+	pair := func(interval uint64, app string) [2]sim.Config {
+		base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
+		cfg := base
+		cfg.DCache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
+			Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: interval,
+				MissBound: uint64(float64(interval) * 0.01), SizeBoundBytes: 4 << 10,
+				UpsizeHoldIntervals: 3}}
+		return [2]sim.Config{base, cfg}
+	}
+	// This sweep runs raw config pairs (no winner selection to cache), so
+	// batch-schedule the configs themselves: the gathers below join. On
+	// an early error return, cancel and drain the stragglers.
+	var batch []sim.Config
+	for _, interval := range intervals {
 		for _, app := range apps {
-			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
-			cfg := base
-			cfg.DCache = sim.CacheSpec{Geom: l1Geom(2), Org: core.SelectiveSets,
-				Policy: sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: interval,
-					MissBound: uint64(float64(interval) * 0.01), SizeBoundBytes: 4 << 10,
-					UpsizeHoldIntervals: 3}}
-			res, err := opts.runAll(ctx, []sim.Config{base, cfg})
+			p := pair(interval, app)
+			batch = append(batch, p[0], p[1])
+		}
+	}
+	enqCtx, stopEnqueue := context.WithCancel(ctx)
+	_, wait := opts.runner().Enqueue(enqCtx, batch)
+	defer func() { stopEnqueue(); wait() }()
+	var out []SensitivityRow
+	for _, interval := range intervals {
+		var edp, size float64
+		for _, app := range apps {
+			p := pair(interval, app)
+			res, err := opts.runAll(ctx, p[:])
 			if err != nil {
 				return nil, err
 			}
@@ -111,15 +153,35 @@ func L2Sensitivity(opts Options) ([]SensitivityRow, error) {
 
 // L2SensitivityContext is L2Sensitivity with cancellation.
 func L2SensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, error) {
-	var out []SensitivityRow
+	apps := opts.apps()
+	type point struct {
+		label string
+		specs []SweepSpec
+	}
+	var points []point
+	var all []SweepSpec
 	for _, l2kb := range []int{256, 512, 1024} {
-		var edp, size float64
-		apps := opts.apps()
+		p := point{label: fmt.Sprintf("%dK L2", l2kb)}
 		for _, app := range apps {
 			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
 			base.L2Geom = geometry.Geometry{SizeBytes: l2kb << 10, Assoc: 4,
 				BlockBytes: 64, SubarrayBytes: 4 << 10}
-			best, err := bestStaticWithBase(ctx, app, DSide, core.SelectiveSets, base, opts)
+			p.specs = append(p.specs, SweepSpec{App: app, Side: DSide,
+				Org: core.SelectiveSets, Base: base})
+		}
+		points = append(points, p)
+		all = append(all, p.specs...)
+	}
+	// One batched pass over the whole grid, drained on early error like
+	// SubarraySensitivity's.
+	enqCtx, stopEnqueue := context.WithCancel(ctx)
+	_, wait := EnqueueSweeps(enqCtx, all, opts)
+	defer func() { stopEnqueue(); wait() }()
+	var out []SensitivityRow
+	for _, p := range points {
+		var edp, size float64
+		for _, spec := range p.specs {
+			best, err := BestSpecContext(ctx, spec, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -127,11 +189,8 @@ func L2SensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, 
 			size += best.SizeReductionPct()
 		}
 		n := float64(len(apps))
-		out = append(out, SensitivityRow{
-			Label:           fmt.Sprintf("%dK L2", l2kb),
-			EDPReductionPct: edp / n,
-			SizeRedPct:      size / n,
-		})
+		out = append(out, SensitivityRow{Label: p.label,
+			EDPReductionPct: edp / n, SizeRedPct: size / n})
 	}
 	return out, nil
 }

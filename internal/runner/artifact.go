@@ -106,6 +106,27 @@ func (r *Runner) artifactOnce(ctx context.Context, key sim.Key, compute func(con
 	return data, err, false
 }
 
+// HasArtifact reports whether an artifact fingerprint would resolve
+// without computing: it is memoized (or being computed right now) in the
+// in-memory tier, or present in the persistent store. Batch schedulers
+// probe it before enqueueing a sweep's simulations, so warm sweeps cost
+// nothing — not even redundant submissions that would immediately
+// memo-hit.
+func (r *Runner) HasArtifact(key sim.Key) bool {
+	r.artMu.Lock()
+	_, ok := r.artifacts[key]
+	r.artMu.Unlock()
+	if ok {
+		return true
+	}
+	if r.store != nil {
+		if _, ok := r.store.LookupArtifact(key); ok {
+			return true
+		}
+	}
+	return false
+}
+
 // PutArtifact force-installs an artifact payload in both tiers,
 // replacing whatever either held. Cache layers above use it to repair a
 // fingerprint whose stored payload no longer decodes — without it the

@@ -18,7 +18,11 @@
 //   - optionally bounds the in-memory memo table with LRU eviction, so
 //     very large sweeps cannot grow it without limit;
 //   - honours context cancellation between (not within) simulations;
-//   - returns batch results in deterministic submission order.
+//   - returns batch results in deterministic submission order;
+//   - accepts whole plans up front (Enqueue): a batch of configs is
+//     registered and scheduled without waiting, so later Run/RunAll
+//     calls join the in-flight work instead of fanning out their own
+//     per-sweep barrier, and the pool interleaves across sweeps.
 //
 // Callers either share the process-wide Default() runner (cross-sweep
 // memoization for free) or construct private runners (hermetic sessions,
@@ -52,8 +56,9 @@ type Options struct {
 	// beyond it (0 = unbounded). Evicted configs re-simulate on the next
 	// submission unless a Store still holds them.
 	MemoLimit int
-	// runSim is the simulation entry point; tests stub it.
-	runSim func(sim.Config) (sim.Result, error)
+	// RunSim overrides the simulation entry point (nil = sim.Run).
+	// Tests stub it to control timing and inject failures.
+	RunSim func(sim.Config) (sim.Result, error)
 }
 
 // Stats is a snapshot of a Runner's scheduling counters.
@@ -73,6 +78,19 @@ type Stats struct {
 	Errors uint64
 	// Evictions counts completed memo entries dropped by the LRU bound.
 	Evictions uint64
+	// Enqueued counts configs submitted through Enqueue that were not
+	// already memoized or in flight (each got an owner goroutine).
+	Enqueued uint64
+	// EnqueueBatches counts Enqueue calls — the batched, non-blocking
+	// submission passes of plan execution.
+	EnqueueBatches uint64
+	// Barriers counts RunAll batches that had to submit fresh work (at
+	// least one config neither memoized nor in flight): the caller
+	// fanned out its own submissions and blocked on them. Batches fully
+	// covered by earlier Enqueue/Run calls just join existing entries
+	// and are not counted, so a plan whose sweeps were enqueued up
+	// front gathers with zero barriers.
+	Barriers uint64
 	// ArtifactHits resolved a sweep-level artifact from the in-memory
 	// tier (including joins of an in-flight computation).
 	ArtifactHits uint64
@@ -86,9 +104,33 @@ type Stats struct {
 func (s Stats) Hits() uint64 { return s.MemoHits + s.StoreHits + s.InFlightDedups }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; artifacts: %d hits, %d store hits, %d computes",
+	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; batch: %d enqueued in %d passes, %d barriers; artifacts: %d hits, %d store hits, %d computes",
 		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors,
-		s.Evictions, s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
+		s.Evictions, s.Enqueued, s.EnqueueBatches, s.Barriers,
+		s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
+}
+
+// Delta returns the field-wise difference s − prev: the runner activity
+// between two snapshots. The facade reports per-call deltas in its
+// outcomes instead of cumulative counters; note that on a shared runner
+// a delta attributes everything that happened in the window, including
+// work submitted by concurrent callers.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Submitted:         s.Submitted - prev.Submitted,
+		MemoHits:          s.MemoHits - prev.MemoHits,
+		StoreHits:         s.StoreHits - prev.StoreHits,
+		InFlightDedups:    s.InFlightDedups - prev.InFlightDedups,
+		Runs:              s.Runs - prev.Runs,
+		Errors:            s.Errors - prev.Errors,
+		Evictions:         s.Evictions - prev.Evictions,
+		Enqueued:          s.Enqueued - prev.Enqueued,
+		EnqueueBatches:    s.EnqueueBatches - prev.EnqueueBatches,
+		Barriers:          s.Barriers - prev.Barriers,
+		ArtifactHits:      s.ArtifactHits - prev.ArtifactHits,
+		ArtifactStoreHits: s.ArtifactStoreHits - prev.ArtifactStoreHits,
+		ArtifactComputes:  s.ArtifactComputes - prev.ArtifactComputes,
+	}
 }
 
 // entry is one fingerprint's slot in the memo table. The owner (the
@@ -119,6 +161,7 @@ type Runner struct {
 
 	submitted, memoHits, storeHits, dedups, runs, errs atomic.Uint64
 	evictions, artHits, artStoreHits, artComputes      atomic.Uint64
+	enqueued, enqueueBatches, barriers                 atomic.Uint64
 }
 
 // New constructs a Runner.
@@ -127,7 +170,7 @@ func New(opts Options) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	run := opts.runSim
+	run := opts.RunSim
 	if run == nil {
 		run = sim.Run
 	}
@@ -164,6 +207,9 @@ func (r *Runner) Stats() Stats {
 		Runs:              r.runs.Load(),
 		Errors:            r.errs.Load(),
 		Evictions:         r.evictions.Load(),
+		Enqueued:          r.enqueued.Load(),
+		EnqueueBatches:    r.enqueueBatches.Load(),
+		Barriers:          r.barriers.Load(),
 		ArtifactHits:      r.artHits.Load(),
 		ArtifactStoreHits: r.artStoreHits.Load(),
 		ArtifactComputes:  r.artComputes.Load(),
@@ -221,6 +267,16 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 	r.entries[key] = e
 	r.mu.Unlock()
 
+	res, err := r.execute(ctx, key, e, cfg)
+	return res, err, false
+}
+
+// execute owns entry e for key: it resolves the config against the
+// persistent store or simulates it under the worker-pool semaphore, then
+// publishes the outcome. Both Run owners and Enqueue goroutines funnel
+// through here, so enqueued work persists, counts, and cancels exactly
+// like directly submitted work.
+func (r *Runner) execute(ctx context.Context, key sim.Key, e *entry, cfg sim.Config) (sim.Result, error) {
 	if r.store != nil {
 		if sr, ok := r.store.Lookup(key); ok {
 			r.storeHits.Add(1)
@@ -232,16 +288,16 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 				r.errs.Add(1)
 			}
 			r.complete(key, e, sr.Result, err)
-			return sr.Result, err, false
+			return sr.Result, err
 		}
 	}
 
-	// Own the entry: acquire a worker slot, simulate, publish.
+	// Acquire a worker slot, simulate, publish.
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
 		r.complete(key, e, sim.Result{}, ctx.Err())
-		return sim.Result{}, ctx.Err(), false
+		return sim.Result{}, ctx.Err()
 	}
 	res, err := r.runSim(cfg)
 	<-r.sem
@@ -258,7 +314,56 @@ func (r *Runner) runKey(ctx context.Context, key sim.Key, cfg sim.Config) (sim.R
 		r.store.Record(key, sr)
 	}
 	r.complete(key, e, res, err)
-	return res, err, false
+	return res, err
+}
+
+// Enqueue submits a batch of configs without waiting for their results:
+// fingerprints not yet known to the runner are registered synchronously
+// — before Enqueue returns, a later Run/RunAll of the same config joins
+// the in-flight work instead of fanning out its own — and execute on
+// the shared worker pool in the background. Fingerprints already
+// memoized or executing are skipped. Outcomes land in the memo table
+// and persistent store exactly as if Run had been called; cancelling
+// ctx abandons work that has not started, leaving those fingerprints
+// retryable. Returns the number of configs actually enqueued.
+//
+// Enqueue is the batch-scheduling primitive behind plan execution: a
+// multi-sweep plan enqueues every profiling simulation in one pass, so
+// the pool interleaves across sweeps and scenarios instead of draining
+// at each sequential caller's per-sweep barrier.
+//
+// The returned wait function blocks until every goroutine this call
+// spawned has published its outcome (to the memo table and, when
+// configured, the persistent store). Callers that flush a store after
+// abandoning a batch — a plan whose gathers errored early, leaving
+// enqueued stragglers mid-simulation — must cancel ctx and wait before
+// flushing, or completed results can land after the flush and be lost.
+func (r *Runner) Enqueue(ctx context.Context, cfgs []sim.Config) (int, func()) {
+	if len(cfgs) == 0 || ctx.Err() != nil {
+		return 0, func() {}
+	}
+	r.enqueueBatches.Add(1)
+	var wg sync.WaitGroup
+	n := 0
+	for i := range cfgs {
+		key := cfgs[i].Key()
+		r.mu.Lock()
+		if _, ok := r.entries[key]; ok {
+			r.mu.Unlock()
+			continue
+		}
+		e := &entry{done: make(chan struct{})}
+		r.entries[key] = e
+		r.mu.Unlock()
+		n++
+		wg.Add(1)
+		go func(i int, key sim.Key, e *entry) {
+			defer wg.Done()
+			r.execute(ctx, key, e, cfgs[i])
+		}(i, key, e)
+	}
+	r.enqueued.Add(uint64(n))
+	return n, wg.Wait
 }
 
 // complete publishes an entry's outcome. Cancellation outcomes are
@@ -299,6 +404,29 @@ func (r *Runner) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, e
 // (<= 0 means no extra bound beyond the shared pool). Sweeps use it to
 // honour a caller-requested parallelism below the pool size.
 func (r *Runner) RunAllLimit(ctx context.Context, cfgs []sim.Config, limit int) ([]sim.Result, error) {
+	// A batch that must submit work not already in flight or memoized is
+	// a fan-out barrier: the caller blocks until its own submissions
+	// drain. Batches fully covered by an earlier Enqueue pass (or prior
+	// runs) just join existing entries and are not counted — the Barriers
+	// counter is how batch-scheduled plans prove they gather without
+	// fanning out.
+	keys := make([]sim.Key, len(cfgs))
+	for i := range cfgs {
+		keys[i] = cfgs[i].Key()
+	}
+	fresh := false
+	r.mu.Lock()
+	for _, k := range keys {
+		if _, ok := r.entries[k]; !ok {
+			fresh = true
+			break
+		}
+	}
+	r.mu.Unlock()
+	if fresh {
+		r.barriers.Add(1)
+	}
+
 	results := make([]sim.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var gate chan struct{}

@@ -32,7 +32,7 @@ func stubResult(cfg sim.Config) sim.Result {
 
 func TestRunMemoizes(t *testing.T) {
 	var calls atomic.Int32
-	r := New(Options{Workers: 2, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 2, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}})
@@ -59,7 +59,7 @@ func TestRunMemoizes(t *testing.T) {
 
 func TestRunAllDeterministicOrderAndBaselineDedup(t *testing.T) {
 	var calls atomic.Int32
-	r := New(Options{Workers: 4, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 4, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}})
@@ -88,7 +88,7 @@ func TestConcurrentIdenticalSubmissionsDeduplicate(t *testing.T) {
 	const waiters = 8
 	release := make(chan struct{})
 	var calls atomic.Int32
-	r := New(Options{Workers: waiters, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: waiters, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		<-release
 		return stubResult(cfg), nil
@@ -131,7 +131,7 @@ func TestConcurrentIdenticalSubmissionsDeduplicate(t *testing.T) {
 func TestRunErrorsAreMemoized(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int32
-	r := New(Options{Workers: 1, runSim: func(sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 1, RunSim: func(sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return sim.Result{}, boom
 	}})
@@ -151,7 +151,7 @@ func TestRunErrorsAreMemoized(t *testing.T) {
 func TestContextCancellationMidSweep(t *testing.T) {
 	started := make(chan struct{}, 64)
 	release := make(chan struct{})
-	r := New(Options{Workers: 1, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 1, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		started <- struct{}{}
 		<-release
 		return stubResult(cfg), nil
@@ -184,7 +184,7 @@ func TestContextCancellationMidSweep(t *testing.T) {
 
 func TestCancelledEntryRetriesOnLiveContext(t *testing.T) {
 	var calls atomic.Int32
-	r := New(Options{Workers: 1, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 1, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}})
@@ -208,7 +208,7 @@ func TestCancelledEntryRetriesOnLiveContext(t *testing.T) {
 
 func TestRunAllLimitBoundsConcurrency(t *testing.T) {
 	var inFlight, peak atomic.Int32
-	r := New(Options{Workers: 8, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 8, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		n := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -244,7 +244,7 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := New(Options{Workers: 2, Store: store, runSim: runSim})
+	r1 := New(Options{Workers: 2, Store: store, RunSim: runSim})
 	if _, err := r1.RunAll(context.Background(), []sim.Config{cfgN(0), cfgN(1)}); err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	if store2.Len() != 2 {
 		t.Fatalf("reloaded store holds %d results, want 2", store2.Len())
 	}
-	r2 := New(Options{Workers: 2, Store: store2, runSim: func(sim.Config) (sim.Result, error) {
+	r2 := New(Options{Workers: 2, Store: store2, RunSim: func(sim.Config) (sim.Result, error) {
 		t.Error("store-resident config was re-simulated")
 		return sim.Result{}, fmt.Errorf("unexpected simulation")
 	}})
@@ -304,7 +304,7 @@ func TestStoredErrorReplayedWithoutSimulating(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := New(Options{Workers: 1, Store: store, runSim: func(sim.Config) (sim.Result, error) {
+	r1 := New(Options{Workers: 1, Store: store, RunSim: func(sim.Config) (sim.Result, error) {
 		return sim.Result{}, boom
 	}})
 	if _, err := r1.Run(context.Background(), cfgN(0)); !errors.Is(err, boom) {
@@ -320,7 +320,7 @@ func TestStoredErrorReplayedWithoutSimulating(t *testing.T) {
 		t.Fatal(err)
 	}
 	var calls atomic.Int32
-	r2 := New(Options{Workers: 1, Store: store2, runSim: func(sim.Config) (sim.Result, error) {
+	r2 := New(Options{Workers: 1, Store: store2, RunSim: func(sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return sim.Result{}, nil
 	}})
@@ -339,7 +339,7 @@ func TestStoredErrorReplayedWithoutSimulating(t *testing.T) {
 
 func TestCancellationsAreNeverPersisted(t *testing.T) {
 	store := NewMemStore()
-	r := New(Options{Workers: 1, Store: store, runSim: func(sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 1, Store: store, RunSim: func(sim.Config) (sim.Result, error) {
 		return sim.Result{}, context.Canceled
 	}})
 	if _, err := r.Run(context.Background(), cfgN(0)); !errors.Is(err, context.Canceled) {
@@ -350,7 +350,7 @@ func TestCancellationsAreNeverPersisted(t *testing.T) {
 	}
 	// The fingerprint stays retryable, and the retry's success persists.
 	var calls atomic.Int32
-	r2 := New(Options{Workers: 1, Store: store, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r2 := New(Options{Workers: 1, Store: store, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}})
@@ -412,12 +412,12 @@ func TestMemStoreIsAPluggableBackend(t *testing.T) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}
-	r1 := New(Options{Workers: 1, Store: store, runSim: runSim})
+	r1 := New(Options{Workers: 1, Store: store, RunSim: runSim})
 	if _, err := r1.Run(context.Background(), cfgN(0)); err != nil {
 		t.Fatal(err)
 	}
 	// A second runner sharing the backend resolves without simulating.
-	r2 := New(Options{Workers: 1, Store: store, runSim: runSim})
+	r2 := New(Options{Workers: 1, Store: store, RunSim: runSim})
 	res, err := r2.Run(context.Background(), cfgN(0))
 	if err != nil {
 		t.Fatal(err)
@@ -435,7 +435,7 @@ func TestMemStoreIsAPluggableBackend(t *testing.T) {
 
 func TestMemoLRUEviction(t *testing.T) {
 	var calls atomic.Int32
-	r := New(Options{Workers: 1, MemoLimit: 2, runSim: func(cfg sim.Config) (sim.Result, error) {
+	r := New(Options{Workers: 1, MemoLimit: 2, RunSim: func(cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		return stubResult(cfg), nil
 	}})
@@ -603,5 +603,154 @@ func TestRealSimulationThroughRunner(t *testing.T) {
 	}
 	if st := r.Stats(); st.Runs != 1 || st.MemoHits != 1 {
 		t.Errorf("stats = %+v, want 1 run / 1 memo hit", st)
+	}
+}
+
+func TestEnqueueRegistersSynchronouslyAndJoins(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	r := New(Options{Workers: 8, RunSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		<-release
+		return stubResult(cfg), nil
+	}})
+	cfgs := []sim.Config{cfgN(0), cfgN(1), cfgN(2)}
+	if n, _ := r.Enqueue(context.Background(), cfgs); n != 3 {
+		t.Fatalf("enqueued %d configs, want 3", n)
+	}
+	// Entries are registered before Enqueue returns, so a batch gather of
+	// the same configs joins the in-flight work: no fresh fan-out, no
+	// barrier, no extra simulations.
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunAll(context.Background(), cfgs)
+		done <- err
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if calls.Load() != 3 || st.Runs != 3 {
+		t.Errorf("simulated %d/%d times, want 3", calls.Load(), st.Runs)
+	}
+	if st.Enqueued != 3 || st.EnqueueBatches != 1 {
+		t.Errorf("enqueue stats = %+v, want 3 enqueued in 1 pass", st)
+	}
+	if st.Barriers != 0 {
+		t.Errorf("gather of enqueued batch counted %d barriers, want 0", st.Barriers)
+	}
+	// A second Enqueue of the same batch finds everything memoized.
+	if n, _ := r.Enqueue(context.Background(), cfgs); n != 0 {
+		t.Errorf("warm Enqueue submitted %d configs, want 0", n)
+	}
+}
+
+func TestRunAllCountsBarrierOnFreshWork(t *testing.T) {
+	r := New(Options{Workers: 2, RunSim: func(cfg sim.Config) (sim.Result, error) {
+		return stubResult(cfg), nil
+	}})
+	ctx := context.Background()
+	if _, err := r.RunAll(ctx, []sim.Config{cfgN(0), cfgN(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Barriers != 1 {
+		t.Fatalf("cold batch counted %d barriers, want 1", st.Barriers)
+	}
+	// The same batch again is fully memoized: no fan-out, no barrier.
+	if _, err := r.RunAll(ctx, []sim.Config{cfgN(0), cfgN(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Barriers != 1 {
+		t.Errorf("warm batch counted a barrier: %+v", st)
+	}
+	// One new config makes the batch fresh again.
+	if _, err := r.RunAll(ctx, []sim.Config{cfgN(0), cfgN(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Barriers != 2 {
+		t.Errorf("partially fresh batch counted %d barriers, want 2", st.Barriers)
+	}
+}
+
+func TestEnqueueCancellationLeavesRetryable(t *testing.T) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	r := New(Options{Workers: 1, RunSim: func(cfg sim.Config) (sim.Result, error) {
+		started <- struct{}{}
+		<-release
+		return stubResult(cfg), nil
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	r.Enqueue(ctx, []sim.Config{cfgN(0), cfgN(1)})
+	<-started // first owner occupies the single worker; second queues
+	cancel()
+	close(release)
+	// The queued config completed with a cancellation and must have been
+	// evicted, so a live context re-runs it.
+	res, err := r.Run(context.Background(), cfgN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != cfgN(1).Instructions {
+		t.Error("retry returned wrong result")
+	}
+}
+
+func TestHasArtifactBothTiers(t *testing.T) {
+	store := NewMemStore()
+	r := New(Options{Workers: 1, Store: store})
+	key := sim.NewKeyBuilder("runner-test").Str("probe").Sum()
+	if r.HasArtifact(key) {
+		t.Fatal("cold fingerprint reported present")
+	}
+	if _, err := r.Artifact(context.Background(), key, func(context.Context) ([]byte, error) {
+		return []byte(`{"v":1}`), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasArtifact(key) {
+		t.Error("memoized artifact reported absent")
+	}
+	// A fresh runner sharing the store sees the persistent tier.
+	r2 := New(Options{Workers: 1, Store: store})
+	if !r2.HasArtifact(key) {
+		t.Error("stored artifact reported absent")
+	}
+	if New(Options{Workers: 1}).HasArtifact(key) {
+		t.Error("storeless runner reported a foreign artifact present")
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	a := Stats{Submitted: 10, Runs: 4, MemoHits: 6, Enqueued: 3, Barriers: 2, ArtifactComputes: 1}
+	b := Stats{Submitted: 25, Runs: 5, MemoHits: 20, Enqueued: 3, Barriers: 2, ArtifactComputes: 1, ArtifactHits: 7}
+	d := b.Delta(a)
+	want := Stats{Submitted: 15, Runs: 1, MemoHits: 14, ArtifactHits: 7}
+	if d != want {
+		t.Errorf("Delta = %+v, want %+v", d, want)
+	}
+}
+
+func TestEnqueueWaitDrainsStragglersBeforeFlush(t *testing.T) {
+	store := NewMemStore()
+	started := make(chan sim.Config, 2)
+	release := make(chan struct{})
+	r := New(Options{Workers: 1, Store: store, RunSim: func(cfg sim.Config) (sim.Result, error) {
+		started <- cfg
+		<-release
+		return stubResult(cfg), nil
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	n, wait := r.Enqueue(ctx, []sim.Config{cfgN(0), cfgN(1)})
+	if n != 2 {
+		t.Fatalf("enqueued %d, want 2", n)
+	}
+	running := <-started // one config owns the single worker slot
+	cancel()             // the queued one aborts; the running one is a straggler
+	close(release)
+	wait() // must not return until the straggler has published
+	if _, ok := store.Lookup(running.Key()); !ok {
+		t.Error("straggler's result was not persisted before wait returned")
 	}
 }

@@ -1,0 +1,345 @@
+package resizecache
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"resizecache/internal/runner"
+	"resizecache/internal/sim"
+)
+
+func TestGridExpansionDeterministicAndDeduped(t *testing.T) {
+	g := Grid{
+		// Duplicate axis values and a legacy-boolean equivalent must
+		// collapse; expansion order must be stable across calls.
+		Benchmarks:    []string{"gcc", "m88ksim", "gcc"},
+		Organizations: []Organization{SelectiveSets},
+		Assocs:        []int{2, 4, 2},
+		Sides:         []Sides{DOnly, IOnly, DOnly},
+		Instructions:  100_000,
+	}
+	p1, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Scenarios(), p2.Scenarios()) {
+		t.Error("expansion is not deterministic")
+	}
+	// 2 benchmarks × 1 org × 1 strategy × 2 assocs × 2 sides.
+	if p1.Len() != 8 {
+		t.Errorf("plan has %d scenarios, want 8 (duplicates kept?)", p1.Len())
+	}
+	// Nested-loop order: benchmarks outermost, so every gcc cell precedes
+	// every m88ksim cell.
+	scs := p1.Scenarios()
+	for i, sc := range scs {
+		if sc.Benchmark == "m88ksim" && i < 4 {
+			t.Errorf("expansion order broken: m88ksim at position %d", i)
+		}
+		if sc.ResizeDCache || sc.ResizeICache {
+			t.Error("plan scenarios not normalized")
+		}
+	}
+}
+
+func TestGridDefaultsAndValidation(t *testing.T) {
+	p, err := Grid{Benchmarks: []string{"gcc"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: three orgs × static × assoc 2 × BothSides × OoO.
+	if p.Len() != 3 {
+		t.Errorf("default grid for one benchmark has %d scenarios, want 3", p.Len())
+	}
+	for _, sc := range p.Scenarios() {
+		if sc.Assoc != 2 || sc.Sides != BothSides || sc.InOrder || sc.Strategy != Static {
+			t.Errorf("defaults not applied: %+v", sc)
+		}
+		if sc.Instructions == 0 {
+			t.Error("instructions not defaulted")
+		}
+	}
+	if _, err := (Grid{Benchmarks: []string{"nosuch"}}).Expand(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := (Grid{Benchmarks: []string{"gcc"}, Assocs: []int{3}}).Expand(); err == nil {
+		t.Error("unsupported associativity accepted")
+	}
+	if _, err := (Grid{Benchmarks: []string{"gcc"}, Engines: []Engine{Engine(9)}}).Expand(); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestPlanOfNormalizesLegacyBooleans(t *testing.T) {
+	legacy := Scenario{Benchmark: "gcc", Organization: SelectiveSets, ResizeDCache: true}
+	modern := Scenario{Benchmark: "gcc", Organization: SelectiveSets, Sides: DOnly}
+	p, err := PlanOf(legacy, modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("legacy and Sides spellings did not dedup: %d scenarios", p.Len())
+	}
+	if sc := p.Scenarios()[0]; sc.Sides != DOnly || sc.ResizeDCache {
+		t.Errorf("normalization broken: %+v", sc)
+	}
+	if _, err := PlanOf(Scenario{Benchmark: "gcc"}); err == nil {
+		t.Error("invalid scenario accepted into a plan")
+	}
+}
+
+// stubbedSession builds a Session whose runner uses runSim instead of
+// real simulations, with a pool wide enough that blocked stubs cannot
+// starve other scenarios' work.
+func stubbedSession(runSim func(sim.Config) (sim.Result, error)) *Session {
+	return &Session{r: runner.New(runner.Options{Workers: 64, RunSim: runSim})}
+}
+
+// stubResult fabricates a plausible simulation result: positive EDP so
+// winner selection and reduction math stay finite.
+func stubResult(cfg sim.Config) sim.Result {
+	var r sim.Result
+	r.CPU.Instructions = cfg.Instructions
+	r.CPU.Cycles = 2 * cfg.Instructions
+	r.EDP.EnergyJ = 1e-3
+	r.EDP.Cycles = r.CPU.Cycles
+	return r
+}
+
+func planOf(t *testing.T, apps ...string) Plan {
+	t.Helper()
+	var scs []Scenario
+	for _, app := range apps {
+		scs = append(scs, Scenario{
+			Benchmark:    app,
+			Organization: SelectiveSets,
+			Sides:        DOnly,
+			Instructions: 100_000,
+		})
+	}
+	p, err := PlanOf(scs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunIsolatesPerScenarioErrors(t *testing.T) {
+	boom := errors.New("boom")
+	s := stubbedSession(func(cfg sim.Config) (sim.Result, error) {
+		if cfg.Benchmark == "vpr" {
+			return sim.Result{}, boom
+		}
+		return stubResult(cfg), nil
+	})
+	plan := planOf(t, "m88ksim", "vpr", "gcc")
+	results, err := Collect(s.Run(context.Background(), plan))
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	// Collect surfaces the first failing scenario but still returns the
+	// full result set.
+	if err == nil || !strings.Contains(err.Error(), "vpr") {
+		t.Errorf("Collect error = %v, want the vpr failure", err)
+	}
+	for _, r := range results {
+		switch r.Scenario.Benchmark {
+		case "vpr":
+			if !errors.Is(r.Err, boom) {
+				t.Errorf("vpr result error = %v, want boom", r.Err)
+			}
+		default:
+			if r.Err != nil {
+				t.Errorf("%s poisoned by vpr's failure: %v", r.Scenario.Benchmark, r.Err)
+			}
+		}
+	}
+	// Results come back in plan order from Collect.
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestRunStreamsUnderCancellationMidPlan(t *testing.T) {
+	gate := make(chan struct{})
+	s := stubbedSession(func(cfg sim.Config) (sim.Result, error) {
+		if cfg.Benchmark != "m88ksim" {
+			<-gate // block every other benchmark until released
+		}
+		return stubResult(cfg), nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	plan := planOf(t, "m88ksim", "gcc", "vpr")
+	stream := s.Run(ctx, plan, OnResult(func(r Result, completed, total int) {
+		if total != 3 {
+			t.Errorf("OnResult total = %d, want 3", total)
+		}
+		if r.Scenario.Benchmark == "m88ksim" && r.Err == nil {
+			cancel() // first completion cancels the rest of the plan
+		}
+	}))
+	// Every scenario's result streams out even though the gcc/vpr
+	// stragglers are still blocked inside their simulations...
+	var results []Result
+	for i := 0; i < 3; i++ {
+		results = append(results, <-stream)
+	}
+	// ...but the stream only closes once those stragglers have drained.
+	close(gate)
+	if _, open := <-stream; open {
+		t.Fatal("stream delivered more than one result per scenario")
+	}
+	for _, r := range results {
+		if r.Scenario.Benchmark == "m88ksim" {
+			if r.Err != nil {
+				t.Errorf("m88ksim completed before the cancel but reports %v", r.Err)
+			}
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: error = %v, want context.Canceled", r.Scenario.Benchmark, r.Err)
+		}
+	}
+}
+
+func TestOnResultReportsCompletedOfTotal(t *testing.T) {
+	s := stubbedSession(func(cfg sim.Config) (sim.Result, error) {
+		return stubResult(cfg), nil
+	})
+	plan := planOf(t, "m88ksim", "gcc")
+	var seen []int
+	results, err := Collect(s.Run(context.Background(), plan,
+		OnResult(func(_ Result, completed, total int) {
+			if total != 2 {
+				t.Errorf("total = %d, want 2", total)
+			}
+			seen = append(seen, completed)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Errorf("completed sequence = %v, want [1 2]", seen)
+	}
+}
+
+// TestPlanRunsAsOneBatchedPass is the acceptance check for batch
+// scheduling: a multi-scenario plan submits its profiling sweeps through
+// one batched enqueue pass and gathers with zero fan-out barriers, where
+// the same scenarios run sequentially through Simulate pay one barrier
+// per sweep; and a warm plan re-run neither enqueues nor simulates.
+func TestPlanRunsAsOneBatchedPass(t *testing.T) {
+	scenarios := []Scenario{
+		{Benchmark: "m88ksim", Organization: SelectiveSets, Sides: DOnly, Instructions: 60_000},
+		{Benchmark: "gcc", Organization: SelectiveSets, Sides: DOnly, Instructions: 60_000},
+	}
+	plan, err := PlanOf(scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	batch := NewSession()
+	if _, err := Collect(batch.Run(ctx, plan)); err != nil {
+		t.Fatal(err)
+	}
+	bst := batch.Stats()
+	if bst.EnqueueBatches != 1 {
+		t.Errorf("plan used %d enqueue passes, want 1", bst.EnqueueBatches)
+	}
+	if bst.Enqueued == 0 || bst.Enqueued != bst.Runs {
+		t.Errorf("enqueued %d configs but ran %d — sweeps not batch-scheduled", bst.Enqueued, bst.Runs)
+	}
+	if bst.Barriers != 0 {
+		t.Errorf("plan gathers fanned out %d barriers, want 0", bst.Barriers)
+	}
+
+	// The same scenarios sequentially: one fan-out barrier per sweep.
+	seq := NewSession()
+	for _, sc := range scenarios {
+		if _, err := seq.Simulate(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sst := seq.Stats()
+	if sst.Runs != bst.Runs {
+		t.Fatalf("paths ran different work: %d vs %d sims", sst.Runs, bst.Runs)
+	}
+	if sst.Barriers != uint64(len(scenarios)) {
+		t.Errorf("sequential path hit %d barriers, want %d (one per sweep)",
+			sst.Barriers, len(scenarios))
+	}
+
+	// Warm-cache behaviour is preserved: a repeated plan resolves at the
+	// artifact tier — nothing enqueued, nothing simulated.
+	if _, err := Collect(batch.Run(ctx, plan)); err != nil {
+		t.Fatal(err)
+	}
+	warm := batch.Stats()
+	if warm.Runs != bst.Runs || warm.Enqueued != bst.Enqueued || warm.EnqueueBatches != bst.EnqueueBatches {
+		t.Errorf("warm plan did fresh work: %+v -> %+v", bst, warm)
+	}
+	if warm.ArtifactHits <= bst.ArtifactHits {
+		t.Errorf("warm plan scored no sweep-level reuse: %+v", warm)
+	}
+}
+
+// TestPlanOutcomesMatchSimulate guards the redesign end to end: the
+// batch path must produce byte-identical outcomes (modulo the per-call
+// Stats window) to the classic one-scenario-at-a-time facade.
+func TestPlanOutcomesMatchSimulate(t *testing.T) {
+	scenarios := []Scenario{
+		{Benchmark: "m88ksim", Organization: SelectiveSets, Sides: DOnly, Instructions: 60_000},
+		{Benchmark: "m88ksim", Organization: SelectiveWays, Sides: IOnly, Instructions: 60_000},
+	}
+	plan, err := PlanOf(scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Collect(NewSession().Run(context.Background(), plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSession()
+	for i, sc := range scenarios {
+		want, err := seq.Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[i].Outcome
+		got.Stats, want.Stats = runner.Stats{}, runner.Stats{}
+		if got != want {
+			t.Errorf("scenario %d diverged:\nplan:     %+v\nsimulate: %+v", i, got, want)
+		}
+	}
+}
+
+func TestRunEmptyPlanClosesImmediately(t *testing.T) {
+	results, err := Collect(NewSession().Run(context.Background(), Plan{}))
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty plan: %v results, err %v", results, err)
+	}
+}
+
+func TestSidesAndEngineStrings(t *testing.T) {
+	if DOnly.String() != "d-cache" || IOnly.String() != "i-cache" || BothSides.String() != "d+i-caches" {
+		t.Error("Sides strings wrong")
+	}
+	if OutOfOrderEngine.String() != "out-of-order" || InOrderEngine.String() != "in-order" {
+		t.Error("Engine strings wrong")
+	}
+}

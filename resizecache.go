@@ -24,6 +24,14 @@
 //	    Strategy:     resizecache.Dynamic,
 //	})
 //
+// The paper's evaluation is a design-space sweep, and the API is built
+// around that shape: a Grid declares axes (benchmarks, organizations,
+// strategies, associativities, resize sides, engines), expands into a
+// deterministic deduplicated Plan of Scenarios, and Session.Run executes
+// the whole plan as one batch — every cold profiling sweep is enqueued
+// on the shared worker pool up front, and Results stream back as
+// scenarios complete. See Grid, Plan, and Session.Run.
+//
 // For full control over geometries, policies and engines, use the
 // lower-level sim configuration via NewConfig and RunConfig.
 package resizecache
@@ -35,6 +43,7 @@ import (
 
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
+	"resizecache/internal/geometry"
 	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
@@ -69,6 +78,48 @@ func (s Strategy) String() string {
 	return "static"
 }
 
+// Sides selects which of the two L1 caches a scenario resizes.
+type Sides int
+
+const (
+	// BothSides resizes the d-cache and the i-cache together (the
+	// paper's combined experiment). This is the zero value.
+	BothSides Sides = iota
+	// DOnly resizes the data cache only.
+	DOnly
+	// IOnly resizes the instruction cache only.
+	IOnly
+)
+
+func (s Sides) String() string {
+	switch s {
+	case DOnly:
+		return "d-cache"
+	case IOnly:
+		return "i-cache"
+	default:
+		return "d+i-caches"
+	}
+}
+
+// Engine selects the processor timing model for a Grid axis.
+type Engine int
+
+const (
+	// OutOfOrderEngine is the base 4-wide out-of-order configuration
+	// with a non-blocking d-cache.
+	OutOfOrderEngine Engine = iota
+	// InOrderEngine is the in-order, blocking-d-cache configuration.
+	InOrderEngine
+)
+
+func (e Engine) String() string {
+	if e == InOrderEngine {
+		return "in-order"
+	}
+	return "out-of-order"
+}
+
 // Scenario is a high-level experiment description: resize one or both
 // L1 caches of the paper's base processor for one benchmark and report
 // the energy-delay outcome against the non-resizable baseline.
@@ -79,16 +130,118 @@ type Scenario struct {
 	Organization Organization
 	// Strategy: Static (default) or Dynamic.
 	Strategy Strategy
-	// ResizeDCache / ResizeICache select which caches resize. Both false
-	// means both resize (the paper's combined experiment).
+	// Sides selects which caches resize: BothSides (the default), DOnly,
+	// or IOnly.
+	Sides Sides
+	// ResizeDCache / ResizeICache are the older boolean form of Sides:
+	// exactly one true selects that cache; both false (or both true)
+	// means both resize.
+	//
+	// Deprecated: set Sides instead. The booleans remain honoured when
+	// Sides is left at its BothSides zero value, but a combination that
+	// contradicts an explicit DOnly/IOnly is an error.
 	ResizeDCache bool
 	ResizeICache bool
 	// Assoc is the L1 set-associativity (default 2, the base config).
+	// It must describe a geometry the schedule builder supports: a
+	// positive power of two no larger than the 32K cache's subarray
+	// count allows (32 at the base 1K subarrays).
 	Assoc int
 	// InOrder switches to the in-order/blocking-d-cache engine.
 	InOrder bool
 	// Instructions per run (default 1.5M).
 	Instructions uint64
+}
+
+// normalize validates a scenario and fills defaults, returning the
+// canonical form shared by Simulate and Plan expansion: Sides carries
+// the resize selection (the deprecated booleans are folded in and
+// cleared) and Assoc and Instructions are defaulted, so two scenarios
+// describing the same experiment compare equal — which is what Plan
+// deduplication relies on.
+func (sc Scenario) normalize() (Scenario, error) {
+	if sc.Benchmark == "" {
+		return Scenario{}, fmt.Errorf("resizecache: benchmark required (one of %v)", Benchmarks())
+	}
+	if !slices.Contains(Benchmarks(), sc.Benchmark) {
+		return Scenario{}, fmt.Errorf("resizecache: unknown benchmark %q (valid: %v)",
+			sc.Benchmark, Benchmarks())
+	}
+	if sc.Organization == NonResizable {
+		return Scenario{}, fmt.Errorf("resizecache: pick a resizable organization")
+	}
+	if sc.Strategy != Static && sc.Strategy != Dynamic {
+		return Scenario{}, fmt.Errorf("resizecache: unknown strategy %d", sc.Strategy)
+	}
+	if sc.Assoc == 0 {
+		sc.Assoc = 2
+	}
+	// Reject associativities the geometry layer cannot build (negative,
+	// non-power-of-two way sizes, ways smaller than a subarray) up front,
+	// instead of surfacing a degenerate schedule from deep inside a sweep.
+	l1 := geometry.Geometry{SizeBytes: 32 << 10, Assoc: sc.Assoc,
+		BlockBytes: 32, SubarrayBytes: 1 << 10}
+	if err := l1.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("resizecache: unsupported associativity %d for the 32K L1: %w",
+			sc.Assoc, err)
+	}
+	if sc.Instructions == 0 {
+		sc.Instructions = 1_500_000
+	}
+	switch sc.Sides {
+	case BothSides:
+		// Fold in the deprecated booleans; both set (or neither) is the
+		// combined experiment, matching their historical contract.
+		switch {
+		case sc.ResizeDCache && !sc.ResizeICache:
+			sc.Sides = DOnly
+		case sc.ResizeICache && !sc.ResizeDCache:
+			sc.Sides = IOnly
+		}
+	case DOnly:
+		if sc.ResizeICache {
+			return Scenario{}, fmt.Errorf("resizecache: Sides=DOnly contradicts ResizeICache")
+		}
+	case IOnly:
+		if sc.ResizeDCache {
+			return Scenario{}, fmt.Errorf("resizecache: Sides=IOnly contradicts ResizeDCache")
+		}
+	default:
+		return Scenario{}, fmt.Errorf("resizecache: invalid Sides value %d", sc.Sides)
+	}
+	sc.ResizeDCache, sc.ResizeICache = false, false
+	return sc, nil
+}
+
+// experimentOptions translates a normalized scenario into the experiment
+// layer's sweep options.
+func (sc Scenario) experimentOptions(r *runner.Runner) experiment.Options {
+	opts := experiment.DefaultOptions()
+	opts.Instructions = sc.Instructions
+	opts.Runner = r // nil selects the shared default runner
+	if sc.InOrder {
+		opts.Engine = sim.InOrder
+	}
+	return opts
+}
+
+// sweepSpecs lists the profiling sweeps a normalized scenario gathers —
+// one per resized cache. Plan execution enqueues these up front;
+// simulate gathers the same specs, so the fingerprints agree by
+// construction.
+func (sc Scenario) sweepSpecs() []experiment.SweepSpec {
+	opts := sc.experimentOptions(nil)
+	dyn := sc.Strategy == Dynamic
+	var specs []experiment.SweepSpec
+	if sc.Sides != IOnly {
+		specs = append(specs, experiment.NewSweepSpec(sc.Benchmark, experiment.DSide,
+			sc.Organization, sc.Assoc, dyn, opts))
+	}
+	if sc.Sides != DOnly {
+		specs = append(specs, experiment.NewSweepSpec(sc.Benchmark, experiment.ISide,
+			sc.Organization, sc.Assoc, dyn, opts))
+	}
+	return specs
 }
 
 // Outcome reports a scenario's result.
@@ -105,11 +258,13 @@ type Outcome struct {
 	// DChosen / IChosen describe the selected configurations.
 	DChosen string
 	IChosen string
-	// Stats snapshots the executing runner's counters after the scenario
-	// completed: per-config hits/misses plus sweep-level artifact-cache
-	// reuse. Counters are cumulative for the runner that executed the
-	// scenario (the process-wide runner for Simulate, the session's for
-	// Session.Simulate).
+	// Stats reports the runner activity of this call as a delta: the
+	// difference between the executing runner's counters after and
+	// before the scenario ran. A warm repeat therefore shows zero Runs
+	// and positive ArtifactHits rather than an ever-growing cumulative
+	// snapshot. On a shared runner (the process-wide one, or a Session
+	// running a concurrent plan) the window also includes work submitted
+	// by overlapping callers; Session.Stats has the cumulative view.
 	Stats runner.Stats
 }
 
@@ -135,13 +290,14 @@ func SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
 
 // Session shares one run-orchestration layer (worker pool, memoized
 // result store, and sweep-level artifact cache; see internal/runner)
-// across many Simulate calls while staying isolated from the
+// across many Simulate and Run calls while staying isolated from the
 // process-wide shared runner. Scenarios that overlap — the same
 // benchmark under different strategies, or single- and dual-cache
 // resizing of the same organization — re-use each other's simulations
-// (including the non-resizable baselines) and whole profiling sweeps.
-// The zero value is not usable; construct with NewSession or
-// NewSessionWith. Safe for concurrent use.
+// (including the non-resizable baselines) and whole profiling sweeps;
+// Run executes a whole Plan as one batch-scheduled pass. The zero
+// value is not usable; construct with NewSession or NewSessionWith.
+// Safe for concurrent use.
 type Session struct {
 	r     *runner.Runner
 	store *runner.DiskStore
@@ -205,44 +361,25 @@ func (s *Session) SimulateContext(ctx context.Context, sc Scenario) (Outcome, er
 func (s *Session) Stats() runner.Stats { return s.r.Stats() }
 
 func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, error) {
-	if sc.Benchmark == "" {
-		return Outcome{}, fmt.Errorf("resizecache: benchmark required (one of %v)", Benchmarks())
+	sc, err := sc.normalize()
+	if err != nil {
+		return Outcome{}, err
 	}
-	if !slices.Contains(Benchmarks(), sc.Benchmark) {
-		return Outcome{}, fmt.Errorf("resizecache: unknown benchmark %q (valid: %v)",
-			sc.Benchmark, Benchmarks())
+	exec := r
+	if exec == nil {
+		exec = runner.Default()
 	}
-	if sc.Assoc == 0 {
-		sc.Assoc = 2
-	}
-	if sc.Instructions == 0 {
-		sc.Instructions = 1_500_000
-	}
-	if sc.Organization == NonResizable {
-		return Outcome{}, fmt.Errorf("resizecache: pick a resizable organization")
-	}
-	resizeD, resizeI := sc.ResizeDCache, sc.ResizeICache
-	if !resizeD && !resizeI {
-		resizeD, resizeI = true, true
-	}
+	before := exec.Stats()
 
-	opts := experiment.DefaultOptions()
-	opts.Instructions = sc.Instructions
-	opts.Runner = r // nil selects the shared default runner
-	if sc.InOrder {
-		opts.Engine = sim.InOrder
-	}
-
-	sweep := experiment.BestStaticContext
-	if sc.Strategy == Dynamic {
-		sweep = experiment.BestDynamicContext
-	}
+	opts := sc.experimentOptions(r)
+	resizeD, resizeI := sc.Sides != IOnly, sc.Sides != DOnly
+	dyn := sc.Strategy == Dynamic
 
 	var out Outcome
 	var dBest, iBest experiment.Best
-	var err error
 	if resizeD {
-		dBest, err = sweep(ctx, sc.Benchmark, experiment.DSide, sc.Organization, sc.Assoc, opts)
+		dBest, err = experiment.BestSpecContext(ctx,
+			experiment.NewSweepSpec(sc.Benchmark, experiment.DSide, sc.Organization, sc.Assoc, dyn, opts), opts)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -250,7 +387,8 @@ func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, erro
 		out.DChosen = dBest.Desc
 	}
 	if resizeI {
-		iBest, err = sweep(ctx, sc.Benchmark, experiment.ISide, sc.Organization, sc.Assoc, opts)
+		iBest, err = experiment.BestSpecContext(ctx,
+			experiment.NewSweepSpec(sc.Benchmark, experiment.ISide, sc.Organization, sc.Assoc, dyn, opts), opts)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -258,8 +396,8 @@ func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, erro
 		out.IChosen = iBest.Desc
 	}
 
-	switch {
-	case resizeD && resizeI:
+	switch sc.Sides {
+	case BothSides:
 		// Combined run: the paper's additivity experiment shows the two
 		// resizings compose; EDP is measured in one simulation with both
 		// caches at their individually profiled configurations.
@@ -271,17 +409,13 @@ func simulate(ctx context.Context, sc Scenario, r *runner.Runner) (Outcome, erro
 		out.SlowdownPct = comb.SlowdownPct()
 		out.DCacheSizeReductionPct = comb.Chosen.DCache.SizeReductionPct()
 		out.ICacheSizeReductionPct = comb.Chosen.ICache.SizeReductionPct()
-	case resizeD:
+	case DOnly:
 		out.EDPReductionPct = dBest.EDPReductionPct()
 		out.SlowdownPct = dBest.SlowdownPct()
 	default:
 		out.EDPReductionPct = iBest.EDPReductionPct()
 		out.SlowdownPct = iBest.SlowdownPct()
 	}
-	exec := r
-	if exec == nil {
-		exec = runner.Default()
-	}
-	out.Stats = exec.Stats()
+	out.Stats = exec.Stats().Delta(before)
 	return out, nil
 }

@@ -38,6 +38,69 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
+func TestSimulateRejectsUnsupportedAssoc(t *testing.T) {
+	// Associativities the geometry layer cannot build must fail fast with
+	// a clear error instead of profiling a degenerate config.
+	for _, assoc := range []int{-1, 3, 5, 64} {
+		_, err := Simulate(Scenario{Benchmark: "gcc", Organization: SelectiveSets, Assoc: assoc})
+		if err == nil {
+			t.Errorf("assoc %d accepted", assoc)
+			continue
+		}
+		if !strings.Contains(err.Error(), "associativity") {
+			t.Errorf("assoc %d: unhelpful error: %v", assoc, err)
+		}
+	}
+	// Powers of two the geometry supports still normalize fine.
+	for _, assoc := range []int{1, 2, 16, 32} {
+		sc := Scenario{Benchmark: "gcc", Organization: SelectiveSets, Assoc: assoc}
+		if _, err := sc.normalize(); err != nil {
+			t.Errorf("assoc %d rejected: %v", assoc, err)
+		}
+	}
+}
+
+func TestSidesNormalization(t *testing.T) {
+	base := Scenario{Benchmark: "gcc", Organization: SelectiveSets}
+	cases := []struct {
+		name string
+		sc   Scenario
+		want Sides
+	}{
+		{"default", base, BothSides},
+		{"legacy d", func() Scenario { s := base; s.ResizeDCache = true; return s }(), DOnly},
+		{"legacy i", func() Scenario { s := base; s.ResizeICache = true; return s }(), IOnly},
+		{"legacy both", func() Scenario { s := base; s.ResizeDCache, s.ResizeICache = true, true; return s }(), BothSides},
+		{"explicit d", func() Scenario { s := base; s.Sides = DOnly; return s }(), DOnly},
+		{"explicit i", func() Scenario { s := base; s.Sides = IOnly; return s }(), IOnly},
+		{"explicit d + redundant bool", func() Scenario { s := base; s.Sides = DOnly; s.ResizeDCache = true; return s }(), DOnly},
+	}
+	for _, c := range cases {
+		n, err := c.sc.normalize()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if n.Sides != c.want {
+			t.Errorf("%s: normalized to %v, want %v", c.name, n.Sides, c.want)
+		}
+		if n.ResizeDCache || n.ResizeICache {
+			t.Errorf("%s: deprecated booleans survived normalization", c.name)
+		}
+	}
+	// Contradictions between Sides and the deprecated booleans are errors.
+	bad := base
+	bad.Sides, bad.ResizeICache = DOnly, true
+	if _, err := bad.normalize(); err == nil {
+		t.Error("Sides=DOnly with ResizeICache accepted")
+	}
+	bad = base
+	bad.Sides, bad.ResizeDCache = IOnly, true
+	if _, err := bad.normalize(); err == nil {
+		t.Error("Sides=IOnly with ResizeDCache accepted")
+	}
+}
+
 func TestSimulateContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -81,20 +144,20 @@ func TestSessionSharesMemoizedResults(t *testing.T) {
 	if warm.Submitted != cold.Submitted {
 		t.Errorf("repeated scenario reached the per-config layer: %+v", warm)
 	}
-	// Stats are cumulative counters, so they legitimately differ between
-	// the cold and warm call; the scenario outcome itself must not.
+	// Outcome.Stats are per-call deltas, so the warm call reports its own
+	// (hit-only) activity; the scenario outcome itself must not change.
 	first.Stats, second.Stats = runner.Stats{}, runner.Stats{}
 	if first != second {
 		t.Errorf("memoized outcome changed: %+v vs %+v", first, second)
 	}
 }
 
-func TestOutcomeSurfacesRunnerStats(t *testing.T) {
+func TestOutcomeStatsArePerCallDeltas(t *testing.T) {
 	s := NewSession()
 	sc := Scenario{
 		Benchmark:    "m88ksim",
 		Organization: SelectiveSets,
-		ResizeDCache: true,
+		Sides:        DOnly,
 		Instructions: 200_000,
 	}
 	cold, err := s.Simulate(sc)
@@ -108,11 +171,21 @@ func TestOutcomeSurfacesRunnerStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Stats are per-call deltas: the warm repeat did no simulation work
+	// of its own — it resolved at the sweep-artifact tier — and must say
+	// so, instead of echoing the session's cumulative counters.
+	if warm.Stats.Runs != 0 || warm.Stats.Submitted != 0 {
+		t.Errorf("warm outcome claims fresh work: %+v", warm.Stats)
+	}
 	if warm.Stats.ArtifactHits == 0 {
 		t.Errorf("warm outcome reports no sweep-level reuse: %+v", warm.Stats)
 	}
-	if warm.Stats.Runs != cold.Stats.Runs {
-		t.Errorf("warm scenario re-simulated: %+v", warm.Stats)
+	if warm.Stats.ArtifactComputes != 0 {
+		t.Errorf("warm outcome claims artifact computes: %+v", warm.Stats)
+	}
+	// The session-level view stays cumulative.
+	if st := s.Stats(); st.Runs != cold.Stats.Runs || st.ArtifactHits == 0 {
+		t.Errorf("session stats lost history: %+v", st)
 	}
 }
 
