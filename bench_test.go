@@ -21,6 +21,7 @@ import (
 	"resizecache/figures"
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
+	"resizecache/internal/geometry"
 	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
@@ -142,6 +143,22 @@ func BenchmarkFigure9DualResize(b *testing.B) {
 	_, _, _, de, ie, be := last.Averages()
 	b.ReportMetric(de+ie, "sum_edp_red_pct")
 	b.ReportMetric(be, "both_edp_red_pct")
+}
+
+func BenchmarkFigureL2Resizing(b *testing.B) {
+	ctx := context.Background()
+	var last figures.FigL2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.FigureL2(ctx, resizecache.NewSession(), resizecache.Static, benchFigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r, ok := last.Row(resizecache.SelectiveSets); ok {
+		b.ReportMetric(r.EDPReductionPct, "sets_l2_edp_red_pct")
+		b.ReportMetric(r.L2SizeRedPct, "sets_l2_size_red_pct")
+	}
 }
 
 // BenchmarkPlanBatchVsSequential quantifies the tentpole property of
@@ -444,7 +461,10 @@ func BenchmarkArtifactCacheWarmFigures(b *testing.B) {
 // Raw-throughput benchmarks (simulator engineering, not paper results).
 // ---------------------------------------------------------------------
 
-func BenchmarkSimOutOfOrder(b *testing.B) {
+// BenchmarkSimRun is the simulator's hot path on the base config: the
+// hierarchy-loop refactor (sim.Run building the chain from Levels)
+// must not regress it.
+func BenchmarkSimRun(b *testing.B) {
 	cfg := sim.Default("gcc")
 	cfg.Instructions = 200_000
 	b.ReportAllocs()
@@ -454,6 +474,24 @@ func BenchmarkSimOutOfOrder(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// BenchmarkSimRunDeepHierarchy is the same workload on an L2+L3 stack —
+// the hierarchy loop's cost scales with levels, not with a hard-wired
+// chain.
+func BenchmarkSimRunDeepHierarchy(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Instructions = 200_000
+	cfg.Levels = append(cfg.Levels, sim.LevelSpec{CacheSpec: sim.CacheSpec{
+		Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
+		Org:  core.NonResizable,
+	}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkSimInOrder(b *testing.B) {

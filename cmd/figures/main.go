@@ -11,6 +11,7 @@
 //	figures -exp fig7                # d-cache static vs dynamic
 //	figures -exp fig8                # i-cache static vs dynamic
 //	figures -exp fig9                # resizing both caches
+//	figures -exp l2                  # extension: resizing the shared L2
 //	figures -exp fig4 -instr 500000  # faster, lower fidelity
 //	figures -exp fig5 -apps gcc,vpr  # restrict benchmarks
 //	figures -exp all -resume out/results.json   # resumable across runs
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9, sens, sens-*")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9, l2, sens, sens-*")
 		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
 		apps     = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -195,6 +196,18 @@ func run(ctx context.Context, exp string, s *resizecache.Session, fopts figures.
 			return err
 		}
 		fmt.Println(f.Render())
+	}
+	// The L2-resizing extension is not part of "all": its dynamic panel
+	// profiles the controller grid over the L2 schedule for every app.
+	if exp == "l2" {
+		ran = true
+		for _, strat := range []resizecache.Strategy{resizecache.Static, resizecache.Dynamic} {
+			f, err := figures.FigureL2(ctx, s, strat, fopts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -1,13 +1,16 @@
-// Command respcache runs one simulation and prints a detailed report:
-// timing, energy breakdown, cache behaviour, and (for resizable
-// configurations) the interval-by-interval size trace.
+// Command respcache runs one scenario through the public facade and
+// prints a detailed report: the profiled winner per resized cache, the
+// energy-delay outcome versus the non-resizable baseline, the energy
+// breakdown, and (with -stats) the run-orchestration counters.
 //
 // Examples:
 //
-//	respcache -bench gcc
-//	respcache -bench compress -dorg ways -dstatic 1
-//	respcache -bench su2cor -dorg sets -ddynamic -missbound 512 -engine inorder
-//	respcache -bench vpr -dorg hybrid -dstatic 3 -iorg sets -istatic 2
+//	respcache -bench gcc -org sets
+//	respcache -bench compress -org ways -sides d
+//	respcache -bench su2cor -org sets -strategy dynamic -engine inorder
+//	respcache -bench vpr -org hybrid -l2org ways           # L1s + L2
+//	respcache -bench gcc -org none -l2org sets -l2dynamic  # L2 alone
+//	respcache -bench gcc -org sets -hierarchy l2+l3 -stats
 package main
 
 import (
@@ -16,103 +19,150 @@ import (
 	"fmt"
 	"os"
 
-	"resizecache/internal/core"
-	"resizecache/internal/geometry"
-	"resizecache/internal/runner"
-	"resizecache/internal/sim"
+	"resizecache"
 )
 
-func parseOrg(s string) (core.Organization, error) {
+// parseHierarchy maps the -hierarchy flag to a preset; the String()
+// forms the tool prints round-trip too.
+func parseHierarchy(s string) (resizecache.Hierarchy, error) {
 	switch s {
-	case "", "none":
-		return core.NonResizable, nil
-	case "ways":
-		return core.SelectiveWays, nil
-	case "sets":
-		return core.SelectiveSets, nil
-	case "hybrid":
-		return core.Hybrid, nil
+	case "", "base", "512K-l2":
+		return resizecache.BaseL2, nil
+	case "no-l2":
+		return resizecache.NoL2, nil
+	case "small-l2", "256K-l2":
+		return resizecache.SmallL2, nil
+	case "big-l2", "1M-l2":
+		return resizecache.BigL2, nil
+	case "l2+l3":
+		return resizecache.DeepL2L3, nil
 	default:
-		return 0, fmt.Errorf("unknown organization %q (none, ways, sets, hybrid)", s)
+		return 0, fmt.Errorf("unknown hierarchy %q (base, no-l2, small-l2, big-l2, l2+l3)", s)
 	}
+}
+
+// parseSides maps the -sides flag to a Sides value; the String() forms
+// round-trip too.
+func parseSides(s string) (resizecache.Sides, error) {
+	switch s {
+	case "", "both", "d+i-caches":
+		return resizecache.BothSides, nil
+	case "d", "d-cache":
+		return resizecache.DOnly, nil
+	case "i", "i-cache":
+		return resizecache.IOnly, nil
+	case "l2", "l2-cache":
+		return resizecache.L2Only, nil
+	default:
+		return 0, fmt.Errorf("unknown sides %q (both, d, i, l2)", s)
+	}
+}
+
+// scenarioFromFlags translates the flag set into a facade Scenario.
+func scenarioFromFlags(bench, org, strategy, sides, engine, hierarchy, l2org string,
+	l2static, l2dynamic bool, assoc, l2assoc int, instr uint64) (resizecache.Scenario, error) {
+
+	var sc resizecache.Scenario
+	sc.Benchmark = bench
+	sc.Instructions = instr
+	sc.Assoc = assoc
+
+	var err error
+	if sc.Organization, err = resizecache.ParseOrganization(org); err != nil {
+		return sc, err
+	}
+	if sc.Strategy, err = resizecache.ParseStrategy(strategy); err != nil {
+		return sc, err
+	}
+	if sc.Sides, err = parseSides(sides); err != nil {
+		return sc, err
+	}
+	if sc.Hierarchy, err = parseHierarchy(hierarchy); err != nil {
+		return sc, err
+	}
+	switch engine {
+	case "", "ooo":
+	case "inorder":
+		sc.InOrder = true
+	default:
+		return sc, fmt.Errorf("unknown engine %q (ooo, inorder)", engine)
+	}
+
+	if sc.L2.Organization, err = resizecache.ParseOrganization(l2org); err != nil {
+		return sc, err
+	}
+	sc.L2.Assoc = l2assoc
+	switch {
+	case l2static && l2dynamic:
+		return sc, fmt.Errorf("-l2static and -l2dynamic are mutually exclusive")
+	case l2dynamic:
+		sc.L2.Strategy = resizecache.Dynamic
+	default:
+		sc.L2.Strategy = resizecache.Static
+	}
+	if (l2static || l2dynamic) && sc.L2.Organization == resizecache.NonResizable {
+		return sc, fmt.Errorf("-l2static/-l2dynamic need -l2org (ways, sets, hybrid)")
+	}
+	// -org none with a resizable L2 normalizes to an L2-only experiment
+	// inside the facade; no CLI-side folding needed.
+	return sc, nil
 }
 
 func main() {
 	var (
-		bench  = flag.String("bench", "gcc", "benchmark name")
-		instr  = flag.Uint64("instr", 2_000_000, "instructions to simulate")
-		engine = flag.String("engine", "ooo", "engine: ooo or inorder")
-		assoc  = flag.Int("assoc", 2, "L1 set-associativity")
+		bench    = flag.String("bench", "gcc", "benchmark name")
+		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
+		engine   = flag.String("engine", "ooo", "engine: ooo or inorder")
+		assoc    = flag.Int("assoc", 2, "L1 set-associativity")
+		org      = flag.String("org", "sets", "L1 organization: none, ways, sets, hybrid")
+		strategy = flag.String("strategy", "static", "L1 resizing strategy: static or dynamic")
+		sides    = flag.String("sides", "both", "which caches resize: both, d, i, l2")
+		hier     = flag.String("hierarchy", "base", "shared hierarchy: base, no-l2, small-l2, big-l2, l2+l3")
 
-		dorg     = flag.String("dorg", "none", "d-cache organization")
-		dstatic  = flag.Int("dstatic", -1, "d-cache static schedule index")
-		ddynamic = flag.Bool("ddynamic", false, "d-cache dynamic resizing")
+		l2org     = flag.String("l2org", "none", "L2 organization: none, ways, sets, hybrid")
+		l2static  = flag.Bool("l2static", false, "resize the L2 with the static (profiled) strategy")
+		l2dynamic = flag.Bool("l2dynamic", false, "resize the L2 with the dynamic miss-ratio controller")
+		l2assoc   = flag.Int("l2assoc", 0, "L2 set-associativity (0 = the hierarchy default, 4)")
 
-		iorg     = flag.String("iorg", "none", "i-cache organization")
-		istatic  = flag.Int("istatic", -1, "i-cache static schedule index")
-		idynamic = flag.Bool("idynamic", false, "i-cache dynamic resizing")
-
-		interval  = flag.Uint64("interval", 65536, "dynamic interval (accesses)")
-		missbound = flag.Uint64("missbound", 512, "dynamic miss-bound per interval")
-		sizebound = flag.Int("sizebound", 0, "dynamic size-bound in bytes (0 = schedule minimum)")
+		stats = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 	)
 	flag.Parse()
 
-	cfg := sim.Default(*bench)
-	cfg.Instructions = *instr
-	if *engine == "inorder" {
-		cfg.Engine = sim.InOrder
-	}
-	geom := geometry.Geometry{SizeBytes: 32 << 10, Assoc: *assoc, BlockBytes: 32, SubarrayBytes: 1 << 10}
-	cfg.DCache.Geom = geom
-	cfg.ICache.Geom = geom
-
-	side := func(orgFlag string, static int, dynamic bool, spec *sim.CacheSpec) error {
-		org, err := parseOrg(orgFlag)
-		if err != nil {
-			return err
-		}
-		spec.Org = org
-		switch {
-		case dynamic:
-			spec.Policy = sim.PolicySpec{Kind: sim.PolicyDynamic, Interval: *interval,
-				MissBound: *missbound, SizeBoundBytes: *sizebound}
-		case static >= 0:
-			spec.Policy = sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: static}
-		}
-		return nil
-	}
-	if err := side(*dorg, *dstatic, *ddynamic, &cfg.DCache); err != nil {
-		fmt.Fprintln(os.Stderr, "respcache:", err)
-		os.Exit(1)
-	}
-	if err := side(*iorg, *istatic, *idynamic, &cfg.ICache); err != nil {
-		fmt.Fprintln(os.Stderr, "respcache:", err)
-		os.Exit(1)
-	}
-
-	// No signal handling: this is one simulation, and the runner only
-	// observes cancellation between simulations, so capturing SIGINT
-	// would swallow ^C; the default terminate behaviour is right here.
-	res, err := runner.Default().Run(context.Background(), cfg)
+	sc, err := scenarioFromFlags(*bench, *org, *strategy, *sides, *engine, *hier, *l2org,
+		*l2static, *l2dynamic, *assoc, *l2assoc, *instr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark      %s (%s engine, %d instructions)\n", *bench, cfg.Engine, *instr)
-	fmt.Printf("cycles         %d (IPC %.2f, branch accuracy %.1f%%)\n",
-		res.CPU.Cycles, res.CPU.IPC(), 100*res.CPU.BranchAccuracy)
-	fmt.Printf("energy         %v\n", res.Energy)
-	fmt.Printf("EDP            %.6g J·cycles\n", res.EDP.Product())
-	report := func(name string, c sim.CacheReport) {
-		fmt.Printf("%-8s       %s accesses=%d miss=%.3f avg-size=%.1fK (−%.1f%%) resizes=%d flushed=%d\n",
-			name, "", c.Accesses, c.MissRatio, c.AvgBytes/1024, c.SizeReductionPct(),
-			c.Resizes, c.FlushedBlocks)
-		if len(c.SizeTrace) > 0 {
-			fmt.Printf("  size trace   %v\n", c.SizeTrace)
-		}
+	session := resizecache.NewSession()
+	out, err := session.SimulateContext(context.Background(), sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		os.Exit(1)
 	}
-	report("L1d", res.DCache)
-	report("L1i", res.ICache)
+
+	eng := "out-of-order"
+	if sc.InOrder {
+		eng = "in-order"
+	}
+	fmt.Printf("benchmark      %s (%s engine, %d instructions, %v hierarchy)\n",
+		sc.Benchmark, eng, sc.Instructions, sc.Hierarchy)
+	report := func(name, chosen string, sizeRed float64) {
+		if chosen == "" {
+			return
+		}
+		fmt.Printf("%-14s %-24s avg size reduced %.1f%%\n", name, chosen, sizeRed)
+	}
+	report("L1d", out.DChosen, out.DCacheSizeReductionPct)
+	report("L1i", out.IChosen, out.ICacheSizeReductionPct)
+	report("L2", out.L2Chosen, out.L2SizeReductionPct)
+	fmt.Printf("EDP            reduced %.1f%% (slowdown %.1f%%)\n",
+		out.EDPReductionPct, out.SlowdownPct)
+	fmt.Printf("energy         core %.1f%%, l1i %.1f%%, l1d %.1f%%, l2 %.1f%%, mem %.1f%%\n",
+		out.Energy.CorePct, out.Energy.L1IPct, out.Energy.L1DPct,
+		out.Energy.L2Pct, out.Energy.MemPct)
+	if *stats {
+		fmt.Fprintln(os.Stderr, "respcache:", out.Stats)
+	}
 }

@@ -41,3 +41,43 @@ func TestRunUnknownBenchmark(t *testing.T) {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
+
+// TestRoundTripMatchesGeneratorEventForEvent writes a trace with the
+// binary writer, replays it through a reader, and asserts every decoded
+// record equals the event a fresh generator produces — field for field.
+// The generator is deterministic per profile, so any writer/reader
+// asymmetry (truncated fields, flag bits, byte order) surfaces as the
+// first mismatching event.
+func TestRoundTripMatchesGeneratorEventForEvent(t *testing.T) {
+	const n = 20_000
+	out := filepath.Join(t.TempDir(), "rt.trace")
+	if err := run("su2cor", n, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := workload.NewTraceReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &workload.ReplaySource{R: r}
+	gen := workload.NewGenerator(workload.MustGet("su2cor"))
+	var got, want workload.Event
+	for i := 0; i < n; i++ {
+		if !src.Next(&got) {
+			t.Fatalf("trace ended at event %d (err %v)", i, src.Err())
+		}
+		if !gen.Next(&want) {
+			t.Fatalf("generator ended at event %d", i)
+		}
+		if got != want {
+			t.Fatalf("event %d diverges:\n  trace:     %+v\n  generator: %+v", i, got, want)
+		}
+	}
+	if src.Next(&got) {
+		t.Fatal("trace has surplus events beyond the declared count")
+	}
+}

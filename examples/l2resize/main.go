@@ -1,0 +1,71 @@
+// L2-resizing walkthrough: the hierarchy is data, so the shared L2
+// resizes with the same machinery as the L1s. Declare one grid over the
+// L2Orgs axis (L1s fixed, L2 resizing alone), run it as one batch, and
+// show where the saved energy comes from — then sweep the Hierarchies
+// axis to see the same benchmark on a machine with no L2 at all.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"resizecache"
+)
+
+func main() {
+	apps := []string{"m88ksim", "compress", "gcc"}
+	plan, err := resizecache.Grid{
+		Benchmarks:    apps,
+		Organizations: []resizecache.Organization{resizecache.SelectiveSets}, // inert for L2Only cells
+		Sides:         []resizecache.Sides{resizecache.L2Only},
+		L2Orgs: []resizecache.Organization{
+			resizecache.SelectiveWays, resizecache.SelectiveSets, resizecache.Hybrid},
+		Instructions: 400_000,
+	}.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := resizecache.NewSession()
+	results, err := resizecache.Collect(session.Run(context.Background(), plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("resizing the 512K 4-way L2 alone (static, profiled per app):")
+	fmt.Printf("  %-10s %-16s %-22s %10s %10s %8s\n",
+		"app", "L2 org", "chosen", "size red", "EDP red", "l2 en%")
+	for _, r := range results {
+		o := r.Outcome
+		fmt.Printf("  %-10s %-16s %-22s %9.1f%% %9.1f%% %7.1f%%\n",
+			r.Scenario.Benchmark, r.Scenario.L2.Organization, o.L2Chosen,
+			o.L2SizeReductionPct, o.EDPReductionPct, o.Energy.L2Pct)
+	}
+
+	// The Hierarchies axis: the same experiment on different machines.
+	fmt.Println("\nd-cache resizing across hierarchy shapes (m88ksim, static selective-sets):")
+	plan, err = resizecache.Grid{
+		Benchmarks:    []string{"m88ksim"},
+		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
+		Sides:         []resizecache.Sides{resizecache.DOnly},
+		Hierarchies: []resizecache.Hierarchy{
+			resizecache.BaseL2, resizecache.SmallL2, resizecache.BigL2,
+			resizecache.DeepL2L3, resizecache.NoL2},
+		Instructions: 400_000,
+	}.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err = resizecache.Collect(session.Run(context.Background(), plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-10s %-22s %10s %8s\n", "hierarchy", "d-cache chose", "EDP red", "l2 en%")
+	for _, r := range results {
+		o := r.Outcome
+		fmt.Printf("  %-10v %-22s %9.1f%% %7.1f%%\n",
+			r.Scenario.Hierarchy, o.DChosen, o.EDPReductionPct, o.Energy.L2Pct)
+	}
+	fmt.Println("\nthe resizing gain is stable across hierarchy shapes — the paper's")
+	fmt.Println("claim that L1 resizing barely perturbs the levels below it.")
+}

@@ -11,6 +11,7 @@ package figures
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -44,21 +45,23 @@ type cell struct {
 	assoc   int
 	sides   resizecache.Sides
 	inOrder bool
+	hier    resizecache.Hierarchy
+	l2org   resizecache.Organization
+	l2strat resizecache.Strategy
+	l2assoc int
 }
 
 func cellOf(sc resizecache.Scenario) cell {
 	return cell{app: sc.Benchmark, org: sc.Organization, strat: sc.Strategy,
-		assoc: sc.Assoc, sides: sc.Sides, inOrder: sc.InOrder}
+		assoc: sc.Assoc, sides: sc.Sides, inOrder: sc.InOrder,
+		hier: sc.Hierarchy, l2org: sc.L2.Organization, l2strat: sc.L2.Strategy,
+		l2assoc: sc.L2.Assoc}
 }
 
-// collect expands a grid, runs it through the session as one plan, and
-// indexes the outcomes by their axes. The first per-scenario error (in
-// plan order) aborts the figure.
-func collect(ctx context.Context, s *resizecache.Session, g resizecache.Grid, o Options) (map[cell]resizecache.Outcome, error) {
-	plan, err := g.Expand()
-	if err != nil {
-		return nil, err
-	}
+// collect runs a plan through the session and indexes the outcomes by
+// their axes. The first per-scenario error (in plan order) aborts the
+// figure.
+func collect(ctx context.Context, s *resizecache.Session, plan resizecache.Plan, o Options) (map[cell]resizecache.Outcome, error) {
 	var opts []resizecache.RunOption
 	if o.Progress != nil {
 		opts = append(opts, resizecache.OnResult(func(_ resizecache.Result, done, total int) {
@@ -74,6 +77,58 @@ func collect(ctx context.Context, s *resizecache.Session, g resizecache.Grid, o 
 		outs[cellOf(r.Scenario)] = r.Outcome
 	}
 	return outs, nil
+}
+
+// figureVersion tags the aggregated row-set schemas and the aggregation
+// logic of every driver in this package. Bump it whenever a result
+// struct or an aggregation changes: cached figure-level artifacts from
+// older code then miss (and recompute) instead of decoding wrongly.
+const figureVersion = 1
+
+// cachedFigure resolves a whole figure — its aggregated, renderable
+// result — through the session's plan-level artifact cache: the figure
+// aggregate is a pure function of the outcomes of its plan, so it
+// memoizes one tier above the per-sweep artifacts. A fully warm figure
+// (same session, or a persistent store) returns without probing a
+// single per-cell sweep; a cold one expands and runs the plan once and
+// caches the aggregate. A cached payload that no longer decodes (e.g. a
+// store written by a foreign build) falls back to the direct run and
+// repairs the cache.
+func cachedFigure[T any](ctx context.Context, s *resizecache.Session, domain string, g resizecache.Grid, o Options, aggregate func(map[cell]resizecache.Outcome) (T, error)) (T, error) {
+	var zero T
+	plan, err := g.Expand()
+	if err != nil {
+		return zero, err
+	}
+	compute := func(ctx context.Context) ([]byte, error) {
+		outs, err := collect(ctx, s, plan, o)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := aggregate(outs)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(agg)
+	}
+	data, err := s.Artifact(ctx, domain, figureVersion, plan, compute)
+	if err != nil {
+		return zero, err
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err == nil {
+		return out, nil
+	}
+	data, err = compute(ctx)
+	if err != nil {
+		return zero, err
+	}
+	s.PutArtifact(domain, figureVersion, plan, data)
+	var fresh T
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		return zero, err
+	}
+	return fresh, nil
 }
 
 // ---------------------------------------------------------------------
@@ -113,38 +168,37 @@ func (f Fig4Result) Cell(side resizecache.Sides, org resizecache.Organization, a
 // i-cache sides separately under the static strategy — the machinery of
 // Figures 4 and 6 — as one plan.
 func OrgGrid(ctx context.Context, s *resizecache.Session, orgs []resizecache.Organization, assocs []int, o Options) (Fig4Result, error) {
-	outs, err := collect(ctx, s, resizecache.Grid{
+	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: orgs,
 		Strategies:    []resizecache.Strategy{resizecache.Static},
 		Assocs:        assocs,
 		Sides:         []resizecache.Sides{resizecache.DOnly, resizecache.IOnly},
 		Instructions:  o.Instructions,
-	}, o)
-	if err != nil {
-		return Fig4Result{}, err
 	}
 	apps := o.apps()
-	var f Fig4Result
-	for _, side := range []resizecache.Sides{resizecache.DOnly, resizecache.IOnly} {
-		for _, assoc := range assocs {
-			for _, org := range orgs {
-				var sum float64
-				for _, app := range apps {
-					sum += outs[cell{app: app, org: org, strat: resizecache.Static,
-						assoc: assoc, sides: side}].EDPReductionPct
-				}
-				c := Fig4Cell{Assoc: assoc, Org: org,
-					EDPReductionPct: sum / float64(len(apps))}
-				if side == resizecache.DOnly {
-					f.DCache = append(f.DCache, c)
-				} else {
-					f.ICache = append(f.ICache, c)
+	return cachedFigure(ctx, s, "org-grid", grid, o, func(outs map[cell]resizecache.Outcome) (Fig4Result, error) {
+		var f Fig4Result
+		for _, side := range []resizecache.Sides{resizecache.DOnly, resizecache.IOnly} {
+			for _, assoc := range assocs {
+				for _, org := range orgs {
+					var sum float64
+					for _, app := range apps {
+						sum += outs[cell{app: app, org: org, strat: resizecache.Static,
+							assoc: assoc, sides: side}].EDPReductionPct
+					}
+					c := Fig4Cell{Assoc: assoc, Org: org,
+						EDPReductionPct: sum / float64(len(apps))}
+					if side == resizecache.DOnly {
+						f.DCache = append(f.DCache, c)
+					} else {
+						f.ICache = append(f.ICache, c)
+					}
 				}
 			}
 		}
-	}
-	return f, nil
+		return f, nil
+	})
 }
 
 // Figure4 regenerates Figure 4: static selective-ways vs selective-sets,
@@ -218,47 +272,46 @@ func Figure5(ctx context.Context, s *resizecache.Session, side resizecache.Sides
 	if side != resizecache.DOnly && side != resizecache.IOnly {
 		return Fig5Result{}, fmt.Errorf("figures: Figure 5 compares single-cache resizings (got %v)", side)
 	}
-	outs, err := collect(ctx, s, resizecache.Grid{
+	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: []resizecache.Organization{resizecache.SelectiveWays, resizecache.SelectiveSets},
 		Strategies:    []resizecache.Strategy{resizecache.Static},
 		Assocs:        []int{4},
 		Sides:         []resizecache.Sides{side},
 		Instructions:  o.Instructions,
-	}, o)
-	if err != nil {
-		return Fig5Result{}, err
 	}
-	sizeRed := func(out resizecache.Outcome) float64 {
-		if side == resizecache.IOnly {
-			return out.ICacheSizeReductionPct
+	return cachedFigure(ctx, s, "fig5", grid, o, func(outs map[cell]resizecache.Outcome) (Fig5Result, error) {
+		sizeRed := func(out resizecache.Outcome) float64 {
+			if side == resizecache.IOnly {
+				return out.ICacheSizeReductionPct
+			}
+			return out.DCacheSizeReductionPct
 		}
-		return out.DCacheSizeReductionPct
-	}
-	chosen := func(out resizecache.Outcome) string {
-		if side == resizecache.IOnly {
-			return out.IChosen
+		chosen := func(out resizecache.Outcome) string {
+			if side == resizecache.IOnly {
+				return out.IChosen
+			}
+			return out.DChosen
 		}
-		return out.DChosen
-	}
-	f := Fig5Result{Side: side}
-	for _, app := range o.apps() {
-		w := outs[cell{app: app, org: resizecache.SelectiveWays, strat: resizecache.Static, assoc: 4, sides: side}]
-		st := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Static, assoc: 4, sides: side}]
-		f.Rows = append(f.Rows, Fig5Row{
-			App:             app,
-			WaysSizeRedPct:  sizeRed(w),
-			SetsSizeRedPct:  sizeRed(st),
-			WaysEDPRedPct:   w.EDPReductionPct,
-			SetsEDPRedPct:   st.EDPReductionPct,
-			WaysChosen:      chosen(w),
-			SetsChosen:      chosen(st),
-			WaysSlowdownPct: w.SlowdownPct,
-			SetsSlowdownPct: st.SlowdownPct,
-		})
-	}
-	sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
-	return f, nil
+		f := Fig5Result{Side: side}
+		for _, app := range o.apps() {
+			w := outs[cell{app: app, org: resizecache.SelectiveWays, strat: resizecache.Static, assoc: 4, sides: side}]
+			st := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Static, assoc: 4, sides: side}]
+			f.Rows = append(f.Rows, Fig5Row{
+				App:             app,
+				WaysSizeRedPct:  sizeRed(w),
+				SetsSizeRedPct:  sizeRed(st),
+				WaysEDPRedPct:   w.EDPReductionPct,
+				SetsEDPRedPct:   st.EDPReductionPct,
+				WaysChosen:      chosen(w),
+				SetsChosen:      chosen(st),
+				WaysSlowdownPct: w.SlowdownPct,
+				SetsSlowdownPct: st.SlowdownPct,
+			})
+		}
+		sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
+		return f, nil
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -316,7 +369,7 @@ func StrategyPanel(ctx context.Context, s *resizecache.Session, side resizecache
 	if side != resizecache.DOnly && side != resizecache.IOnly {
 		return Fig7Result{}, fmt.Errorf("figures: strategy panels compare single-cache resizings (got %v)", side)
 	}
-	outs, err := collect(ctx, s, resizecache.Grid{
+	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
 		Strategies:    []resizecache.Strategy{resizecache.Static, resizecache.Dynamic},
@@ -324,39 +377,38 @@ func StrategyPanel(ctx context.Context, s *resizecache.Session, side resizecache
 		Sides:         []resizecache.Sides{side},
 		Engines:       []resizecache.Engine{engine},
 		Instructions:  o.Instructions,
-	}, o)
-	if err != nil {
-		return Fig7Result{}, err
 	}
-	inOrder := engine == resizecache.InOrderEngine
-	sizeRed := func(out resizecache.Outcome) float64 {
-		if side == resizecache.IOnly {
-			return out.ICacheSizeReductionPct
+	return cachedFigure(ctx, s, "strategy-panel", grid, o, func(outs map[cell]resizecache.Outcome) (Fig7Result, error) {
+		inOrder := engine == resizecache.InOrderEngine
+		sizeRed := func(out resizecache.Outcome) float64 {
+			if side == resizecache.IOnly {
+				return out.ICacheSizeReductionPct
+			}
+			return out.DCacheSizeReductionPct
 		}
-		return out.DCacheSizeReductionPct
-	}
-	chosen := func(out resizecache.Outcome) string {
-		if side == resizecache.IOnly {
-			return out.IChosen
+		chosen := func(out resizecache.Outcome) string {
+			if side == resizecache.IOnly {
+				return out.IChosen
+			}
+			return out.DChosen
 		}
-		return out.DChosen
-	}
-	f := Fig7Result{Side: side, Engine: engine}
-	for _, app := range o.apps() {
-		st := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Static, assoc: 2, sides: side, inOrder: inOrder}]
-		dy := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Dynamic, assoc: 2, sides: side, inOrder: inOrder}]
-		f.Rows = append(f.Rows, Fig7Row{
-			App:               app,
-			StaticSizeRedPct:  sizeRed(st),
-			DynamicSizeRedPct: sizeRed(dy),
-			StaticEDPRedPct:   st.EDPReductionPct,
-			DynamicEDPRedPct:  dy.EDPReductionPct,
-			StaticChosen:      chosen(st),
-			DynamicChosen:     chosen(dy),
-		})
-	}
-	sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
-	return f, nil
+		f := Fig7Result{Side: side, Engine: engine}
+		for _, app := range o.apps() {
+			st := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Static, assoc: 2, sides: side, inOrder: inOrder}]
+			dy := outs[cell{app: app, org: resizecache.SelectiveSets, strat: resizecache.Dynamic, assoc: 2, sides: side, inOrder: inOrder}]
+			f.Rows = append(f.Rows, Fig7Row{
+				App:               app,
+				StaticSizeRedPct:  sizeRed(st),
+				DynamicSizeRedPct: sizeRed(dy),
+				StaticEDPRedPct:   st.EDPReductionPct,
+				DynamicEDPRedPct:  dy.EDPReductionPct,
+				StaticChosen:      chosen(st),
+				DynamicChosen:     chosen(dy),
+			})
+		}
+		sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
+		return f, nil
+	})
 }
 
 // Figure7 regenerates Figure 7 (d-cache): panel (a) in-order/blocking,
@@ -436,37 +488,112 @@ func (f Fig9Result) Row(app string) (Fig9Row, bool) {
 // at its standalone profiled winner, matching the paper's
 // decoupled-profiling argument.
 func Figure9(ctx context.Context, s *resizecache.Session, o Options) (Fig9Result, error) {
-	outs, err := collect(ctx, s, resizecache.Grid{
+	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
 		Strategies:    []resizecache.Strategy{resizecache.Static},
 		Assocs:        []int{2},
 		Sides:         []resizecache.Sides{resizecache.DOnly, resizecache.IOnly, resizecache.BothSides},
 		Instructions:  o.Instructions,
-	}, o)
-	if err != nil {
-		return Fig9Result{}, err
 	}
-	var f Fig9Result
-	at := func(app string, side resizecache.Sides) resizecache.Outcome {
-		return outs[cell{app: app, org: resizecache.SelectiveSets,
-			strat: resizecache.Static, assoc: 2, sides: side}]
+	return cachedFigure(ctx, s, "fig9", grid, o, func(outs map[cell]resizecache.Outcome) (Fig9Result, error) {
+		var f Fig9Result
+		at := func(app string, side resizecache.Sides) resizecache.Outcome {
+			return outs[cell{app: app, org: resizecache.SelectiveSets,
+				strat: resizecache.Static, assoc: 2, sides: side}]
+		}
+		for _, app := range o.apps() {
+			d, i, both := at(app, resizecache.DOnly), at(app, resizecache.IOnly), at(app, resizecache.BothSides)
+			// The two L1s are the same size, so a per-cache reduction is half
+			// of the combined d+i capacity reduction.
+			f.Rows = append(f.Rows, Fig9Row{
+				App:              app,
+				DAloneSizeRedPct: d.DCacheSizeReductionPct / 2,
+				IAloneSizeRedPct: i.ICacheSizeReductionPct / 2,
+				BothSizeRedPct:   (both.DCacheSizeReductionPct + both.ICacheSizeReductionPct) / 2,
+				DAloneEDPRedPct:  d.EDPReductionPct,
+				IAloneEDPRedPct:  i.EDPReductionPct,
+				BothEDPRedPct:    both.EDPReductionPct,
+				BothSlowdownPct:  both.SlowdownPct,
+			})
+		}
+		sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
+		return f, nil
+	})
+}
+
+// ---------------------------------------------------------------------
+// L2 resizing: the hierarchy-as-data extension figure.
+// ---------------------------------------------------------------------
+
+// FigL2Row is one L2 organization's suite-mean outcome under L2-only
+// resizing of the base hierarchy's 512K 4-way L2.
+type FigL2Row struct {
+	Org             resizecache.Organization
+	EDPReductionPct float64
+	L2SizeRedPct    float64
+	SlowdownPct     float64
+	// Energy is the suite-mean processor energy breakdown of the chosen
+	// configurations — where the saved L2 energy shows up.
+	Energy resizecache.EnergyShares
+}
+
+// FigL2Result holds the L2-resizing sensitivity figure for one strategy.
+type FigL2Result struct {
+	Strategy resizecache.Strategy
+	Rows     []FigL2Row
+}
+
+// Row returns the row for an organization.
+func (f FigL2Result) Row(org resizecache.Organization) (FigL2Row, bool) {
+	for _, r := range f.Rows {
+		if r.Org == org {
+			return r, true
+		}
 	}
-	for _, app := range o.apps() {
-		d, i, both := at(app, resizecache.DOnly), at(app, resizecache.IOnly), at(app, resizecache.BothSides)
-		// The two L1s are the same size, so a per-cache reduction is half
-		// of the combined d+i capacity reduction.
-		f.Rows = append(f.Rows, Fig9Row{
-			App:              app,
-			DAloneSizeRedPct: d.DCacheSizeReductionPct / 2,
-			IAloneSizeRedPct: i.ICacheSizeReductionPct / 2,
-			BothSizeRedPct:   (both.DCacheSizeReductionPct + both.ICacheSizeReductionPct) / 2,
-			DAloneEDPRedPct:  d.EDPReductionPct,
-			IAloneEDPRedPct:  i.EDPReductionPct,
-			BothEDPRedPct:    both.EDPReductionPct,
-			BothSlowdownPct:  both.SlowdownPct,
-		})
+	return FigL2Row{}, false
+}
+
+// FigureL2 regenerates the L2-resizing sensitivity extension: resize
+// the shared L2 alone under each organization (selective-ways,
+// selective-sets, hybrid) with the given strategy, and report the
+// suite-mean EDP reduction, L2 size reduction, and energy breakdown —
+// one plan over the L2Orgs axis through Session.Run, cached like every
+// other figure.
+func FigureL2(ctx context.Context, s *resizecache.Session, strat resizecache.Strategy, o Options) (FigL2Result, error) {
+	orgs := []resizecache.Organization{
+		resizecache.SelectiveWays, resizecache.SelectiveSets, resizecache.Hybrid}
+	grid := resizecache.Grid{
+		Benchmarks: o.apps(),
+		// The L1 organization axis is inert for L2-only cells; one value
+		// keeps the pre-dedup expansion small.
+		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
+		Sides:         []resizecache.Sides{resizecache.L2Only},
+		L2Orgs:        orgs,
+		L2Strategies:  []resizecache.Strategy{strat},
+		Instructions:  o.Instructions,
 	}
-	sort.Slice(f.Rows, func(i, j int) bool { return f.Rows[i].App < f.Rows[j].App })
-	return f, nil
+	apps := o.apps()
+	return cachedFigure(ctx, s, "fig-l2", grid, o, func(outs map[cell]resizecache.Outcome) (FigL2Result, error) {
+		f := FigL2Result{Strategy: strat}
+		for _, org := range orgs {
+			row := FigL2Row{Org: org}
+			for _, app := range apps {
+				out := outs[cell{app: app, org: resizecache.NonResizable,
+					strat: resizecache.Static, assoc: 2, sides: resizecache.L2Only,
+					l2org: org, l2strat: strat, l2assoc: 4}]
+				row.EDPReductionPct += out.EDPReductionPct
+				row.L2SizeRedPct += out.L2SizeReductionPct
+				row.SlowdownPct += out.SlowdownPct
+				row.Energy = row.Energy.Add(out.Energy)
+			}
+			inv := 1 / float64(len(apps))
+			row.EDPReductionPct *= inv
+			row.L2SizeRedPct *= inv
+			row.SlowdownPct *= inv
+			row.Energy = row.Energy.Scale(inv)
+			f.Rows = append(f.Rows, row)
+		}
+		return f, nil
+	})
 }

@@ -201,3 +201,82 @@ func TestPanelsRejectBothSides(t *testing.T) {
 		t.Error("StrategyPanel accepted BothSides")
 	}
 }
+
+// TestFigureLevelArtifactCache: a figure's aggregate memoizes one tier
+// above the per-sweep artifacts — re-rendering a warm figure resolves
+// as one figure-level artifact hit without probing a single per-cell
+// sweep, submitting a simulation, or enqueueing work.
+func TestFigureLevelArtifactCache(t *testing.T) {
+	ctx := context.Background()
+	s := resizecache.NewSession()
+	first, err := Figure4(ctx, s, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := s.Stats()
+	if cold.Runs == 0 {
+		t.Fatalf("cold figure ran nothing: %+v", cold)
+	}
+	second, err := Figure4(ctx, s, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats()
+	if warm.Runs != cold.Runs || warm.Submitted != cold.Submitted || warm.Enqueued != cold.Enqueued {
+		t.Errorf("warm figure did fresh work: %+v -> %+v", cold, warm)
+	}
+	if got := warm.ArtifactHits - cold.ArtifactHits; got != 1 {
+		t.Errorf("warm figure scored %d artifact hits, want exactly 1 (the figure-level aggregate)", got)
+	}
+	if len(second.DCache) != len(first.DCache) || second.DCache[0] != first.DCache[0] {
+		t.Errorf("cached figure differs: %+v vs %+v", second, first)
+	}
+}
+
+// TestFigureL2Plumbing: the L2 figure runs end to end on a tiny grid.
+func TestFigureL2Plumbing(t *testing.T) {
+	f, err := FigureL2(context.Background(), resizecache.NewSession(), resizecache.Static, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 organizations", len(f.Rows))
+	}
+	r, ok := f.Row(resizecache.SelectiveWays)
+	if !ok {
+		t.Fatal("missing selective-ways row")
+	}
+	if r.Energy.L2Pct <= 0 {
+		t.Errorf("no L2 energy share: %+v", r)
+	}
+	if s := f.Render(); !strings.Contains(s, "selective-ways") {
+		t.Errorf("render missing organization rows:\n%s", s)
+	}
+}
+
+// TestFigureL2ResizingPaysOff: the hierarchy-as-data claim test — the
+// suite's working sets sit far below 512K, so resizing the L2 alone
+// must shrink it substantially and reduce processor energy-delay.
+func TestFigureL2ResizingPaysOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("L2 sweep in -short mode")
+	}
+	o := fastOpts()
+	o.Apps = []string{"m88ksim", "compress", "gcc"}
+	f, err := FigureL2(context.Background(), resizecache.NewSession(), resizecache.Static, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, org := range []resizecache.Organization{resizecache.SelectiveWays, resizecache.SelectiveSets} {
+		r, ok := f.Row(org)
+		if !ok {
+			t.Fatalf("missing %v row", org)
+		}
+		if r.L2SizeRedPct <= 10 {
+			t.Errorf("%v: L2 barely shrank (%.1f%%)", org, r.L2SizeRedPct)
+		}
+		if r.EDPReductionPct <= 0 {
+			t.Errorf("%v: no EDP gain from L2 resizing (%.1f%%)", org, r.EDPReductionPct)
+		}
+	}
+}

@@ -88,6 +88,20 @@ func (f Fig7Result) Render() string {
 	return b.String()
 }
 
+// Render formats the L2-resizing sensitivity figure.
+func (f FigL2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L2 resizing (%v): suite-mean outcome per L2 organization (512K 4-way L2, OoO)\n\n", f.Strategy)
+	fmt.Fprintf(&b, "  %-16s %8s %9s %9s   %s\n", "L2 organization",
+		"EDP (%)", "size (%)", "slow (%)", "energy shares (core/l1i/l1d/l2/mem, %)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-16s %8.1f %9.1f %9.1f   %.1f / %.1f / %.1f / %.1f / %.1f\n",
+			r.Org, r.EDPReductionPct, r.L2SizeRedPct, r.SlowdownPct,
+			r.Energy.CorePct, r.Energy.L1IPct, r.Energy.L1DPct, r.Energy.L2Pct, r.Energy.MemPct)
+	}
+	return b.String()
+}
+
 // Render formats Figure 9.
 func (f Fig9Result) Render() string {
 	var b strings.Builder

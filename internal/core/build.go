@@ -5,8 +5,10 @@ import (
 	"resizecache/internal/geometry"
 )
 
-// L1Options configures construction of a resizable L1.
-type L1Options struct {
+// Options configures construction of a resizable cache at any level of
+// the hierarchy — the split L1s and the shared levels below them use the
+// same machinery.
+type Options struct {
 	Name             string
 	Geom             geometry.Geometry
 	Org              Organization
@@ -17,15 +19,21 @@ type L1Options struct {
 	Energy           geometry.EnergyModel
 	AddrBits         int
 
+	// DelayedPrecharge selects the lower-level precharge organization
+	// (precharge only the accessed subarrays; paper §3). The L1s use
+	// all-subarray precharge and leave it false.
+	DelayedPrecharge bool
+
 	// Ablation switches (see cache.Config).
 	AblationFullPrecharge bool
 	AblationFreeFlush     bool
 }
 
-// NewL1 builds a resizable L1 cache over next: it derives the
+// NewResizable builds a resizable cache over next: it derives the
 // organization's schedule, provisions the tag array when the schedule
-// shrinks sets, allocates the array, and attaches the policy.
-func NewL1(opt L1Options, next cache.Level) (*ResizableCache, error) {
+// shrinks sets, allocates the array, and attaches the policy. It is
+// level-agnostic — an L1 and a shared L2 differ only in their Options.
+func NewResizable(opt Options, next cache.Level) (*ResizableCache, error) {
 	sched, err := BuildSchedule(opt.Geom, opt.Org)
 	if err != nil {
 		return nil, err
@@ -38,6 +46,7 @@ func NewL1(opt L1Options, next cache.Level) (*ResizableCache, error) {
 		Energy:                opt.Energy,
 		MSHREntries:           opt.MSHREntries,
 		WritebackEntries:      opt.WritebackEntries,
+		DelayedPrecharge:      opt.DelayedPrecharge,
 		AblationFullPrecharge: opt.AblationFullPrecharge,
 		AblationFreeFlush:     opt.AblationFreeFlush,
 	}
@@ -48,5 +57,5 @@ func NewL1(opt L1Options, next cache.Level) (*ResizableCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewResizable(c, sched, opt.Policy)
+	return Wrap(c, sched, opt.Policy)
 }

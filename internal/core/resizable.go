@@ -32,10 +32,11 @@ type ResizableCache struct {
 	SizeTrace []int
 }
 
-// NewResizable wraps an allocated cache with a schedule and policy. The
-// cache must have been built at the schedule's full geometry, with
-// ProvisionTagForMinSets set if the schedule shrinks sets.
-func NewResizable(c *cache.Cache, sched Schedule, p Policy) (*ResizableCache, error) {
+// Wrap couples an already-allocated cache with a schedule and policy.
+// The cache must have been built at the schedule's full geometry, with
+// ProvisionTagForMinSets set if the schedule shrinks sets; NewResizable
+// does all of that from one Options value.
+func Wrap(c *cache.Cache, sched Schedule, p Policy) (*ResizableCache, error) {
 	if len(sched.Points) == 0 {
 		return nil, fmt.Errorf("core: empty schedule")
 	}

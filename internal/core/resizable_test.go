@@ -15,7 +15,7 @@ func (s *stubNext) EnergyPJ() float64                                 { return 0
 
 func buildL1(t *testing.T, org Organization, p Policy) *ResizableCache {
 	t.Helper()
-	r, err := NewL1(L1Options{
+	r, err := NewResizable(Options{
 		Name: "L1d",
 		// 32K 4-way: selective-sets offers 32K, 16K, 8K, 4K.
 		Geom:       geometry.Geometry{SizeBytes: 32 << 10, Assoc: 4, BlockBytes: 32, SubarrayBytes: 1 << 10},
@@ -30,7 +30,7 @@ func buildL1(t *testing.T, org Organization, p Policy) *ResizableCache {
 	return r
 }
 
-func TestNewL1ProvisionsTagForSetOrgs(t *testing.T) {
+func TestNewResizableProvisionsTagForSetOrgs(t *testing.T) {
 	rw := buildL1(t, SelectiveWays, nil)
 	if rw.C.Config().ProvisionTagForMinSets != 0 {
 		t.Error("selective-ways should use a conventional tag array")
@@ -45,7 +45,7 @@ func TestNewL1ProvisionsTagForSetOrgs(t *testing.T) {
 	}
 }
 
-func TestNewResizableValidation(t *testing.T) {
+func TestWrapValidation(t *testing.T) {
 	g := geometry.Geometry{SizeBytes: 8 << 10, Assoc: 4, BlockBytes: 32, SubarrayBytes: 1 << 10}
 	sched, _ := BuildSchedule(g, SelectiveSets)
 	// Cache without provisioned tag must be rejected for a sets schedule.
@@ -54,17 +54,17 @@ func TestNewResizableValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewResizable(c, sched, nil); err == nil {
+	if _, err := Wrap(c, sched, nil); err == nil {
 		t.Fatal("missing tag provisioning accepted")
 	}
 	// Geometry mismatch must be rejected.
 	g2 := g
 	g2.SizeBytes = 16 << 10
 	sched2, _ := BuildSchedule(g2, SelectiveWays)
-	if _, err := NewResizable(c, sched2, nil); err == nil {
+	if _, err := Wrap(c, sched2, nil); err == nil {
 		t.Fatal("geometry mismatch accepted")
 	}
-	if _, err := NewResizable(c, Schedule{}, nil); err == nil {
+	if _, err := Wrap(c, Schedule{}, nil); err == nil {
 		t.Fatal("empty schedule accepted")
 	}
 }

@@ -21,7 +21,8 @@ import (
 // winner-selection algorithm (pickBest, candidate enumeration). Bump it
 // whenever either changes: persisted artifacts from older code are then
 // unreachable (different fingerprints) instead of misapplied.
-const artifactVersion = 1
+// Version 2: sim.Result gained the per-level hierarchy reports.
+const artifactVersion = 2
 
 // sweepArtifactKey fingerprints one winner-selection sweep: the sweep
 // kind plus the content fingerprint of every config it would run, in
@@ -79,9 +80,19 @@ func cachedBest(ctx context.Context, r *runner.Runner, kind string, cfgs []sim.C
 // every artifact sharing the baseline. Stripping uniformly on the cold
 // path too keeps cold and warm Bests identical.
 func stripTraces(b Best) Best {
-	b.Chosen.DCache.SizeTrace = nil
-	b.Chosen.ICache.SizeTrace = nil
-	b.Base.DCache.SizeTrace = nil
-	b.Base.ICache.SizeTrace = nil
+	strip := func(r sim.Result) sim.Result {
+		r.DCache.SizeTrace = nil
+		r.ICache.SizeTrace = nil
+		if len(r.Levels) > 0 {
+			levels := append([]sim.LevelReport(nil), r.Levels...)
+			for i := range levels {
+				levels[i].SizeTrace = nil
+			}
+			r.Levels = levels
+		}
+		return r
+	}
+	b.Chosen = strip(b.Chosen)
+	b.Base = strip(b.Base)
 	return b
 }

@@ -23,6 +23,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"resizecache/internal/core"
 	"resizecache/internal/geometry"
@@ -31,7 +32,7 @@ import (
 	"resizecache/internal/workload"
 )
 
-// Side selects which L1 an experiment resizes.
+// Side selects which cache of the hierarchy an experiment resizes.
 type Side int
 
 const (
@@ -39,9 +40,11 @@ const (
 	DSide Side = iota
 	// ISide resizes the instruction cache.
 	ISide
-	// BothSides resizes both caches simultaneously (the paper's Figure 9
-	// combined experiment).
+	// BothSides resizes both L1 caches simultaneously (the paper's
+	// Figure 9 combined experiment).
 	BothSides
+	// L2Side resizes the shared L2 (the hierarchy's outermost level).
+	L2Side
 )
 
 func (s Side) String() string {
@@ -50,6 +53,8 @@ func (s Side) String() string {
 		return "i-cache"
 	case BothSides:
 		return "d+i-caches"
+	case L2Side:
+		return "l2-cache"
 	default:
 		return "d-cache"
 	}
@@ -116,6 +121,15 @@ func baseConfig(app string, engine sim.EngineKind, instr uint64, dAssoc, iAssoc 
 	return cfg
 }
 
+// BaseConfig builds the non-resizable baseline config sweeps derive
+// their candidates from: the app on opts' engine and instruction budget
+// with 32K L1s at one associativity and the default shared hierarchy.
+// Callers building custom sweeps (a different L2, a deeper hierarchy)
+// override Levels before wrapping it in a SweepSpec.
+func BaseConfig(app string, assoc int, opts Options) sim.Config {
+	return baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
+}
+
 // Best is the outcome of a profiling sweep for one application: the
 // minimum-EDP configuration relative to the non-resizable baseline of the
 // same size and associativity.
@@ -127,42 +141,96 @@ type Best struct {
 	Spec   sim.PolicySpec
 	Chosen sim.Result
 	Base   sim.Result
+	// Resized lists the sides a combined run (CombinedBests) resized;
+	// empty for single-sweep Bests, where Side alone identifies the
+	// cache. SizeReductionPct computes over these when set.
+	Resized []Side `json:",omitempty"`
 }
 
 // EDPReductionPct is the paper's headline metric: percent reduction in
 // processor energy-delay versus the baseline.
 func (b Best) EDPReductionPct() float64 { return b.Chosen.EDP.ReductionPct(b.Base.EDP) }
 
-// SizeReductionPct is the percent reduction in average enabled capacity
-// of the resized cache(s); for BothSides it is computed over the
-// combined d+i capacity.
-func (b Best) SizeReductionPct() float64 {
-	switch b.Side {
+// sideReport returns the chosen result's report for one resized side.
+func (b Best) sideReport(side Side) sim.CacheReport {
+	switch side {
 	case ISide:
-		return b.Chosen.ICache.SizeReductionPct()
-	case BothSides:
-		full := float64(b.Chosen.DCache.FullBytes + b.Chosen.ICache.FullBytes)
-		if full == 0 {
-			return 0
-		}
-		avg := b.Chosen.DCache.AvgBytes + b.Chosen.ICache.AvgBytes
-		return 100 * (1 - avg/full)
+		return b.Chosen.ICache
+	case L2Side:
+		return b.Chosen.L2()
 	default:
-		return b.Chosen.DCache.SizeReductionPct()
+		return b.Chosen.DCache
 	}
+}
+
+// SizeReductionPct is the percent reduction in average enabled capacity
+// of the resized cache(s): the single resized cache for sweep Bests,
+// the combined d+i capacity for the paper's BothSides experiment, and
+// the combined capacity of every resized side for a CombinedBests
+// result (which records them in Resized).
+func (b Best) SizeReductionPct() float64 {
+	sides := b.Resized
+	if len(sides) == 0 {
+		switch b.Side {
+		case BothSides:
+			sides = []Side{DSide, ISide}
+		default:
+			sides = []Side{b.Side}
+		}
+	}
+	var avg, full float64
+	for _, s := range sides {
+		r := b.sideReport(s)
+		avg += r.AvgBytes
+		full += float64(r.FullBytes)
+	}
+	if full == 0 {
+		return 0
+	}
+	return 100 * (1 - avg/full)
 }
 
 // SlowdownPct is the performance degradation versus baseline.
 func (b Best) SlowdownPct() float64 { return 100 * b.Chosen.EDP.Slowdown(b.Base.EDP) }
 
-// applySide sets the resizable side of a config. Only DSide and ISide
-// are valid: combined resizing is a distinct protocol (Combined), not a
-// sweep parameter — sweeps must reject BothSides via checkSweepSide.
+// applySide sets the resizable side of a config. Only DSide, ISide, and
+// L2Side are valid: combined resizing is a distinct protocol
+// (CombinedBests), not a sweep parameter — sweeps must reject BothSides
+// via checkSweepSide. For L2Side only the level's geometry,
+// organization, and policy are replaced: the base level keeps its
+// structural knobs (precharge mode, MSHR and writeback sizing) and its
+// ablation switches, so a sweep over an ablated base compares ablated
+// candidates against the ablated baseline.
 func applySide(cfg *sim.Config, side Side, spec sim.CacheSpec) {
-	if side == ISide {
+	switch side {
+	case ISide:
 		cfg.ICache = spec
-	} else {
+	case L2Side:
+		levels := append([]sim.LevelSpec(nil), cfg.Hierarchy()...)
+		// sideGeom already rejected an empty hierarchy.
+		levels[0].Geom = spec.Geom
+		levels[0].Org = spec.Org
+		levels[0].Policy = spec.Policy
+		cfg.Levels = levels
+		cfg.L2Geom = geometry.Geometry{}
+	default:
 		cfg.DCache = spec
+	}
+}
+
+// sideGeom returns the geometry of the cache a side resizes.
+func sideGeom(cfg sim.Config, side Side) (geometry.Geometry, error) {
+	switch side {
+	case ISide:
+		return cfg.ICache.Geom, nil
+	case L2Side:
+		levels := cfg.Hierarchy()
+		if len(levels) == 0 {
+			return geometry.Geometry{}, fmt.Errorf("experiment: L2 resizing needs a shared level in the hierarchy")
+		}
+		return levels[0].Geom, nil
+	default:
+		return cfg.DCache.Geom, nil
 	}
 }
 
@@ -170,8 +238,8 @@ func applySide(cfg *sim.Config, side Side, spec sim.CacheSpec) {
 // resize; without it BothSides would silently profile the d-cache only
 // while reporting combined d+i metrics.
 func checkSweepSide(side Side) error {
-	if side != DSide && side != ISide {
-		return fmt.Errorf("experiment: profiling sweeps resize one cache (got %v); use Combined for both", side)
+	if side != DSide && side != ISide && side != L2Side {
+		return fmt.Errorf("experiment: profiling sweeps resize one cache (got %v); use CombinedBests for several", side)
 	}
 	return nil
 }
@@ -220,13 +288,29 @@ func (s SweepSpec) kind() string {
 	return "best-static"
 }
 
+// ArtifactKey is the sweep's artifact-cache fingerprint: the sweep kind
+// and schema version plus the content fingerprint of every config the
+// sweep would run (baseline and all candidates). Anything that changes
+// the winner selection — candidate enumeration, schedule building, any
+// underlying simulation, or artifactVersion itself — moves it. Layers
+// caching values derived from whole sweeps (the facade's figure-level
+// aggregates) compose it into their own fingerprints so their caches
+// invalidate together with the sweep tier.
+func (s SweepSpec) ArtifactKey() (sim.Key, error) {
+	cfgs, _, err := s.sweep()
+	if err != nil {
+		return sim.Key{}, err
+	}
+	return sweepArtifactKey(s.kind(), cfgs), nil
+}
+
 // sweep enumerates the batch the spec would run — the baseline followed
 // by every candidate — plus a describe function mapping the winning
 // batch index to the chosen description and policy.
 func (s SweepSpec) sweep() (cfgs []sim.Config, describe func(bestIdx int) (string, sim.PolicySpec), err error) {
-	geom := s.Base.DCache.Geom
-	if s.Side == ISide {
-		geom = s.Base.ICache.Geom
+	geom, err := sideGeom(s.Base, s.Side)
+	if err != nil {
+		return nil, nil, err
 	}
 	sched, err := core.BuildSchedule(geom, s.Org)
 	if err != nil {
@@ -234,7 +318,7 @@ func (s SweepSpec) sweep() (cfgs []sim.Config, describe func(bestIdx int) (strin
 	}
 	cfgs = []sim.Config{s.Base}
 	if s.Dynamic {
-		cands := dynamicCandidates(sched)
+		cands := dynamicCandidates(sched, s.Side == L2Side)
 		for _, p := range cands {
 			cfg := s.Base
 			applySide(&cfg, s.Side, sim.CacheSpec{Geom: geom, Org: s.Org,
@@ -319,7 +403,7 @@ func EnqueueSweeps(ctx context.Context, specs []SweepSpec, opts Options) (int, f
 	seen := make(map[sim.Key]bool)
 	var cfgs []sim.Config
 	for _, spec := range specs {
-		if spec.Side != DSide && spec.Side != ISide {
+		if checkSweepSide(spec.Side) != nil {
 			continue
 		}
 		scfgs, _, err := spec.sweep()
@@ -364,14 +448,20 @@ type DynamicParams struct {
 
 // dynamicCandidates enumerates the offline profiling grid for the
 // miss-ratio controller: miss-bounds as fractions of the interval and
-// size-bounds across the schedule's range.
-func dynamicCandidates(sched core.Schedule) []DynamicParams {
+// size-bounds across the schedule's range. lowTraffic selects the
+// interval set for caches that see only the level above's misses (the
+// shared L2): an order of magnitude shorter, so the controller still
+// observes enough interval boundaries to adapt.
+func dynamicCandidates(sched core.Schedule, lowTraffic bool) []DynamicParams {
 	// Miss-bounds span well past each app's background miss level
 	// (conflict and cold misses) or the controller would pin at full
 	// size; the shorter interval tracks phases in shorter runs; the
 	// size-bound candidates are every offered size below full, since the
 	// bound is how profiling pins the controller at an app's known floor.
 	intervals := []uint64{4096, 16384, 65536}
+	if lowTraffic {
+		intervals = []uint64{128, 1024, 8192}
+	}
 	missFracs := []float64{0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.15}
 	var sizeBounds []int
 	for _, p := range sched.Points[1:] {
@@ -423,17 +513,47 @@ func Combined(app string, org core.Organization, assoc int, dBest, iBest Best, o
 
 // CombinedContext is Combined with cancellation.
 func CombinedContext(ctx context.Context, app string, org core.Organization, assoc int, dBest, iBest Best, opts Options) (Best, error) {
-	cfg := baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc)
-	cfg.DCache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: dBest.Spec}
-	cfg.ICache = sim.CacheSpec{Geom: l1Geom(assoc), Org: org, Policy: iBest.Spec}
+	return CombinedBestsContext(ctx,
+		baseConfig(app, opts.Engine, opts.Instructions, assoc, assoc),
+		[]Best{dBest, iBest}, opts)
+}
+
+// CombinedBests is the decoupled-profiling protocol generalized over
+// the hierarchy: one simulation with every profiled winner applied to
+// its side of base — any subset of {d-cache, i-cache, L2}. Each part
+// carries its own side, organization, and policy from its sweep; the
+// returned Best compares against the parts' shared non-resizable
+// baseline.
+func CombinedBests(base sim.Config, parts []Best, opts Options) (Best, error) {
+	return CombinedBestsContext(context.Background(), base, parts, opts)
+}
+
+// CombinedBestsContext is CombinedBests with cancellation.
+func CombinedBestsContext(ctx context.Context, base sim.Config, parts []Best, opts Options) (Best, error) {
+	if len(parts) == 0 {
+		return Best{}, fmt.Errorf("experiment: no profiled parts to combine")
+	}
+	cfg := base
+	descs := make([]string, 0, len(parts))
+	resized := make([]Side, 0, len(parts))
+	for _, p := range parts {
+		geom, err := sideGeom(cfg, p.Side)
+		if err != nil {
+			return Best{}, err
+		}
+		applySide(&cfg, p.Side, sim.CacheSpec{Geom: geom, Org: p.Org, Policy: p.Spec})
+		descs = append(descs, p.Desc)
+		resized = append(resized, p.Side)
+	}
 	res, err := opts.runner().Run(ctx, cfg)
 	if err != nil {
 		return Best{}, err
 	}
 	return Best{
-		App: app, Side: BothSides, Org: org,
-		Desc:   fmt.Sprintf("both: %s + %s", dBest.Desc, iBest.Desc),
-		Chosen: res,
-		Base:   dBest.Base,
+		App: parts[0].App, Side: BothSides, Org: parts[0].Org,
+		Desc:    "both: " + strings.Join(descs, " + "),
+		Chosen:  res,
+		Base:    parts[0].Base,
+		Resized: resized,
 	}, nil
 }

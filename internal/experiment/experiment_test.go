@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"resizecache/internal/core"
+	"resizecache/internal/geometry"
 	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 )
@@ -174,7 +175,7 @@ func TestDynamicCandidatesDeduplicated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := dynamicCandidates(sched)
+	cands := dynamicCandidates(sched, false)
 	seen := map[DynamicParams]bool{}
 	for _, c := range cands {
 		if seen[c] {
@@ -456,5 +457,136 @@ func TestEnqueueSweepsBatchesColdAndSkipsWarm(t *testing.T) {
 	}
 	if st := opts.Runner.Stats(); st.EnqueueBatches != 1 {
 		t.Errorf("warm pass still called Enqueue: %+v", st)
+	}
+}
+
+// TestL2SideSweep: the sweep machinery is hierarchy-generic — an
+// L2Side spec profiles the shared L2's schedule and reports through
+// the level reports; a hierarchy with no shared level is rejected.
+func TestL2SideSweep(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Instructions = 150_000
+	opts.Runner = runner.New(runner.Options{})
+	base := BaseConfig("m88ksim", 2, opts)
+	best, err := BestSpec(SweepSpec{App: "m88ksim", Side: L2Side,
+		Org: core.SelectiveWays, Base: base}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Side != L2Side {
+		t.Fatalf("side = %v", best.Side)
+	}
+	if best.SizeReductionPct() <= 0 {
+		t.Errorf("m88ksim's L2 did not shrink: %s (%.1f%%)", best.Desc, best.SizeReductionPct())
+	}
+	if got := best.Chosen.L2().AvgBytes; got >= 512<<10 {
+		t.Errorf("chosen L2 average %v bytes, want below full size", got)
+	}
+	// The L1 reports must be untouched by the L2 sweep.
+	if best.Chosen.DCache.AvgBytes != 32<<10 {
+		t.Errorf("d-cache perturbed: %+v", best.Chosen.DCache)
+	}
+
+	flat := base
+	flat.Levels = nil
+	flat.L2Geom = geometry.Geometry{}
+	if _, err := BestSpec(SweepSpec{App: "m88ksim", Side: L2Side,
+		Org: core.SelectiveWays, Base: flat}, opts); err == nil {
+		t.Error("L2 sweep over an empty hierarchy accepted")
+	}
+}
+
+// TestCombinedBestsAppliesEverySide: the generalized combined run holds
+// each profiled winner — including the L2's — in one simulation.
+func TestCombinedBestsAppliesEverySide(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Instructions = 150_000
+	opts.Runner = runner.New(runner.Options{})
+	base := BaseConfig("m88ksim", 2, opts)
+	d, err := BestSpec(SweepSpec{App: "m88ksim", Side: DSide,
+		Org: core.SelectiveSets, Base: base}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := BestSpec(SweepSpec{App: "m88ksim", Side: L2Side,
+		Org: core.SelectiveWays, Base: base}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := CombinedBests(base, []Best{d, l2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Chosen.DCache.AvgBytes >= 32<<10 {
+		t.Errorf("combined run left the d-cache at full size: %+v", comb.Chosen.DCache)
+	}
+	if comb.Chosen.L2().AvgBytes >= 512<<10 {
+		t.Errorf("combined run left the L2 at full size: %+v", comb.Chosen.L2())
+	}
+	if comb.EDPReductionPct() <= 0 {
+		t.Errorf("combined resizing lost EDP: %.1f%%", comb.EDPReductionPct())
+	}
+	// SizeReductionPct computes over the actually resized sides (d + L2,
+	// recorded in Resized) — the capacity-dominant L2 shrink must show,
+	// not be averaged away against the never-resized i-cache.
+	if got := comb.SizeReductionPct(); got <= 50 {
+		t.Errorf("combined size reduction %.1f%% ignores the resized L2", got)
+	}
+	if _, err := CombinedBests(base, nil, opts); err == nil {
+		t.Error("empty parts accepted")
+	}
+}
+
+// TestApplySideL2PreservesLevelKnobs: replacing the L2's cache core
+// must keep the base level's structural knobs AND its ablation
+// switches, so an ablated-base sweep compares like against like.
+func TestApplySideL2PreservesLevelKnobs(t *testing.T) {
+	cfg := sim.Default("gcc")
+	cfg.Levels[0].AblationFreeFlush = true
+	cfg.Levels[0].Precharge = sim.PrechargeFull
+	cfg.Levels[0].MSHREntries = 4
+	geom := cfg.Levels[0].Geom
+	applySide(&cfg, L2Side, sim.CacheSpec{Geom: geom, Org: core.SelectiveWays,
+		Policy: sim.PolicySpec{Kind: sim.PolicyStatic, StaticIndex: 1}})
+	l := cfg.Levels[0]
+	if l.Org != core.SelectiveWays || l.Policy.Kind != sim.PolicyStatic {
+		t.Errorf("cache core not replaced: %+v", l)
+	}
+	if !l.AblationFreeFlush || l.Precharge != sim.PrechargeFull || l.MSHREntries != 4 {
+		t.Errorf("level knobs dropped: %+v", l)
+	}
+}
+
+// TestSweepSpecArtifactKey: stable across calls, distinct per sweep,
+// and erroring for an unsweepable spec.
+func TestSweepSpecArtifactKey(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Instructions = 100_000
+	st := SweepSpec{App: "gcc", Side: DSide, Org: core.SelectiveSets,
+		Base: BaseConfig("gcc", 2, opts)}
+	a, err := st.ArtifactKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.ArtifactKey()
+	if err != nil || a != b {
+		t.Fatalf("artifact key unstable: %v vs %v (%v)", a, b, err)
+	}
+	dyn := st
+	dyn.Dynamic = true
+	if k, _ := dyn.ArtifactKey(); k == a {
+		t.Error("static and dynamic sweeps share an artifact key")
+	}
+	l2 := st
+	l2.Side = L2Side
+	l2.Org = core.SelectiveWays
+	if k, _ := l2.ArtifactKey(); k == a {
+		t.Error("d-cache and L2 sweeps share an artifact key")
+	}
+	bad := l2
+	bad.Base.Levels = nil
+	bad.Base.L2Geom = geometry.Geometry{}
+	if _, err := bad.ArtifactKey(); err == nil {
+		t.Error("L2 sweep over an empty hierarchy produced a key")
 	}
 }

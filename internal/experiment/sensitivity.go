@@ -164,8 +164,11 @@ func L2SensitivityContext(ctx context.Context, opts Options) ([]SensitivityRow, 
 		p := point{label: fmt.Sprintf("%dK L2", l2kb)}
 		for _, app := range apps {
 			base := baseConfig(app, opts.Engine, opts.Instructions, 2, 2)
-			base.L2Geom = geometry.Geometry{SizeBytes: l2kb << 10, Assoc: 4,
-				BlockBytes: 64, SubarrayBytes: 4 << 10}
+			base.Levels = []sim.LevelSpec{{CacheSpec: sim.CacheSpec{
+				Geom: geometry.Geometry{SizeBytes: l2kb << 10, Assoc: 4,
+					BlockBytes: 64, SubarrayBytes: 4 << 10},
+				Org: core.NonResizable,
+			}}}
 			p.specs = append(p.specs, SweepSpec{App: app, Side: DSide,
 				Org: core.SelectiveSets, Base: base})
 		}

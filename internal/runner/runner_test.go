@@ -754,3 +754,66 @@ func TestEnqueueWaitDrainsStragglersBeforeFlush(t *testing.T) {
 		t.Error("straggler's result was not persisted before wait returned")
 	}
 }
+
+// TestStaleKeyEncodingInvalidatesCleanly models the sim.Key version
+// bump (v1 -> v2): a store populated under a retired key encoding still
+// loads, but its entries can only miss — the runner re-simulates under
+// the current keys and persists alongside the stale entries, never
+// serving a result the old key no longer describes.
+func TestStaleKeyEncodingInvalidatesCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	store, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1-era fingerprint of cfgN(0): same config, retired encoding.
+	// Any key the current encoder cannot produce stands in for it.
+	var stale sim.Key
+	copy(stale[:], []byte("v1-key-of-cfgN0-retired-encoding"))
+	wrong := stubResult(cfgN(1)) // result the stale key maps to
+	store.Record(stale, StoredResult{Result: wrong})
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.Len() != 1 {
+		t.Fatalf("stale store failed to load: %d results", store2.Len())
+	}
+	var calls atomic.Int32
+	r := New(Options{Workers: 1, Store: store2, RunSim: func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return stubResult(cfg), nil
+	}})
+	res, err := r.Run(context.Background(), cfgN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions != cfgN(0).Instructions {
+		t.Fatalf("got result for the wrong config: %+v", res.CPU)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("stale store served a hit: %d simulations", calls.Load())
+	}
+	if st := r.Stats(); st.StoreHits != 0 {
+		t.Fatalf("stale entry counted as a store hit: %+v", st)
+	}
+	// The fresh result persists under the new key; the stale entry stays
+	// (unreachable) rather than corrupting the store.
+	if err := store2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store3.Len() != 2 {
+		t.Fatalf("store holds %d results after re-run, want 2", store3.Len())
+	}
+	if _, ok := store3.Lookup(cfgN(0).Key()); !ok {
+		t.Fatal("fresh result not persisted under the current key")
+	}
+}

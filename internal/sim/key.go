@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"hash"
 	"math"
+
+	"resizecache/internal/geometry"
 )
 
 // Key is a content-addressed fingerprint of a Config: two Configs that
@@ -21,16 +23,24 @@ type Key [sha256.Size]byte
 // String renders the key as lowercase hex (the on-disk store's map key).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
-// keyVersion tags the fingerprint encoding; see Key.
-const keyVersion = 1
+// keyVersion tags the fingerprint encoding; see Key. Version 2
+// introduced the hierarchy-as-data encoding: the full Levels list is
+// fingerprinted (count plus every LevelSpec field) where version 1
+// encoded a bare L2 geometry, so v1 stores invalidate cleanly — their
+// keys can never alias a v2 config.
+const keyVersion = 2
 
-// Canonical returns the config with semantically inert fields zeroed so
-// that configs describing identical simulations fingerprint identically:
+// Canonical returns the config with semantically inert fields zeroed
+// and the hierarchy in normal form, so that configs describing
+// identical simulations fingerprint identically:
 //
 //   - policy parameters not read by the configured policy kind (a static
-//     policy ignores the dynamic controller's knobs and vice versa);
+//     policy ignores the dynamic controller's knobs and vice versa), at
+//     every level of the hierarchy;
 //   - d-cache MSHRs under the in-order engine, which forces a blocking
-//     d-cache regardless of the configured entry count.
+//     d-cache regardless of the configured entry count;
+//   - the deprecated L2Geom, folded into its equivalent one-level
+//     Levels spec (see Hierarchy), so both spellings share a key.
 //
 // Run never inspects the zeroed fields, so Canonical is behaviour
 // preserving by construction.
@@ -39,6 +49,25 @@ func (c Config) Canonical() Config {
 	c.ICache.Policy = c.ICache.Policy.canonical()
 	if c.Engine == InOrder {
 		c.MSHREntries = 0
+	}
+	// A config that sets both Levels and L2Geom is invalid (Run rejects
+	// it); keep the conflicting L2Geom so its fingerprint can never
+	// alias the valid Levels-only config — otherwise a warm memo/store
+	// would serve the valid config's result where the cold path errors.
+	conflict := len(c.Levels) > 0 && c.L2Geom != (geometry.Geometry{})
+	levels := c.Hierarchy()
+	if len(levels) > 0 {
+		canon := make([]LevelSpec, len(levels))
+		for i, l := range levels {
+			l.Policy = l.Policy.canonical()
+			canon[i] = l
+		}
+		c.Levels = canon
+	} else {
+		c.Levels = nil
+	}
+	if !conflict {
+		c.L2Geom = geometry.Geometry{}
 	}
 	return c
 }
@@ -71,9 +100,19 @@ func (c Config) Key() Key {
 	w.i(c.CPU.LSQEntries)
 	w.u64(c.CPU.DecodeLatency)
 	w.u64(c.CPU.MispredictPenalty)
-	// L1s and L2.
+	// L1s and the shared hierarchy (Canonical already folded L2Geom in).
 	w.cacheSpec(c.DCache)
 	w.cacheSpec(c.ICache)
+	w.i(len(c.Levels))
+	for _, l := range c.Levels {
+		w.cacheSpec(l.CacheSpec)
+		w.u64(uint64(l.Precharge))
+		w.i(l.MSHREntries)
+		w.i(l.WritebackEntries)
+	}
+	// All zeros for every valid config; non-zero only for the invalid
+	// Levels+L2Geom conflict, whose cold-path error must memoize under
+	// its own key (see Canonical).
 	w.geometry(c.L2Geom.SizeBytes, c.L2Geom.Assoc, c.L2Geom.BlockBytes, c.L2Geom.SubarrayBytes)
 	w.i(c.MSHREntries)
 	w.i(c.WritebackEntries)
@@ -182,7 +221,7 @@ func (w keyWriter) str(s string) {
 	w.h.Write([]byte(s))
 }
 
-// cacheSpec encodes one L1 spec.
+// cacheSpec encodes one cache spec (an L1 or a shared level's core).
 func (w keyWriter) cacheSpec(s CacheSpec) {
 	w.geometry(s.Geom.SizeBytes, s.Geom.Assoc, s.Geom.BlockBytes, s.Geom.SubarrayBytes)
 	w.u64(uint64(s.Org))

@@ -1,10 +1,19 @@
 package sim
 
 import (
+	"crypto/sha256"
 	"testing"
 
 	"resizecache/internal/core"
+	"resizecache/internal/geometry"
 )
+
+// mutateL2 clones the hierarchy (the Levels backing array is shared
+// between config copies) and applies fn to the outermost level.
+func mutateL2(c *Config, fn func(*LevelSpec)) {
+	c.Levels = append([]LevelSpec(nil), c.Hierarchy()...)
+	fn(&c.Levels[0])
+}
 
 func TestKeyStableAcrossCalls(t *testing.T) {
 	a := Default("gcc").Key()
@@ -39,11 +48,30 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 		},
 		"ablation precharge": func(c *Config) { c.DCache.AblationFullPrecharge = true },
 		"ablation flush":     func(c *Config) { c.ICache.AblationFreeFlush = true },
-		"l2 geom":            func(c *Config) { c.L2Geom.SizeBytes *= 2 },
-		"mshrs":              func(c *Config) { c.MSHREntries++ },
-		"writeback":          func(c *Config) { c.WritebackEntries++ },
-		"energy model":       func(c *Config) { c.Energy.PrechargePJPerBit *= 2 },
-		"core energies":      func(c *Config) { c.Core.ClockPJ *= 2 },
+		"l2 geom":            func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.Geom.SizeBytes *= 2 }) },
+		"l2 assoc":           func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.Geom.Assoc *= 2 }) },
+		"l2 org":             func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.Org = core.SelectiveWays }) },
+		"l2 policy": func(c *Config) {
+			mutateL2(c, func(l *LevelSpec) {
+				l.Org = core.SelectiveWays
+				l.Policy = PolicySpec{Kind: PolicyStatic, StaticIndex: 1}
+			})
+		},
+		"l2 precharge": func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.Precharge = PrechargeFull }) },
+		"l2 mshrs":     func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.MSHREntries = 4 }) },
+		"l2 writeback": func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.WritebackEntries = 4 }) },
+		"l2 ablation":  func(c *Config) { mutateL2(c, func(l *LevelSpec) { l.AblationFreeFlush = true }) },
+		"added l3": func(c *Config) {
+			c.Levels = append(append([]LevelSpec(nil), c.Levels...), LevelSpec{CacheSpec: CacheSpec{
+				Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
+				Org:  core.NonResizable,
+			}})
+		},
+		"no shared levels": func(c *Config) { c.Levels = nil },
+		"mshrs":            func(c *Config) { c.MSHREntries++ },
+		"writeback":        func(c *Config) { c.WritebackEntries++ },
+		"energy model":     func(c *Config) { c.Energy.PrechargePJPerBit *= 2 },
+		"core energies":    func(c *Config) { c.Core.ClockPJ *= 2 },
 	}
 	baseKey := base.Key()
 	seen := map[Key]string{baseKey: "base"}
@@ -55,6 +83,107 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 			t.Errorf("mutation %q collides with %q", name, prev)
 		}
 		seen[k] = name
+	}
+}
+
+// TestKeyHierarchySpellings: the deprecated L2Geom and its equivalent
+// one-level Levels spec describe the same simulation and must share a
+// fingerprint; materially different hierarchies must not.
+func TestKeyHierarchySpellings(t *testing.T) {
+	legacy := Default("gcc")
+	l2 := legacy.Hierarchy()[0].Geom
+	legacy.Levels = nil
+	legacy.L2Geom = l2
+
+	modern := Default("gcc")
+	if legacy.Key() != modern.Key() {
+		t.Error("L2Geom spelling and its Levels equivalent fingerprint differently")
+	}
+
+	// A zero-value LevelSpec knob set explicitly is still the same level.
+	explicit := Default("gcc")
+	explicit.Levels = []LevelSpec{{CacheSpec: CacheSpec{Geom: l2, Org: core.NonResizable},
+		Precharge: PrechargeDelayed}}
+	if explicit.Key() != modern.Key() {
+		t.Error("explicit delayed precharge perturbed the fingerprint")
+	}
+
+	deep := Default("gcc")
+	deep.Levels = append(append([]LevelSpec(nil), deep.Levels...), LevelSpec{CacheSpec: CacheSpec{
+		Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
+		Org:  core.NonResizable,
+	}})
+	if deep.Key() == modern.Key() {
+		t.Error("adding an L3 did not move the fingerprint")
+	}
+
+	// The invalid both-set conflict (Run rejects it) must not alias the
+	// valid Levels-only config: a warm memo/store would otherwise serve
+	// a result where the cold path errors.
+	conflict := Default("gcc")
+	conflict.L2Geom = conflict.Hierarchy()[0].Geom
+	if _, err := Run(conflict); err == nil {
+		t.Error("both-set config accepted by Run")
+	}
+	if conflict.Key() == modern.Key() {
+		t.Error("both-set conflict aliases the valid config's fingerprint")
+	}
+}
+
+// TestKeyVersion2NeverAliasesV1 re-encodes the canonical base config
+// with the retired version-1 layout (version tag 1, flat L2 geometry
+// where v2 fingerprints the Levels list) and checks the fingerprints
+// differ — a persisted v1 store can only miss under v2 keys, never
+// serve a stale result for a config it does not describe.
+func TestKeyVersion2NeverAliasesV1(t *testing.T) {
+	if keyVersion != 2 {
+		t.Fatalf("keyVersion = %d, want 2 (update this test when bumping)", keyVersion)
+	}
+	c := Default("gcc").Canonical()
+	l2 := c.Hierarchy()[0].Geom
+
+	h := sha256.New()
+	w := keyWriter{h: h}
+	w.u64(1) // keyVersion 1
+	w.str(c.Benchmark)
+	w.u64(c.Instructions)
+	w.u64(uint64(c.Engine))
+	w.i(c.CPU.Width)
+	w.i(c.CPU.ROBEntries)
+	w.i(c.CPU.LSQEntries)
+	w.u64(c.CPU.DecodeLatency)
+	w.u64(c.CPU.MispredictPenalty)
+	w.cacheSpec(c.DCache)
+	w.cacheSpec(c.ICache)
+	w.geometry(l2.SizeBytes, l2.Assoc, l2.BlockBytes, l2.SubarrayBytes) // v1: bare L2 geometry
+	w.i(c.MSHREntries)
+	w.i(c.WritebackEntries)
+	w.f64(c.Energy.PrechargePJPerBit)
+	w.f64(c.Energy.BitlinePJPerBit)
+	w.f64(c.Energy.WordlinePJPerBit)
+	w.f64(c.Energy.SensePJPerBit)
+	w.f64(c.Energy.DecodePJPerSubarray)
+	w.f64(c.Energy.ComparePJPerBit)
+	w.f64(c.Energy.OutputPJPerBit)
+	w.f64(c.Energy.ClockPJPerSubarray)
+	w.f64(c.Energy.LeakagePJPerBytePerCycle)
+	w.f64(c.Core.DecodePJ)
+	w.f64(c.Core.ROBWritePJ)
+	w.f64(c.Core.LSQWritePJ)
+	w.f64(c.Core.RegReadPJ)
+	w.f64(c.Core.RegWritePJ)
+	w.f64(c.Core.IntALUPJ)
+	w.f64(c.Core.FPALUPJ)
+	w.f64(c.Core.BpredPJ)
+	w.f64(c.Core.BTBPJ)
+	w.f64(c.Core.RASPJ)
+	w.f64(c.Core.ResultBusPJ)
+	w.f64(c.Core.ClockPJ)
+	var v1 Key
+	h.Sum(v1[:0])
+
+	if v1 == Default("gcc").Key() {
+		t.Fatal("v2 key aliases the v1 encoding of the same config")
 	}
 }
 
@@ -140,5 +269,46 @@ func TestKeyCanonicalization(t *testing.T) {
 	j.MSHREntries = 32
 	if i.Key() == j.Key() {
 		t.Error("out-of-order key ignores d-cache MSHR entries")
+	}
+}
+
+// TestKeyCanonicalizationPerLevel: the policy-knob zeroing applies at
+// every level of the hierarchy, not just the L1s.
+func TestKeyCanonicalizationPerLevel(t *testing.T) {
+	mk := func(p PolicySpec) Config {
+		c := Default("gcc")
+		mutateL2(&c, func(l *LevelSpec) {
+			l.Org = core.SelectiveWays
+			l.Policy = p
+		})
+		return c
+	}
+	// A static L2 policy ignores the dynamic controller's knobs.
+	a := mk(PolicySpec{Kind: PolicyStatic, StaticIndex: 1})
+	b := mk(PolicySpec{Kind: PolicyStatic, StaticIndex: 1, Interval: 4096, MissBound: 99})
+	if a.Key() != b.Key() {
+		t.Error("static L2 policy key depends on dynamic-only fields")
+	}
+	// A dynamic L2 policy ignores the static index.
+	c := mk(PolicySpec{Kind: PolicyDynamic, Interval: 4096, MissBound: 64})
+	d := mk(PolicySpec{Kind: PolicyDynamic, Interval: 4096, MissBound: 64, StaticIndex: 3})
+	if c.Key() != d.Key() {
+		t.Error("dynamic L2 policy key depends on static index")
+	}
+	// No policy ignores every policy parameter.
+	e := mk(PolicySpec{StaticIndex: 2, Interval: 1024})
+	f := mk(PolicySpec{})
+	if e.Key() != f.Key() {
+		t.Error("nil L2 policy key depends on policy parameters")
+	}
+	// Canonical must not mutate the caller's Levels in place.
+	orig := Default("gcc")
+	mutateL2(&orig, func(l *LevelSpec) {
+		l.Org = core.SelectiveWays
+		l.Policy = PolicySpec{Kind: PolicyStatic, StaticIndex: 1, Interval: 4096}
+	})
+	_ = orig.Canonical()
+	if orig.Levels[0].Policy.Interval != 4096 {
+		t.Error("Canonical mutated the caller's level specs")
 	}
 }

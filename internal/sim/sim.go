@@ -1,8 +1,10 @@
 // Package sim wires the substrates into a complete simulated processor —
-// workload generator → CPU engine → resizable L1 i-/d-caches → shared
-// L2 → memory — runs it, and reports timing, energy breakdown, and
-// resizing behaviour. One Config describes one simulation; experiments
-// (internal/experiment) run many configs in parallel.
+// workload generator → CPU engine → resizable L1 i-/d-caches → a
+// declaratively described shared hierarchy (unified L2, optionally
+// deeper levels, optionally none) → memory — runs it, and reports
+// timing, energy breakdown, and resizing behaviour. One Config describes
+// one simulation; experiments (internal/experiment) run many configs in
+// parallel.
 package sim
 
 import (
@@ -37,7 +39,7 @@ func (e EngineKind) String() string {
 	return "out-of-order"
 }
 
-// PolicyKind selects the resizing strategy for one L1.
+// PolicyKind selects the resizing strategy for one cache.
 type PolicyKind int
 
 const (
@@ -74,7 +76,9 @@ func (p PolicySpec) build() core.Policy {
 	}
 }
 
-// CacheSpec configures one resizable L1.
+// CacheSpec configures one resizable cache: its geometry, resizing
+// organization, and policy. The L1s use it directly; LevelSpec embeds it
+// for the shared levels.
 type CacheSpec struct {
 	Geom   geometry.Geometry
 	Org    core.Organization
@@ -83,6 +87,51 @@ type CacheSpec struct {
 	// Ablation switches (benchmark-only; see cache.Config).
 	AblationFullPrecharge bool
 	AblationFreeFlush     bool
+}
+
+// resizable reports whether the spec needs the resizing machinery at
+// all; a non-resizable spec with no policy builds a plain cache array.
+func (s CacheSpec) resizable() bool {
+	return s.Org != core.NonResizable || s.Policy.Kind != PolicyNone
+}
+
+// PrechargeMode selects a level's precharge organization (paper §3).
+type PrechargeMode int
+
+const (
+	// PrechargeDelayed precharges only the accessed subarrays, trading
+	// access time for energy — the organization shared lower levels use.
+	// This is the zero value: a zero LevelSpec behaves like the
+	// conventional L2.
+	PrechargeDelayed PrechargeMode = iota
+	// PrechargeFull precharges every enabled subarray before decode, as
+	// the latency-critical L1s do.
+	PrechargeFull
+)
+
+func (m PrechargeMode) String() string {
+	if m == PrechargeFull {
+		return "full-precharge"
+	}
+	return "delayed-precharge"
+}
+
+// LevelSpec describes one shared cache level below the split L1s: a
+// full CacheSpec (geometry, organization, resizing policy, ablations)
+// plus the per-level structural knobs. The hierarchy is data — sim.Run
+// builds whatever chain Levels describes, so a resizable L2, a deeper
+// L2+L3 stack, and an L1-only machine are all just configs.
+type LevelSpec struct {
+	CacheSpec
+
+	// Precharge selects the level's precharge organization; the zero
+	// value is the shared-level default (delayed precharge).
+	Precharge PrechargeMode
+	// MSHREntries > 0 makes the level non-blocking; 0 (the default)
+	// models the conventional blocking lower level.
+	MSHREntries int
+	// WritebackEntries sizes the level's writeback buffer (0 = none).
+	WritebackEntries int
 }
 
 // Config is one complete simulation description.
@@ -94,6 +143,19 @@ type Config struct {
 
 	DCache CacheSpec
 	ICache CacheSpec
+
+	// Levels describes the shared hierarchy below the split L1s,
+	// outermost first: Levels[0] is the L2, Levels[1] an L3, and so on.
+	// An explicitly empty hierarchy (no Levels and a zero L2Geom)
+	// connects the L1s straight to memory.
+	Levels []LevelSpec
+
+	// L2Geom is the older single-level form of Levels.
+	//
+	// Deprecated: set Levels instead. A non-zero L2Geom normalizes into
+	// a one-level non-resizable spec when Levels is empty, and the two
+	// spellings fingerprint identically; a config that sets both is
+	// rejected by Run.
 	L2Geom geometry.Geometry
 
 	MSHREntries      int // d-cache MSHRs for the OoO engine
@@ -101,6 +163,20 @@ type Config struct {
 
 	Energy geometry.EnergyModel
 	Core   energy.CoreEnergies
+}
+
+// Hierarchy returns the config's shared levels in canonical form,
+// outermost first: Levels verbatim when set, otherwise a non-zero
+// L2Geom folded into a one-level non-resizable spec, otherwise nil (the
+// L1s talk straight to memory).
+func (c Config) Hierarchy() []LevelSpec {
+	if len(c.Levels) > 0 {
+		return c.Levels
+	}
+	if c.L2Geom == (geometry.Geometry{}) {
+		return nil
+	}
+	return []LevelSpec{{CacheSpec: CacheSpec{Geom: c.L2Geom, Org: core.NonResizable}}}
 }
 
 // Default returns the paper's base configuration (Table 2) for a
@@ -114,8 +190,11 @@ func Default(benchmark string) Config {
 		CPU:          cpu.DefaultConfig(),
 		DCache:       CacheSpec{Geom: l1, Org: core.NonResizable},
 		ICache:       CacheSpec{Geom: l1, Org: core.NonResizable},
-		L2Geom: geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4,
-			BlockBytes: 64, SubarrayBytes: 4 << 10},
+		Levels: []LevelSpec{{CacheSpec: CacheSpec{
+			Geom: geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4,
+				BlockBytes: 64, SubarrayBytes: 4 << 10},
+			Org: core.NonResizable,
+		}}},
 		MSHREntries:      8,
 		WritebackEntries: 8,
 		Energy:           geometry.Default18um(),
@@ -123,7 +202,7 @@ func Default(benchmark string) Config {
 	}
 }
 
-// CacheReport summarizes one L1's behaviour during a run.
+// CacheReport summarizes one cache's behaviour during a run.
 type CacheReport struct {
 	Accesses      uint64
 	MissRatio     float64
@@ -148,6 +227,12 @@ func (c CacheReport) SizeReductionPct() float64 {
 	return 100 * (1 - c.AvgBytes/float64(c.FullBytes))
 }
 
+// LevelReport is one shared level's report.
+type LevelReport struct {
+	Name string // "L2", "L3", ...
+	CacheReport
+}
+
 // Result is one simulation's complete outcome.
 type Result struct {
 	CPU    cpu.Result
@@ -155,6 +240,100 @@ type Result struct {
 	EDP    stats.EDP
 	DCache CacheReport
 	ICache CacheReport
+	// Levels reports the shared hierarchy, outermost (L2) first; empty
+	// when the L1s connect straight to memory.
+	Levels []LevelReport
+}
+
+// L2 returns the outermost shared level's report (the zero report when
+// the hierarchy is empty).
+func (r Result) L2() CacheReport {
+	if len(r.Levels) == 0 {
+		return CacheReport{}
+	}
+	return r.Levels[0].CacheReport
+}
+
+// reportCache summarizes one built cache array; trace is the resizing
+// size trace, nil for non-resizable levels.
+func reportCache(c *cache.Cache, trace []int) CacheReport {
+	return CacheReport{
+		Accesses:      c.Stat.Accesses.Value(),
+		MissRatio:     c.Stat.MissRatio(),
+		AvgBytes:      c.AvgEnabledBytes(),
+		FullBytes:     c.Config().Geom.SizeBytes,
+		Resizes:       c.Stat.Resizes.Value(),
+		FlushedBlocks: c.Stat.FlushedBlocks.Value(),
+		SizeTrace:     trace,
+		EnergyPJ:      c.EnergyPJ(),
+		SwitchingPJ:   c.SwitchingPJ(),
+		BackgroundPJ:  c.BackgroundPJ(),
+	}
+}
+
+// builtLevel is one constructed shared level: the raw array plus the
+// resizable wrapper when the spec asked for one.
+type builtLevel struct {
+	name  string
+	c     *cache.Cache
+	r     *core.ResizableCache // nil for plain levels
+	level cache.Level          // what the level above connects to
+}
+
+func (b builtLevel) report() LevelReport {
+	var trace []int
+	if b.r != nil {
+		trace = b.r.SizeTrace
+	}
+	return LevelReport{Name: b.name, CacheReport: reportCache(b.c, trace)}
+}
+
+// buildHierarchy constructs the shared levels over mem, innermost
+// first, and returns them outermost first along with the level the L1s
+// connect to.
+func buildHierarchy(specs []LevelSpec, em geometry.EnergyModel, mem cache.Level) ([]builtLevel, cache.Level, error) {
+	built := make([]builtLevel, len(specs))
+	next := mem
+	for i := len(specs) - 1; i >= 0; i-- {
+		spec := specs[i]
+		name := fmt.Sprintf("L%d", i+2)
+		lat := uint64(geometry.AccessLatencyCycles(spec.Geom))
+		if spec.resizable() {
+			r, err := core.NewResizable(core.Options{
+				Name: name, Geom: spec.Geom, Org: spec.Org,
+				Policy: spec.Policy.build(), HitLatency: lat,
+				MSHREntries: spec.MSHREntries, WritebackEntries: spec.WritebackEntries,
+				Energy:                em,
+				DelayedPrecharge:      spec.Precharge == PrechargeDelayed,
+				AblationFullPrecharge: spec.AblationFullPrecharge,
+				AblationFreeFlush:     spec.AblationFreeFlush,
+			}, next)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: %s: %w", name, err)
+			}
+			built[i] = builtLevel{name: name, c: r.C, r: r, level: r}
+		} else {
+			// core.NewResizable could build this too (one-point schedule),
+			// but a fixed level skips the wrapper so the hierarchy's hot
+			// path pays no per-access interval accounting for a cache that
+			// never resizes.
+			c, err := cache.New(cache.Config{
+				Name: name, Geom: spec.Geom, HitLatency: lat,
+				Energy:                em,
+				MSHREntries:           spec.MSHREntries,
+				WritebackEntries:      spec.WritebackEntries,
+				DelayedPrecharge:      spec.Precharge == PrechargeDelayed,
+				AblationFullPrecharge: spec.AblationFullPrecharge,
+				AblationFreeFlush:     spec.AblationFreeFlush,
+			}, next)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: %s: %w", name, err)
+			}
+			built[i] = builtLevel{name: name, c: c, level: c}
+		}
+		next = built[i].level
+	}
+	return built, next, nil
 }
 
 // Run executes one simulation.
@@ -166,40 +345,58 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Instructions == 0 {
 		return Result{}, fmt.Errorf("sim: zero instruction budget")
 	}
+	if len(cfg.Levels) > 0 && cfg.L2Geom != (geometry.Geometry{}) {
+		return Result{}, fmt.Errorf("sim: both Levels and the deprecated L2Geom set; use Levels only")
+	}
 
-	mem := cache.NewMemory(cfg.L2Geom.BlockBytes)
-	l2, err := cache.New(cache.Config{
-		Name: "L2", Geom: cfg.L2Geom,
-		HitLatency:       uint64(geometry.AccessLatencyCycles(cfg.L2Geom)),
-		Energy:           cfg.Energy,
-		DelayedPrecharge: true,
-	}, mem)
-	if err != nil {
-		return Result{}, err
+	levels := cfg.Hierarchy()
+	// Memory transfers its client's block: the innermost shared level's
+	// when the hierarchy has one, otherwise one memory per L1 (the two
+	// L1s may use different block sizes, so a shared transfer size would
+	// mis-bill one of them).
+	var mems []*cache.Memory
+	newMem := func(blockBytes int) *cache.Memory {
+		m := cache.NewMemory(blockBytes)
+		mems = append(mems, m)
+		return m
+	}
+	var shared []builtLevel
+	var dNext, iNext cache.Level
+	if n := len(levels); n > 0 {
+		var err error
+		var l1Next cache.Level
+		shared, l1Next, err = buildHierarchy(levels, cfg.Energy, newMem(levels[n-1].Geom.BlockBytes))
+		if err != nil {
+			return Result{}, err
+		}
+		dNext, iNext = l1Next, l1Next
+	} else {
+		dNext = newMem(cfg.DCache.Geom.BlockBytes)
+		iNext = newMem(cfg.ICache.Geom.BlockBytes)
 	}
 
 	dMSHR := cfg.MSHREntries
 	if cfg.Engine == InOrder {
 		dMSHR = 0 // blocking d-cache
 	}
-	dc, err := core.NewL1(core.L1Options{
+	dc, err := core.NewResizable(core.Options{
 		Name: "L1d", Geom: cfg.DCache.Geom, Org: cfg.DCache.Org,
 		Policy: cfg.DCache.Policy.build(), HitLatency: 1,
 		MSHREntries: dMSHR, WritebackEntries: cfg.WritebackEntries,
 		Energy:                cfg.Energy,
 		AblationFullPrecharge: cfg.DCache.AblationFullPrecharge,
 		AblationFreeFlush:     cfg.DCache.AblationFreeFlush,
-	}, l2)
+	}, dNext)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: d-cache: %w", err)
 	}
-	ic, err := core.NewL1(core.L1Options{
+	ic, err := core.NewResizable(core.Options{
 		Name: "L1i", Geom: cfg.ICache.Geom, Org: cfg.ICache.Org,
 		Policy: cfg.ICache.Policy.build(), HitLatency: 1,
 		MSHREntries: 2, Energy: cfg.Energy,
 		AblationFullPrecharge: cfg.ICache.AblationFullPrecharge,
 		AblationFreeFlush:     cfg.ICache.AblationFreeFlush,
-	}, l2)
+	}, iNext)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: i-cache: %w", err)
 	}
@@ -218,37 +415,33 @@ func Run(cfg Config) (Result, error) {
 
 	dc.Finalize(res.Cycles)
 	ic.Finalize(res.Cycles)
-	l2.Finalize(res.Cycles)
-	mem.Finalize(res.Cycles)
+	var sharedPJ float64
+	levelReports := make([]LevelReport, len(shared))
+	for i, b := range shared {
+		b.level.Finalize(res.Cycles)
+		levelReports[i] = b.report()
+		sharedPJ += b.c.EnergyPJ()
+	}
+	var memPJ float64
+	for _, m := range mems {
+		m.Finalize(res.Cycles)
+		memPJ += m.EnergyPJ()
+	}
 
 	bd := energy.Breakdown{
 		CorePJ: cfg.Core.CorePJ(res.Activity, res.Instructions, res.Cycles),
 		L1IPJ:  ic.EnergyPJ(),
 		L1DPJ:  dc.EnergyPJ(),
-		L2PJ:   l2.EnergyPJ(),
-		MemPJ:  mem.EnergyPJ(),
-	}
-
-	report := func(r *core.ResizableCache) CacheReport {
-		return CacheReport{
-			Accesses:      r.C.Stat.Accesses.Value(),
-			MissRatio:     r.C.Stat.MissRatio(),
-			AvgBytes:      r.C.AvgEnabledBytes(),
-			FullBytes:     r.C.Config().Geom.SizeBytes,
-			Resizes:       r.C.Stat.Resizes.Value(),
-			FlushedBlocks: r.C.Stat.FlushedBlocks.Value(),
-			SizeTrace:     r.SizeTrace,
-			EnergyPJ:      r.EnergyPJ(),
-			SwitchingPJ:   r.C.SwitchingPJ(),
-			BackgroundPJ:  r.C.BackgroundPJ(),
-		}
+		L2PJ:   sharedPJ, // every shared level below the L1s
+		MemPJ:  memPJ,
 	}
 
 	return Result{
 		CPU:    res,
 		Energy: bd,
 		EDP:    stats.EDP{EnergyJ: bd.TotalJ(), Cycles: res.Cycles},
-		DCache: report(dc),
-		ICache: report(ic),
+		DCache: reportCache(dc.C, dc.SizeTrace),
+		ICache: reportCache(ic.C, ic.SizeTrace),
+		Levels: levelReports,
 	}, nil
 }

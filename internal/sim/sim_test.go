@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"resizecache/internal/core"
+	"resizecache/internal/geometry"
 )
 
 func TestDefaultConfigRuns(t *testing.T) {
@@ -211,5 +212,134 @@ func TestBackgroundEnergyScalesWithSize(t *testing.T) {
 	// Cycles differ slightly between runs; allow a loose band around 1/4.
 	if ratio < 0.15 || ratio > 0.45 {
 		t.Fatalf("background energy ratio %.2f, want ~0.25 for a quarter-size cache", ratio)
+	}
+}
+
+// TestHierarchyAsData: the shared hierarchy is built from the Levels
+// spec — a resizable L2, a deeper L2+L3 stack, and an L1-only machine
+// are all just configs.
+func TestHierarchyAsData(t *testing.T) {
+	base := Default("m88ksim")
+	base.Instructions = 150_000
+	bres, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bres.Levels) != 1 || bres.Levels[0].Name != "L2" {
+		t.Fatalf("base hierarchy reports %+v, want one L2", bres.Levels)
+	}
+	if bres.L2().Accesses == 0 || bres.L2().EnergyPJ <= 0 {
+		t.Fatalf("L2 report empty: %+v", bres.L2())
+	}
+	if bres.L2().AvgBytes != 512<<10 {
+		t.Fatalf("non-resizable L2 avg size %v", bres.L2().AvgBytes)
+	}
+
+	// Statically downsized selective-ways L2: smaller average size, less
+	// L2 energy, and the breakdown's L2 share follows the level reports.
+	cut := base
+	cut.Levels = []LevelSpec{{CacheSpec: CacheSpec{
+		Geom:   base.Hierarchy()[0].Geom,
+		Org:    core.SelectiveWays,
+		Policy: PolicySpec{Kind: PolicyStatic, StaticIndex: 2}, // 2 of 4 ways
+	}}}
+	cres, err := Run(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cres.L2().AvgBytes; got != 256<<10 {
+		t.Fatalf("downsized L2 avg %v bytes, want 256K", got)
+	}
+	if cres.L2().EnergyPJ >= bres.L2().EnergyPJ {
+		t.Fatal("downsized L2 should use less energy")
+	}
+	if cres.Energy.L2PJ != cres.L2().EnergyPJ {
+		t.Fatalf("breakdown L2 %.1f != level report %.1f", cres.Energy.L2PJ, cres.L2().EnergyPJ)
+	}
+
+	// Dynamic L2 resizing records a size trace through the level report.
+	// The interval is short because the L2 only sees L1 misses.
+	dyn := base
+	dyn.Levels = []LevelSpec{{CacheSpec: CacheSpec{
+		Geom: base.Hierarchy()[0].Geom,
+		Org:  core.SelectiveSets,
+		Policy: PolicySpec{Kind: PolicyDynamic, Interval: 128, MissBound: 8,
+			SizeBoundBytes: 64 << 10},
+	}}}
+	dres, err := Run(dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dres.Levels[0].SizeTrace) == 0 {
+		t.Fatal("dynamic L2 recorded no size trace")
+	}
+
+	// Deeper hierarchy: an L3 behind the L2.
+	deep := base
+	deep.Levels = append(append([]LevelSpec(nil), base.Levels...), LevelSpec{CacheSpec: CacheSpec{
+		Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
+		Org:  core.NonResizable,
+	}})
+	deepRes, err := Run(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deepRes.Levels) != 2 || deepRes.Levels[1].Name != "L3" {
+		t.Fatalf("deep hierarchy reports %+v", deepRes.Levels)
+	}
+	if deepRes.Levels[1].Accesses == 0 {
+		t.Fatal("L3 never accessed")
+	}
+	if deepRes.Levels[1].Accesses > deepRes.Levels[0].Accesses {
+		t.Fatal("L3 saw more traffic than the L2 in front of it")
+	}
+
+	// No shared levels at all: L1 misses go straight to memory. Fewer
+	// levels to absorb misses means more cycles, never fewer.
+	flat := base
+	flat.Levels = nil
+	flat.L2Geom = geometry.Geometry{}
+	flatRes, err := Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flatRes.Levels) != 0 {
+		t.Fatalf("flat hierarchy reports %+v", flatRes.Levels)
+	}
+	if flatRes.Energy.L2PJ != 0 {
+		t.Fatalf("flat hierarchy charged L2 energy %.1f", flatRes.Energy.L2PJ)
+	}
+	if flatRes.CPU.Cycles <= bres.CPU.Cycles {
+		t.Fatal("removing the L2 should not speed the machine up")
+	}
+
+	// Setting both the deprecated L2Geom and Levels is rejected.
+	both := Default("m88ksim")
+	both.L2Geom = geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4, BlockBytes: 64, SubarrayBytes: 4 << 10}
+	if _, err := Run(both); err == nil {
+		t.Fatal("config with both Levels and L2Geom accepted")
+	}
+}
+
+// TestLegacyL2GeomStillRuns: the deprecated single-field spelling keeps
+// working and produces the identical simulation.
+func TestLegacyL2GeomStillRuns(t *testing.T) {
+	modern := Default("gcc")
+	modern.Instructions = 100_000
+
+	legacy := modern
+	legacy.Levels = nil
+	legacy.L2Geom = modern.Hierarchy()[0].Geom
+
+	a, err := Run(modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU.Cycles != b.CPU.Cycles || a.Energy.TotalPJ() != b.Energy.TotalPJ() {
+		t.Fatalf("spellings diverge: %+v vs %+v", a.CPU, b.CPU)
 	}
 }

@@ -21,8 +21,9 @@ import (
 
 // Grid declares a design-space sweep as axes over Scenario fields.
 // Empty axes default to: all benchmarks, the three resizable
-// organizations, {Static}, associativity {2}, {BothSides}, and
-// {OutOfOrderEngine}. Instructions is a scalar applied to every
+// organizations, {Static}, associativity {2}, {BothSides},
+// {OutOfOrderEngine}, {BaseL2}, a fixed L2 ({NonResizable}), and
+// {Static} L2 strategies. Instructions is a scalar applied to every
 // scenario (0 = the 1.5M default).
 type Grid struct {
 	Benchmarks    []string
@@ -31,16 +32,33 @@ type Grid struct {
 	Assocs        []int
 	Sides         []Sides
 	Engines       []Engine
-	Instructions  uint64
+	// Hierarchies sweeps the shared-cache stack below the L1s.
+	Hierarchies []Hierarchy
+	// L2Orgs / L2Strategies sweep resizing of the shared L2; cells with
+	// a NonResizable L2 org keep the L2 fixed, and the L2Strategies axis
+	// is inert for them (such cells deduplicate).
+	L2Orgs       []Organization
+	L2Strategies []Strategy
+	Instructions uint64
 }
 
 // Expand enumerates the grid's cross product into a Plan. The order is
-// deterministic — nested loops with Benchmarks outermost and Engines
+// deterministic — nested loops with Benchmarks outermost and the
+// hierarchy axes (Hierarchies, then L2Orgs, then L2Strategies)
 // innermost, each axis in its given order — and duplicate cells
 // (repeated axis values, or distinct spellings that normalize to the
-// same scenario) collapse to their first position. Every scenario is
-// validated; the first invalid cell aborts the expansion with its
-// error.
+// same scenario) collapse to their first position. Inherent
+// cross-product contradictions are skipped rather than aborting the
+// grid: cells pairing Sides == L2Only with a NonResizable L2
+// organization (nothing resizes), cells pairing a NoL2 hierarchy with
+// a resizable L2 organization (no shared level to resize), and cells
+// pairing a NonResizable L1 organization with a Sides value that
+// resizes an L1 — so {DOnly, L2Only} × {NonResizable, SelectiveWays}
+// expands to the three meaningful cells, and a resizable L2 sweeps
+// cleanly against a Hierarchies axis that includes NoL2. A grid whose
+// every cell is such a contradiction is an error. Every remaining
+// scenario is validated; the first invalid cell aborts the expansion
+// with its error.
 func (g Grid) Expand() (Plan, error) {
 	benchmarks := g.Benchmarks
 	if len(benchmarks) == 0 {
@@ -66,7 +84,20 @@ func (g Grid) Expand() (Plan, error) {
 	if len(engines) == 0 {
 		engines = []Engine{OutOfOrderEngine}
 	}
+	hierarchies := g.Hierarchies
+	if len(hierarchies) == 0 {
+		hierarchies = []Hierarchy{BaseL2}
+	}
+	l2orgs := g.L2Orgs
+	if len(l2orgs) == 0 {
+		l2orgs = []Organization{NonResizable}
+	}
+	l2strategies := g.L2Strategies
+	if len(l2strategies) == 0 {
+		l2strategies = []Strategy{Static}
+	}
 	var scenarios []Scenario
+	skipped := 0
 	for _, b := range benchmarks {
 		for _, org := range orgs {
 			for _, st := range strategies {
@@ -76,20 +107,44 @@ func (g Grid) Expand() (Plan, error) {
 							if e != OutOfOrderEngine && e != InOrderEngine {
 								return Plan{}, fmt.Errorf("resizecache: unknown engine %d", e)
 							}
-							scenarios = append(scenarios, Scenario{
-								Benchmark:    b,
-								Organization: org,
-								Strategy:     st,
-								Assoc:        a,
-								Sides:        sd,
-								InOrder:      e == InOrderEngine,
-								Instructions: g.Instructions,
-							})
+							for _, h := range hierarchies {
+								for _, l2o := range l2orgs {
+									for _, l2s := range l2strategies {
+										// Inherent cross-product contradictions (see Expand doc).
+										l1Resizes := org != NonResizable
+										l2Resizes := l2o != NonResizable
+										switch {
+										case sd == L2Only && !l2Resizes, // nothing resizes the L2
+											h == NoL2 && l2Resizes, // no shared level to resize
+											// an L1-resizing side with no L1 organization
+											// (BothSides with a resizable L2 folds to L2Only)
+											!l1Resizes && (sd == DOnly || sd == IOnly),
+											!l1Resizes && sd == BothSides && !l2Resizes:
+											skipped++
+											continue
+										}
+										scenarios = append(scenarios, Scenario{
+											Benchmark:    b,
+											Organization: org,
+											Strategy:     st,
+											Assoc:        a,
+											Sides:        sd,
+											Hierarchy:    h,
+											L2:           L2Spec{Organization: l2o, Strategy: l2s},
+											InOrder:      e == InOrderEngine,
+											Instructions: g.Instructions,
+										})
+									}
+								}
+							}
 						}
 					}
 				}
 			}
 		}
+	}
+	if len(scenarios) == 0 && skipped > 0 {
+		return Plan{}, fmt.Errorf("resizecache: every grid cell is a contradiction (nothing resizes: check the Organizations/Sides/L2Orgs/Hierarchies axes against each other)")
 	}
 	return PlanOf(scenarios...)
 }
@@ -194,7 +249,12 @@ func (s *Session) Run(ctx context.Context, plan Plan, opts ...RunOption) <-chan 
 
 	var specs []experiment.SweepSpec
 	for _, sc := range plan.scenarios {
-		specs = append(specs, sc.sweepSpecs()...)
+		// A spec error is only possible for a scenario that bypassed
+		// normalize; its simulate gather reports it as that scenario's
+		// Result.Err, so the enqueue pass just skips it.
+		if scSpecs, err := sc.sweepSpecs(); err == nil {
+			specs = append(specs, scSpecs...)
+		}
 	}
 	enqCtx, stopEnqueue := context.WithCancel(ctx)
 	_, waitEnqueued := experiment.EnqueueSweeps(enqCtx, specs, experiment.Options{Runner: s.r})

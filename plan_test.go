@@ -343,3 +343,184 @@ func TestSidesAndEngineStrings(t *testing.T) {
 		t.Error("Engine strings wrong")
 	}
 }
+
+func TestGridHierarchyAndL2Axes(t *testing.T) {
+	// Sides × L2Orgs crossing: the L2Only×NonResizable contradiction is
+	// skipped, the rest expand.
+	plan, err := Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{SelectiveSets},
+		Sides:         []Sides{DOnly, L2Only},
+		L2Orgs:        []Organization{NonResizable, SelectiveWays},
+		Instructions:  100_000,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (DOnly, fixed L2), (DOnly, ways L2), (L2Only, ways L2).
+	if plan.Len() != 3 {
+		t.Fatalf("plan has %d scenarios, want 3: %+v", plan.Len(), plan.Scenarios())
+	}
+	var l2only, dWithL2 int
+	for _, sc := range plan.Scenarios() {
+		if sc.Sides == L2Only {
+			l2only++
+		}
+		if sc.Sides == DOnly && sc.L2.Organization == SelectiveWays {
+			dWithL2++
+		}
+	}
+	if l2only != 1 || dWithL2 != 1 {
+		t.Errorf("unexpected cells: %+v", plan.Scenarios())
+	}
+
+	// The Hierarchies axis expands like any other dimension.
+	plan, err = Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{SelectiveSets},
+		Sides:         []Sides{DOnly},
+		Hierarchies:   []Hierarchy{BaseL2, NoL2, DeepL2L3},
+		Instructions:  100_000,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 3 {
+		t.Fatalf("hierarchy axis expanded to %d scenarios, want 3", plan.Len())
+	}
+
+	// A resizable L2 crossed with a Hierarchies axis that includes NoL2:
+	// the NoL2×resizable-L2 cells are contradictions and are skipped,
+	// not fatal — the remaining hierarchy cells expand.
+	plan, err = Grid{
+		Benchmarks:  []string{"gcc"},
+		Sides:       []Sides{L2Only},
+		L2Orgs:      []Organization{SelectiveWays},
+		Hierarchies: []Hierarchy{BaseL2, NoL2, BigL2},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 2 {
+		t.Fatalf("NoL2 contradiction not skipped: %d scenarios, want 2", plan.Len())
+	}
+	for _, sc := range plan.Scenarios() {
+		if sc.Hierarchy == NoL2 {
+			t.Errorf("NoL2 cell survived with a resizable L2: %+v", sc)
+		}
+	}
+
+	// An all-contradiction grid errors instead of silently emptying.
+	if _, err := (Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{SelectiveSets},
+		Sides:         []Sides{L2Only},
+	}).Expand(); err == nil {
+		t.Error("grid of only L2Only×NonResizable cells accepted")
+	}
+
+	// Equivalent spellings of an L2-only sweep deduplicate.
+	plan, err = PlanOf(
+		Scenario{Benchmark: "gcc", Sides: L2Only, L2: L2Spec{Organization: Hybrid}},
+		Scenario{Benchmark: "gcc", L2: L2Spec{Organization: Hybrid}},
+		Scenario{Benchmark: "gcc", Organization: SelectiveSets, Sides: L2Only,
+			L2: L2Spec{Organization: Hybrid, Assoc: 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 1 {
+		t.Fatalf("L2-only spellings did not deduplicate: %+v", plan.Scenarios())
+	}
+}
+
+// TestL2GridWarmRerun is the hierarchy-as-data acceptance path: a grid
+// over the L2Orgs axis with a dynamic L2 strategy expands, runs through
+// Session.Run, and memoizes under the hierarchy-aware (keyVersion 2)
+// fingerprints — a warm rerun resolves entirely from cache, enqueueing
+// and simulating nothing.
+func TestL2GridWarmRerun(t *testing.T) {
+	grid := Grid{
+		Benchmarks:    []string{"m88ksim"},
+		Organizations: []Organization{SelectiveSets},
+		Sides:         []Sides{L2Only},
+		L2Orgs:        []Organization{SelectiveWays},
+		L2Strategies:  []Strategy{Dynamic},
+		Instructions:  60_000,
+	}
+	plan, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 1 {
+		t.Fatalf("plan has %d scenarios, want 1", plan.Len())
+	}
+	s := NewSession()
+	results, err := Collect(s.Run(context.Background(), plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Outcome.L2Chosen == "" {
+		t.Fatalf("no L2 winner: %+v", results[0].Outcome)
+	}
+	cold := s.Stats()
+	if cold.Runs == 0 || cold.Enqueued == 0 {
+		t.Fatalf("cold plan did no work: %+v", cold)
+	}
+
+	again, err := Collect(s.Run(context.Background(), plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Stats()
+	if warm.Runs != cold.Runs || warm.Enqueued != cold.Enqueued || warm.Submitted != cold.Submitted {
+		t.Errorf("warm rerun did fresh work: %+v -> %+v", cold, warm)
+	}
+	a, b := results[0].Outcome, again[0].Outcome
+	a.Stats, b.Stats = runner.Stats{}, runner.Stats{} // per-call deltas differ
+	if a != b {
+		t.Errorf("warm outcome differs: %+v vs %+v", a, b)
+	}
+}
+
+// TestGridSkipsL1OrgContradictions: a NonResizable L1 organization
+// crossed with L1-resizing Sides is skipped, not fatal.
+func TestGridSkipsL1OrgContradictions(t *testing.T) {
+	plan, err := Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{NonResizable, SelectiveSets},
+		Sides:         []Sides{DOnly},
+		L2Orgs:        []Organization{SelectiveWays},
+		Instructions:  100_000,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the SelectiveSets cell survives (DOnly + resizable L2).
+	if plan.Len() != 1 {
+		t.Fatalf("plan has %d scenarios, want 1: %+v", plan.Len(), plan.Scenarios())
+	}
+	if sc := plan.Scenarios()[0]; sc.Organization != SelectiveSets || sc.Sides != DOnly {
+		t.Errorf("wrong surviving cell: %+v", sc)
+	}
+	// NonResizable × BothSides × resizable L2 folds to L2Only and stays.
+	plan, err = Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{NonResizable},
+		L2Orgs:        []Organization{SelectiveWays},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 1 || plan.Scenarios()[0].Sides != L2Only {
+		t.Fatalf("BothSides+L2 fold missing: %+v", plan.Scenarios())
+	}
+	// NonResizable × BothSides × fixed L2 is a contradiction: all cells
+	// skipped -> error.
+	if _, err := (Grid{
+		Benchmarks:    []string{"gcc"},
+		Organizations: []Organization{NonResizable},
+	}).Expand(); err == nil {
+		t.Error("all-contradiction grid accepted")
+	}
+}

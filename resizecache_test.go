@@ -277,3 +277,192 @@ func TestSimulateBothCachesDefault(t *testing.T) {
 		t.Errorf("combined resizing should gain EDP: %+v", out)
 	}
 }
+
+func TestL2ScenarioNormalization(t *testing.T) {
+	// L2-only resizing has two spellings that must normalize identically.
+	a, err := Scenario{Benchmark: "gcc", Sides: L2Only,
+		L2: L2Spec{Organization: SelectiveWays}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenario{Benchmark: "gcc",
+		L2: L2Spec{Organization: SelectiveWays}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("L2-only spellings diverge: %+v vs %+v", a, b)
+	}
+	if a.Sides != L2Only || a.Organization != NonResizable {
+		t.Errorf("canonical L2-only form wrong: %+v", a)
+	}
+	if a.L2.Assoc != 4 {
+		t.Errorf("L2 associativity not defaulted: %+v", a.L2)
+	}
+
+	// An explicitly default L2 associativity on a fixed L2 folds away.
+	c, err := Scenario{Benchmark: "gcc", Organization: SelectiveSets,
+		L2: L2Spec{Assoc: 4}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Scenario{Benchmark: "gcc", Organization: SelectiveSets}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != d {
+		t.Errorf("default L2 assoc spelled explicitly did not fold: %+v vs %+v", c, d)
+	}
+
+	// Invalid combinations fail fast.
+	cases := map[string]Scenario{
+		"L2Only without resizable L2": {Benchmark: "gcc", Sides: L2Only},
+		"nothing to resize":           {Benchmark: "gcc"},
+		"L2 resize on NoL2":           {Benchmark: "gcc", Hierarchy: NoL2, L2: L2Spec{Organization: SelectiveSets}},
+		"L2 assoc on NoL2":            {Benchmark: "gcc", Organization: SelectiveSets, Hierarchy: NoL2, L2: L2Spec{Assoc: 8}},
+		"bad L2 assoc":                {Benchmark: "gcc", Organization: SelectiveSets, L2: L2Spec{Assoc: 3}},
+		"unknown hierarchy":           {Benchmark: "gcc", Organization: SelectiveSets, Hierarchy: Hierarchy(99)},
+		"L2Only with legacy boolean": {Benchmark: "gcc", Sides: L2Only,
+			L2: L2Spec{Organization: SelectiveWays}, ResizeDCache: true},
+		// An explicit L1 side with no resizable L1 organization asked for
+		// something the scenario cannot do — it must not silently fold to
+		// an L2-only experiment.
+		"explicit DOnly without L1 org": {Benchmark: "gcc", Sides: DOnly,
+			L2: L2Spec{Organization: SelectiveWays}},
+		// L2 associativity is judged against the hierarchy's actual L2:
+		// 128 ways fit the base 512K L2 but not the 256K SmallL2.
+		"assoc too high for SmallL2": {Benchmark: "gcc", Organization: SelectiveSets,
+			Hierarchy: SmallL2, L2: L2Spec{Assoc: 128}},
+	}
+	for name, sc := range cases {
+		if _, err := sc.normalize(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// ... while 128 ways on the base 512K L2 (4K ways = one subarray) and
+	// on the 1M BigL2 are geometrically sound.
+	for _, h := range []Hierarchy{BaseL2, BigL2} {
+		sc := Scenario{Benchmark: "gcc", Organization: SelectiveSets,
+			Hierarchy: h, L2: L2Spec{Organization: SelectiveWays, Assoc: 128}}
+		if _, err := sc.normalize(); err != nil {
+			t.Errorf("%v with 128-way L2 rejected: %v", h, err)
+		}
+	}
+}
+
+func TestSimulateL2Only(t *testing.T) {
+	out, err := Simulate(Scenario{
+		Benchmark:    "m88ksim",
+		Sides:        L2Only,
+		L2:           L2Spec{Organization: SelectiveWays},
+		Instructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.L2Chosen == "" {
+		t.Fatalf("no L2 configuration chosen: %+v", out)
+	}
+	if out.DChosen != "" || out.IChosen != "" {
+		t.Errorf("L1s should be untouched: %+v", out)
+	}
+	if out.L2SizeReductionPct <= 0 {
+		t.Errorf("m88ksim's L2 should shrink: %+v", out)
+	}
+	sum := out.Energy.CorePct + out.Energy.L1IPct + out.Energy.L1DPct +
+		out.Energy.L2Pct + out.Energy.MemPct
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("energy shares sum to %.2f%%: %+v", sum, out.Energy)
+	}
+}
+
+func TestSimulateL1PlusL2Combined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two profiling sweeps plus a combined run in -short mode")
+	}
+	out, err := Simulate(Scenario{
+		Benchmark:    "m88ksim",
+		Organization: SelectiveSets,
+		Sides:        DOnly,
+		L2:           L2Spec{Organization: SelectiveWays},
+		Instructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DChosen == "" || out.L2Chosen == "" {
+		t.Fatalf("both caches should be profiled: %+v", out)
+	}
+	if out.IChosen != "" {
+		t.Errorf("i-cache should be untouched: %+v", out)
+	}
+	if out.DCacheSizeReductionPct <= 0 || out.L2SizeReductionPct <= 0 {
+		t.Errorf("both resized caches should shrink on m88ksim: %+v", out)
+	}
+}
+
+func TestSimulateHierarchies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hierarchy sweep in -short mode")
+	}
+	for _, h := range []Hierarchy{NoL2, SmallL2, DeepL2L3} {
+		out, err := Simulate(Scenario{
+			Benchmark:    "m88ksim",
+			Organization: SelectiveSets,
+			Sides:        DOnly,
+			Hierarchy:    h,
+			Instructions: 150_000,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if out.DChosen == "" {
+			t.Errorf("%v: no d-cache winner: %+v", h, out)
+		}
+		if h == NoL2 && out.Energy.L2Pct != 0 {
+			t.Errorf("NoL2 charged L2 energy: %+v", out.Energy)
+		}
+		if h != NoL2 && out.Energy.L2Pct <= 0 {
+			t.Errorf("%v: no L2 energy share: %+v", h, out.Energy)
+		}
+	}
+}
+
+func TestStrategyRangeCheckedBeforeL2OnlyFold(t *testing.T) {
+	// A garbage L1 strategy must error even when the scenario folds to
+	// L2Only (where a valid strategy would be canonicalized away).
+	bad := Scenario{Benchmark: "gcc", Sides: L2Only, Strategy: Strategy(9),
+		L2: L2Spec{Organization: SelectiveWays}}
+	if _, err := bad.normalize(); err == nil {
+		t.Error("out-of-range strategy accepted on an L2Only scenario")
+	}
+	// ... while a valid Dynamic still folds to Static for dedup.
+	ok := Scenario{Benchmark: "gcc", Sides: L2Only, Strategy: Dynamic,
+		L2: L2Spec{Organization: SelectiveWays}}
+	n, err := ok.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Strategy != Static {
+		t.Errorf("inert L1 strategy not canonicalized: %+v", n)
+	}
+}
+
+func TestL2StrategyRangeCheckedOnFixedL2(t *testing.T) {
+	// A garbage L2 strategy errors even when the L2 is not resizing...
+	bad := Scenario{Benchmark: "gcc", Organization: SelectiveSets,
+		L2: L2Spec{Strategy: Strategy(9)}}
+	if _, err := bad.normalize(); err == nil {
+		t.Error("out-of-range L2 strategy accepted on a fixed L2")
+	}
+	// ...while a valid-but-inert Dynamic folds away for grid dedup.
+	ok := Scenario{Benchmark: "gcc", Organization: SelectiveSets,
+		L2: L2Spec{Strategy: Dynamic}}
+	n, err := ok.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.L2.Strategy != Static {
+		t.Errorf("inert L2 strategy not canonicalized: %+v", n.L2)
+	}
+}
