@@ -2,14 +2,17 @@
 // paper, plus ablation benchmarks for the design decisions listed in
 // DESIGN.md §4.
 //
-// Each figure benchmark regenerates its experiment at reduced fidelity
-// (three representative apps, 400K instructions) so the whole suite
-// finishes in minutes; cmd/figures runs the same drivers at full
-// fidelity. The figure benchmarks run the declarative batch API end to
-// end: a fresh Session per iteration, the figure's grid expanded to a
-// Plan and executed through Session.Run. Reported custom metrics
+// The raw-throughput and figure benchmarks live in internal/benchsuite,
+// shared with cmd/bench (which records them into BENCH_<n>.json); the
+// thin Benchmark* shells here keep them runnable through `go test
+// -bench` with identical semantics. Each figure benchmark regenerates
+// its experiment at reduced fidelity (three representative apps, 400K
+// instructions) so the whole suite finishes in minutes; cmd/figures
+// runs the same drivers at full fidelity. Reported custom metrics
 // (edp_red_pct and friends) carry the experiment's headline result so
 // regressions in *results*, not just speed, show up in benchmark diffs.
+// The ablation and orchestration benchmarks below assert properties
+// (memo hits, barrier counts) and stay test-only.
 package resizecache_test
 
 import (
@@ -19,21 +22,17 @@ import (
 
 	"resizecache"
 	"resizecache/figures"
+	"resizecache/internal/benchsuite"
 	"resizecache/internal/core"
 	"resizecache/internal/experiment"
-	"resizecache/internal/geometry"
 	"resizecache/internal/runner"
 	"resizecache/internal/sim"
-	"resizecache/internal/workload"
 )
 
-// benchApps is a representative slice of the suite: a small-working-set
-// app, a conflict-bound app, and a phase-varying app.
-var benchApps = []string{"m88ksim", "vpr", "su2cor"}
+// benchApps mirrors benchsuite.BenchApps for the test-only benchmarks.
+var benchApps = benchsuite.BenchApps
 
-func benchFigOpts() figures.Options {
-	return figures.Options{Instructions: 400_000, Apps: benchApps}
-}
+func benchFigOpts() figures.Options { return benchsuite.FigOpts() }
 
 func benchOpts() experiment.Options {
 	o := experiment.DefaultOptions()
@@ -42,124 +41,21 @@ func benchOpts() experiment.Options {
 	return o
 }
 
-func BenchmarkTable1Hybrid(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := figures.Table1(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkTable1Hybrid(b *testing.B)            { benchsuite.Table1Hybrid(b) }
+func BenchmarkFigure4Organizations(b *testing.B)    { benchsuite.Figure4Organizations(b) }
+func BenchmarkFigure5PerApp(b *testing.B)           { benchsuite.Figure5PerApp(b) }
+func BenchmarkFigure6Hybrid(b *testing.B)           { benchsuite.Figure6Hybrid(b) }
+func BenchmarkFigure7DCacheStrategies(b *testing.B) { benchsuite.Figure7DCacheStrategies(b) }
+func BenchmarkFigure8ICacheStrategies(b *testing.B) { benchsuite.Figure8ICacheStrategies(b) }
+func BenchmarkFigure9DualResize(b *testing.B)       { benchsuite.Figure9DualResize(b) }
+func BenchmarkFigureL2Resizing(b *testing.B)        { benchsuite.FigureL2Resizing(b) }
 
-func BenchmarkFigure4Organizations(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig4Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.Figure4(ctx, resizecache.NewSession(), benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveSets, 2); ok {
-		b.ReportMetric(v, "sets2way_edp_red_pct")
-	}
-	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveWays, 16); ok {
-		b.ReportMetric(v, "ways16way_edp_red_pct")
-	}
-}
+// Raw-throughput benchmarks (simulator engineering, not paper results).
 
-func BenchmarkFigure5PerApp(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig5Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.Figure5(ctx, resizecache.NewSession(), resizecache.DOnly, benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	_, _, ew, es := last.Averages()
-	b.ReportMetric(ew, "ways_edp_red_pct")
-	b.ReportMetric(es, "sets_edp_red_pct")
-}
-
-func BenchmarkFigure6Hybrid(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig4Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.Figure6(ctx, resizecache.NewSession(), benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	if v, ok := last.Cell(resizecache.DOnly, resizecache.Hybrid, 4); ok {
-		b.ReportMetric(v, "hybrid4way_edp_red_pct")
-	}
-}
-
-func BenchmarkFigure7DCacheStrategies(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig7Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
-			resizecache.DOnly, resizecache.InOrderEngine, benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	_, _, se, de := last.Averages()
-	b.ReportMetric(se, "static_edp_red_pct")
-	b.ReportMetric(de, "dynamic_edp_red_pct")
-}
-
-func BenchmarkFigure8ICacheStrategies(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig7Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
-			resizecache.IOnly, resizecache.OutOfOrderEngine, benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	_, _, se, de := last.Averages()
-	b.ReportMetric(se, "static_edp_red_pct")
-	b.ReportMetric(de, "dynamic_edp_red_pct")
-}
-
-func BenchmarkFigure9DualResize(b *testing.B) {
-	ctx := context.Background()
-	var last figures.Fig9Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.Figure9(ctx, resizecache.NewSession(), benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	_, _, _, de, ie, be := last.Averages()
-	b.ReportMetric(de+ie, "sum_edp_red_pct")
-	b.ReportMetric(be, "both_edp_red_pct")
-}
-
-func BenchmarkFigureL2Resizing(b *testing.B) {
-	ctx := context.Background()
-	var last figures.FigL2Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		last, err = figures.FigureL2(ctx, resizecache.NewSession(), resizecache.Static, benchFigOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	if r, ok := last.Row(resizecache.SelectiveSets); ok {
-		b.ReportMetric(r.EDPReductionPct, "sets_l2_edp_red_pct")
-		b.ReportMetric(r.L2SizeRedPct, "sets_l2_size_red_pct")
-	}
-}
+func BenchmarkSimRun(b *testing.B)              { benchsuite.SimRun(b) }
+func BenchmarkSimRunDeepHierarchy(b *testing.B) { benchsuite.SimRunDeepHierarchy(b) }
+func BenchmarkSimInOrder(b *testing.B)          { benchsuite.SimInOrder(b) }
+func BenchmarkWorkloadGenerator(b *testing.B)   { benchsuite.WorkloadGenerator(b) }
 
 // BenchmarkPlanBatchVsSequential quantifies the tentpole property of
 // the batch API: one plan over N scenarios submits its profiling sweeps
@@ -455,64 +351,4 @@ func BenchmarkArtifactCacheWarmFigures(b *testing.B) {
 	b.ReportMetric(coldNS/warmNS, "speedup_x")
 	b.ReportMetric(crossHits, "crossfigure_artifact_hits")
 	b.ReportMetric(warmHits, "warmfigure_artifact_hits")
-}
-
-// ---------------------------------------------------------------------
-// Raw-throughput benchmarks (simulator engineering, not paper results).
-// ---------------------------------------------------------------------
-
-// BenchmarkSimRun is the simulator's hot path on the base config: the
-// hierarchy-loop refactor (sim.Run building the chain from Levels)
-// must not regress it.
-func BenchmarkSimRun(b *testing.B) {
-	cfg := sim.Default("gcc")
-	cfg.Instructions = 200_000
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
-}
-
-// BenchmarkSimRunDeepHierarchy is the same workload on an L2+L3 stack —
-// the hierarchy loop's cost scales with levels, not with a hard-wired
-// chain.
-func BenchmarkSimRunDeepHierarchy(b *testing.B) {
-	cfg := sim.Default("gcc")
-	cfg.Instructions = 200_000
-	cfg.Levels = append(cfg.Levels, sim.LevelSpec{CacheSpec: sim.CacheSpec{
-		Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
-		Org:  core.NonResizable,
-	}})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkSimInOrder(b *testing.B) {
-	cfg := sim.Default("gcc")
-	cfg.Engine = sim.InOrder
-	cfg.Instructions = 200_000
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkWorkloadGenerator(b *testing.B) {
-	gen := workload.NewGenerator(workload.MustGet("gcc"))
-	var ev workload.Event
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if !gen.Next(&ev) {
-			gen = workload.NewGenerator(workload.MustGet("gcc"))
-		}
-	}
 }

@@ -1,0 +1,72 @@
+// Command bench runs the repository's performance benchmarks
+// (internal/benchsuite) and writes a machine-readable BENCH_<n>.json —
+// the performance-regression trajectory CI extends on every main build.
+//
+// Usage:
+//
+//	bench                    # full suite (raw throughput + figures; minutes)
+//	bench -short             # raw-throughput tier only (seconds)
+//	bench -out BENCH_0.json  # fixed output path (CI overwrites the head)
+//	bench -dir out           # auto-number BENCH_<n>.json under out/
+//
+// Each entry records ns/op, allocs/op, bytes/op, derived instrs/sec for
+// the simulator benchmarks, and every custom metric the benchmark
+// reports — the figure benchmarks carry their experiment's headline
+// results (edp_red_pct and friends), so diffing two BENCH files shows
+// result regressions alongside speed regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resizecache/internal/benchsuite"
+)
+
+func main() {
+	var (
+		short = flag.Bool("short", false, "run only the raw-throughput tier (skip minutes-scale figure benchmarks)")
+		out   = flag.String("out", "", "output path (default: next free BENCH_<n>.json in -dir)")
+		dir   = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
+		quiet = flag.Bool("q", false, "suppress per-benchmark progress on stderr")
+	)
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		var err error
+		if path, err = benchsuite.NextPath(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	var progress func(string)
+	if !*quiet {
+		progress = func(name string) { fmt.Fprintf(os.Stderr, "bench: running %s\n", name) }
+	}
+	entries := benchsuite.Run(*short, progress)
+
+	failed := false
+	for _, e := range entries {
+		if e.Failed {
+			failed = true
+			fmt.Fprintf(os.Stderr, "bench: %s FAILED\n", e.Name)
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "bench: %-24s %12.0f ns/op  %6d allocs/op\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+
+	if err := benchsuite.WriteReport(path, benchsuite.NewReport(*short, entries)); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -46,10 +46,17 @@ import (
 	"resizecache"
 	"resizecache/figures"
 	"resizecache/internal/experiment"
+	"resizecache/internal/prof"
 	"resizecache/internal/runner"
 )
 
+// main defers to realMain so the profiling stop (and every other defer)
+// runs before the process exits — os.Exit would skip them.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig4..fig9, l2, sens, sens-*")
 		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
@@ -59,8 +66,21 @@ func main() {
 		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print completed-of-total scenario progress to stderr (figure experiments only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -87,16 +107,16 @@ func main() {
 		}
 		if err := runSens(ctx, *exp, *instr, appList, *par, *resume, *memo, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{
 		Workers: *par, StorePath: *resume, MemoLimit: *memo})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fopts := figures.Options{Instructions: *instr, Apps: appList}
@@ -123,8 +143,9 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "figures:", runErr)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // run regenerates the tables and figures selected by exp through the

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"resizecache"
+	"resizecache/internal/prof"
 )
 
 // parseHierarchy maps the -hierarchy flag to a preset; the String()
@@ -108,7 +109,13 @@ func scenarioFromFlags(bench, org, strategy, sides, engine, hierarchy, l2org str
 	return sc, nil
 }
 
+// main defers to realMain so the profiling stop (and every other defer)
+// runs before the process exits — os.Exit would skip them.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark name")
 		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
@@ -125,6 +132,9 @@ func main() {
 		l2assoc   = flag.Int("l2assoc", 0, "L2 set-associativity (0 = the hierarchy default, 4)")
 
 		stats = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -132,14 +142,25 @@ func main() {
 		*l2static, *l2dynamic, *assoc, *l2assoc, *instr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
-		os.Exit(1)
+		return 1
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "respcache:", err)
+		}
+	}()
 
 	session := resizecache.NewSession()
 	out, err := session.SimulateContext(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	eng := "out-of-order"
@@ -165,4 +186,5 @@ func main() {
 	if *stats {
 		fmt.Fprintln(os.Stderr, "respcache:", out.Stats)
 	}
+	return 0
 }

@@ -1,0 +1,263 @@
+// Package benchsuite defines the repository's performance benchmarks as
+// plain functions over *testing.B, shared by two harnesses: the go-test
+// benchmark harness (bench_test.go wraps each function in a standard
+// Benchmark* shell) and the cmd/bench driver, which runs the same
+// functions through testing.Benchmark and records a machine-readable
+// BENCH_<n>.json so the repository has a performance trajectory instead
+// of folklore.
+//
+// Two tiers:
+//
+//   - raw-throughput benchmarks (Short=true) time the simulator's inner
+//     loop itself — one sim.Run, the workload generator — and carry an
+//     instrs/op metric so ns/instr and instrs/sec are derivable;
+//   - figure benchmarks (Short=false) regenerate the paper's experiments
+//     at reduced fidelity end to end and report each experiment's
+//     headline result metrics (edp_red_pct and friends), so a
+//     performance diff also shows result regressions.
+package benchsuite
+
+import (
+	"context"
+	"testing"
+
+	"resizecache"
+	"resizecache/figures"
+	"resizecache/internal/core"
+	"resizecache/internal/geometry"
+	"resizecache/internal/sim"
+	"resizecache/internal/workload"
+)
+
+// BenchApps is the representative app slice the reduced-fidelity
+// benchmarks run: a small-working-set app, a conflict-bound app, and a
+// phase-varying app.
+var BenchApps = []string{"m88ksim", "vpr", "su2cor"}
+
+// FigOpts returns the reduced-fidelity figure options every figure
+// benchmark uses.
+func FigOpts() figures.Options {
+	return figures.Options{Instructions: 400_000, Apps: BenchApps}
+}
+
+// Bench is one suite entry.
+type Bench struct {
+	Name string
+	// Short marks the raw-throughput tier that cmd/bench -short runs;
+	// figure benchmarks are minutes-scale and excluded from smoke runs.
+	Short bool
+	F     func(b *testing.B)
+}
+
+// All returns the suite in reporting order.
+func All() []Bench {
+	return []Bench{
+		{Name: "SimRun", Short: true, F: SimRun},
+		{Name: "SimRunDeepHierarchy", Short: true, F: SimRunDeepHierarchy},
+		{Name: "SimInOrder", Short: true, F: SimInOrder},
+		{Name: "WorkloadGenerator", Short: true, F: WorkloadGenerator},
+		{Name: "Table1Hybrid", F: Table1Hybrid},
+		{Name: "Figure4Organizations", F: Figure4Organizations},
+		{Name: "Figure5PerApp", F: Figure5PerApp},
+		{Name: "Figure6Hybrid", F: Figure6Hybrid},
+		{Name: "Figure7DCacheStrategies", F: Figure7DCacheStrategies},
+		{Name: "Figure8ICacheStrategies", F: Figure8ICacheStrategies},
+		{Name: "Figure9DualResize", F: Figure9DualResize},
+		{Name: "FigureL2Resizing", F: FigureL2Resizing},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Raw-throughput benchmarks (simulator engineering, not paper results).
+// ---------------------------------------------------------------------
+
+// SimRun is the simulator's hot path on the base config. The
+// table-driven per-access path (precomputed energy tables, hoisted
+// geometry) is accountable to this number.
+func SimRun(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Instructions = 200_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// SimRunDeepHierarchy is the same workload on an L2+L3 stack — the
+// hierarchy loop's cost scales with levels, not with a hard-wired chain.
+func SimRunDeepHierarchy(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Instructions = 200_000
+	cfg.Levels = append(cfg.Levels, sim.LevelSpec{CacheSpec: sim.CacheSpec{
+		Geom: geometry.Geometry{SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, SubarrayBytes: 4 << 10},
+		Org:  core.NonResizable,
+	}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// SimInOrder times the latency-exposing engine on the base config.
+func SimInOrder(b *testing.B) {
+	cfg := sim.Default("gcc")
+	cfg.Engine = sim.InOrder
+	cfg.Instructions = 200_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// WorkloadGenerator times event synthesis alone.
+func WorkloadGenerator(b *testing.B) {
+	gen := workload.NewGenerator(workload.MustGet("gcc"))
+	var ev workload.Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !gen.Next(&ev) {
+			gen = workload.NewGenerator(workload.MustGet("gcc"))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure benchmarks: one per table/figure of the paper, each through
+// the declarative batch API on a fresh Session per iteration.
+// ---------------------------------------------------------------------
+
+// Table1Hybrid regenerates the hybrid size schedule.
+func Table1Hybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure4Organizations regenerates the ways-vs-sets grid.
+func Figure4Organizations(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.Figure4(ctx, resizecache.NewSession(), FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveSets, 2); ok {
+		b.ReportMetric(v, "sets2way_edp_red_pct")
+	}
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.SelectiveWays, 16); ok {
+		b.ReportMetric(v, "ways16way_edp_red_pct")
+	}
+}
+
+// Figure5PerApp regenerates the per-app comparison at 4-way.
+func Figure5PerApp(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.Figure5(ctx, resizecache.NewSession(), resizecache.DOnly, FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, ew, es := last.Averages()
+	b.ReportMetric(ew, "ways_edp_red_pct")
+	b.ReportMetric(es, "sets_edp_red_pct")
+}
+
+// Figure6Hybrid regenerates the hybrid-organization comparison.
+func Figure6Hybrid(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.Figure6(ctx, resizecache.NewSession(), FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := last.Cell(resizecache.DOnly, resizecache.Hybrid, 4); ok {
+		b.ReportMetric(v, "hybrid4way_edp_red_pct")
+	}
+}
+
+// Figure7DCacheStrategies regenerates the d-cache static/dynamic panel.
+func Figure7DCacheStrategies(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
+			resizecache.DOnly, resizecache.InOrderEngine, FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, se, de := last.Averages()
+	b.ReportMetric(se, "static_edp_red_pct")
+	b.ReportMetric(de, "dynamic_edp_red_pct")
+}
+
+// Figure8ICacheStrategies regenerates the i-cache static/dynamic panel.
+func Figure8ICacheStrategies(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.StrategyPanel(ctx, resizecache.NewSession(),
+			resizecache.IOnly, resizecache.OutOfOrderEngine, FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, se, de := last.Averages()
+	b.ReportMetric(se, "static_edp_red_pct")
+	b.ReportMetric(de, "dynamic_edp_red_pct")
+}
+
+// Figure9DualResize regenerates the both-caches experiment.
+func Figure9DualResize(b *testing.B) {
+	ctx := context.Background()
+	var last figures.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.Figure9(ctx, resizecache.NewSession(), FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, _, _, de, ie, be := last.Averages()
+	b.ReportMetric(de+ie, "sum_edp_red_pct")
+	b.ReportMetric(be, "both_edp_red_pct")
+}
+
+// FigureL2Resizing regenerates the L2-resizing extension (static panel).
+func FigureL2Resizing(b *testing.B) {
+	ctx := context.Background()
+	var last figures.FigL2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = figures.FigureL2(ctx, resizecache.NewSession(), resizecache.Static, FigOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r, ok := last.Row(resizecache.SelectiveSets); ok {
+		b.ReportMetric(r.EDPReductionPct, "sets_l2_edp_red_pct")
+		b.ReportMetric(r.L2SizeRedPct, "sets_l2_size_red_pct")
+	}
+}

@@ -1,0 +1,113 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Entry is one benchmark's recorded outcome.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// InstrsPerSec is simulated instructions per wall-clock second,
+	// derived for benchmarks that report an instrs/op metric.
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+	// Metrics carries every b.ReportMetric value, including each figure
+	// benchmark's headline result metrics (edp_red_pct and friends).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Failed marks a benchmark whose body aborted; its numbers are void.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	Schema     int     `json:"schema"`
+	CreatedAt  string  `json:"created_at"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Short      bool    `json:"short"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Run executes the suite (the Short tier only when short is set) via
+// testing.Benchmark and collects entries. progress, when non-nil, is
+// called with each benchmark's name before it runs.
+func Run(short bool, progress func(name string)) []Entry {
+	var entries []Entry
+	for _, bm := range All() {
+		if short && !bm.Short {
+			continue
+		}
+		if progress != nil {
+			progress(bm.Name)
+		}
+		r := testing.Benchmark(bm.F)
+		e := Entry{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Failed:      r.N == 0,
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		if instrs, ok := r.Extra["instrs/op"]; ok && e.NsPerOp > 0 {
+			e.InstrsPerSec = instrs / e.NsPerOp * 1e9
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// NewReport wraps entries in the report envelope with the current
+// environment stamped in.
+func NewReport(short bool, entries []Entry) Report {
+	return Report{
+		Schema:     1,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Short:      short,
+		Benchmarks: entries,
+	}
+}
+
+// WriteReport marshals the report to path (indented, trailing newline).
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NextPath returns the first BENCH_<n>.json path in dir that does not
+// exist yet, so successive runs append to the trajectory instead of
+// overwriting it.
+func NextPath(dir string) (string, error) {
+	for n := 0; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestNextPathNumbersSequentially(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_0.json" {
+		t.Fatalf("empty dir: got %s, want BENCH_0.json", p)
+	}
+	if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("after BENCH_0: got %s, want BENCH_1.json", p)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	entries := []Entry{{
+		Name: "SimRun", Iterations: 3, NsPerOp: 1.5e7,
+		AllocsPerOp: 46, BytesPerOp: 1 << 18,
+		InstrsPerSec: 1.3e7,
+		Metrics:      map[string]float64{"instrs/op": 200000},
+	}}
+	r := NewReport(true, entries)
+	if r.Schema != 1 || !r.Short {
+		t.Fatalf("bad envelope: %+v", r)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 1 || !reflect.DeepEqual(back.Benchmarks[0], entries[0]) {
+		t.Fatalf("round trip mismatch: %+v", back.Benchmarks)
+	}
+}
+
+// TestRunShortTierSelection checks the suite's tier split without
+// executing anything minutes-scale: every Short entry must be one of
+// the raw-throughput benchmarks, and All must include the figure tier.
+func TestRunShortTierSelection(t *testing.T) {
+	var short, long int
+	for _, bm := range All() {
+		if bm.F == nil || bm.Name == "" {
+			t.Fatalf("malformed suite entry: %+v", bm)
+		}
+		if bm.Short {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("suite tiers degenerate: %d short, %d long", short, long)
+	}
+}

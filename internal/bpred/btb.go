@@ -1,17 +1,25 @@
 package bpred
 
+// btbEntry is one BTB way. Entries live in a single flat slice indexed
+// by set*ways+way, so a lookup's way probe walks one contiguous cache
+// line instead of chasing per-field slice headers.
+type btbEntry struct {
+	tag   uint64
+	tgt   uint64
+	lru   uint64
+	valid bool
+}
+
 // BTB is a set-associative branch target buffer: the fetch stage uses it
 // to redirect to a predicted-taken branch's target in the same cycle.
 // A taken branch that misses in the BTB costs a fetch bubble even when
 // its direction was predicted correctly.
 type BTB struct {
-	sets  int
-	ways  int
-	tags  [][]uint64
-	tgt   [][]uint64
-	valid [][]bool
-	lru   [][]uint64
-	clock uint64
+	setMask  uint64 // sets - 1 (sets is a power of two)
+	setShift uint   // log2(sets), for the tag split
+	ways     int
+	entries  []btbEntry
+	clock    uint64
 
 	Lookups uint64
 	Hits    uint64
@@ -20,35 +28,38 @@ type BTB struct {
 // NewBTB builds a BTB with 2^setBits sets and the given associativity.
 func NewBTB(setBits, ways int) *BTB {
 	sets := 1 << setBits
-	b := &BTB{sets: sets, ways: ways}
-	b.tags = make([][]uint64, sets)
-	b.tgt = make([][]uint64, sets)
-	b.valid = make([][]bool, sets)
-	b.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		b.tags[i] = make([]uint64, ways)
-		b.tgt[i] = make([]uint64, ways)
-		b.valid[i] = make([]bool, ways)
-		b.lru[i] = make([]uint64, ways)
+	return &BTB{
+		setMask:  uint64(sets - 1),
+		setShift: uint(setBits),
+		ways:     ways,
+		entries:  make([]btbEntry, sets*ways),
 	}
-	return b
 }
 
+// index splits a PC into set index and tag. The set count is a power of
+// two, so the split is a mask and a shift — no divide on the fetch path.
 func (b *BTB) index(pc uint64) (set int, tag uint64) {
 	line := pc >> 2
-	return int(line % uint64(b.sets)), line / uint64(b.sets)
+	return int(line & b.setMask), line >> b.setShift
+}
+
+// set returns the entry slice for one set.
+func (b *BTB) set(set int) []btbEntry {
+	return b.entries[set*b.ways : (set+1)*b.ways]
 }
 
 // Lookup returns the predicted target for pc, if present.
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	b.Lookups++
 	b.clock++
-	set, tag := b.index(pc)
-	for w := 0; w < b.ways; w++ {
-		if b.valid[set][w] && b.tags[set][w] == tag {
-			b.lru[set][w] = b.clock
+	s, tag := b.index(pc)
+	ways := b.set(s)
+	for w := range ways {
+		e := &ways[w]
+		if e.valid && e.tag == tag {
+			e.lru = b.clock
 			b.Hits++
-			return b.tgt[set][w], true
+			return e.tgt, true
 		}
 	}
 	return 0, false
@@ -57,24 +68,23 @@ func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 // Update installs or refreshes the target for a taken branch.
 func (b *BTB) Update(pc, target uint64) {
 	b.clock++
-	set, tag := b.index(pc)
+	s, tag := b.index(pc)
+	ways := b.set(s)
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < b.ways; w++ {
-		if b.valid[set][w] && b.tags[set][w] == tag {
-			b.tgt[set][w] = target
-			b.lru[set][w] = b.clock
+	for w := range ways {
+		e := &ways[w]
+		if e.valid && e.tag == tag {
+			e.tgt = target
+			e.lru = b.clock
 			return
 		}
-		if !b.valid[set][w] {
+		if !e.valid {
 			victim, oldest = w, 0
-		} else if b.lru[set][w] < oldest {
-			victim, oldest = w, b.lru[set][w]
+		} else if e.lru < oldest {
+			victim, oldest = w, e.lru
 		}
 	}
-	b.tags[set][victim] = tag
-	b.tgt[set][victim] = target
-	b.valid[set][victim] = true
-	b.lru[set][victim] = b.clock
+	ways[victim] = btbEntry{tag: tag, tgt: target, lru: b.clock, valid: true}
 }
 
 // HitRate returns the fraction of lookups that hit.
@@ -105,7 +115,9 @@ func NewRAS(entries int) *RAS {
 func (r *RAS) Push(ret uint64) {
 	r.Pushes++
 	r.stack[r.top] = ret
-	r.top = (r.top + 1) % len(r.stack)
+	if r.top++; r.top == len(r.stack) {
+		r.top = 0
+	}
 	if r.depth < len(r.stack) {
 		r.depth++
 	}
@@ -118,7 +130,9 @@ func (r *RAS) Pop() (ret uint64, ok bool) {
 	if r.depth == 0 {
 		return 0, false
 	}
-	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	if r.top--; r.top < 0 {
+		r.top = len(r.stack) - 1
+	}
 	r.depth--
 	return r.stack[r.top], true
 }

@@ -79,7 +79,7 @@ type Config struct {
 type Cache struct {
 	cfg     Config
 	next    Level
-	sets    [][]Line // [maxSets][maxWays]
+	lines   []Line // maxSets*maxWays frames, way-major within each set
 	maxSets int
 	maxWays int
 
@@ -96,6 +96,16 @@ type Cache struct {
 	idlePJ        float64 // background energy: clock tree + leakage
 	lastIdleCycle uint64
 	finalized     bool
+
+	// Derived hot-path state, refreshed by refreshDerived at construction
+	// and at the end of SetEnabled — the only points where the effective
+	// configuration changes. Access/fetchAndFill/writebackVictim read
+	// these instead of re-deriving geometry and energy per access.
+	offBits       uint                    // block-offset shift
+	setMask       uint64                  // effSets - 1
+	accessPJ      [numAccessKinds]float64 // switching energy per AccessKind
+	idleCyclePJ   float64                 // clock+leakage per cycle
+	enabledBytesF float64                 // float64(EnabledBytes())
 
 	// size×time integral for average-enabled-size reporting
 	sizeIntegral   float64
@@ -119,13 +129,10 @@ func New(cfg Config, next Level) (*Cache, error) {
 		maxSets: cfg.Geom.Sets(),
 		maxWays: cfg.Geom.Assoc,
 	}
-	c.sets = make([][]Line, c.maxSets)
-	backing := make([]Line, c.maxSets*c.maxWays)
-	for i := range c.sets {
-		c.sets[i] = backing[i*c.maxWays : (i+1)*c.maxWays]
-	}
+	c.lines = make([]Line, c.maxSets*c.maxWays)
 	c.effSets = c.maxSets
 	c.effWays = c.maxWays
+	c.refreshDerived()
 	if cfg.MSHREntries > 0 {
 		c.mshr = newMSHRFile(cfg.MSHREntries)
 	}
@@ -151,9 +158,16 @@ func (c *Cache) EnabledBytes() int {
 
 func (c *Cache) offsetBits() int { return c.cfg.Geom.OffsetBits() }
 
-func (c *Cache) blockAddr(addr uint64) uint64 { return addr >> uint(c.offsetBits()) }
+func (c *Cache) blockAddr(addr uint64) uint64 { return addr >> c.offBits }
 
-func (c *Cache) setIndex(block uint64) int { return int(block & uint64(c.effSets-1)) }
+func (c *Cache) setIndex(block uint64) int { return int(block & c.setMask) }
+
+// setLines returns the line frames of one set (all maxWays of them; the
+// callers bound their scans by effWays).
+func (c *Cache) setLines(set int) []Line {
+	base := set * c.maxWays
+	return c.lines[base : base+c.maxWays]
+}
 
 // enabledDataSubarrays returns the number of powered data subarrays under
 // the current mask: each enabled way contributes subarrays proportional
@@ -204,7 +218,10 @@ func (c *Cache) comparedTagBits() int {
 	return t
 }
 
-func (c *Cache) chargeArray(kind AccessKind) {
+// accessProfile builds the energy-attribution profile for one access
+// kind under the current effective configuration. It is evaluated only
+// by refreshDerived; the per-access path indexes the resulting table.
+func (c *Cache) accessProfile(kind AccessKind) geometry.AccessProfile {
 	g := c.cfg.Geom
 	rowBits := g.BlockBytes * 8
 	p := geometry.AccessProfile{
@@ -245,7 +262,38 @@ func (c *Cache) chargeArray(kind AccessKind) {
 		p.EnabledDataSubarrays = ways
 		p.EnabledTagSubarrays = ways
 	}
-	c.energyPJ += c.cfg.Energy.AccessEnergyPJ(p)
+	return p
+}
+
+// refreshDerived recomputes every pure function of the effective
+// configuration the per-access path depends on: the per-kind switching
+// energy table, the idle-cycle energy rate, the enabled-capacity weight
+// for the size-time integral, and the address-decomposition constants.
+// Every entry is the exact value the per-access path used to compute
+// inline, so accumulating from the table is bit-identical — the
+// refactor moves when the arithmetic happens, never what is computed.
+func (c *Cache) refreshDerived() {
+	c.offBits = uint(c.cfg.Geom.OffsetBits())
+	c.setMask = uint64(c.effSets - 1)
+
+	var profiles [numAccessKinds]geometry.AccessProfile
+	for k := range profiles {
+		profiles[k] = c.accessProfile(AccessKind(k))
+	}
+	copy(c.accessPJ[:], c.cfg.Energy.AccessEnergies(profiles[:]))
+
+	subs := c.enabledDataSubarrays() + c.enabledTagSubarrays()
+	bytes := c.EnabledBytes()
+	if c.cfg.AblationFullPrecharge {
+		subs = c.cfg.Geom.SubarraysPerWay()*c.maxWays + c.fullTagSubarrays()
+		bytes = c.cfg.Geom.SizeBytes
+	}
+	c.idleCyclePJ = c.cfg.Energy.IdleCyclePJ(subs, bytes)
+	c.enabledBytesF = float64(c.EnabledBytes())
+}
+
+func (c *Cache) chargeArray(kind AccessKind) {
+	c.energyPJ += c.accessPJ[kind]
 }
 
 // integrateIdle accrues clock+leakage energy and the size-time integral
@@ -254,16 +302,10 @@ func (c *Cache) integrateIdle(now uint64) {
 	if now <= c.lastIdleCycle {
 		return
 	}
-	span := now - c.lastIdleCycle
-	subs := c.enabledDataSubarrays() + c.enabledTagSubarrays()
-	bytes := c.EnabledBytes()
-	if c.cfg.AblationFullPrecharge {
-		subs = c.cfg.Geom.SubarraysPerWay()*c.maxWays + c.fullTagSubarrays()
-		bytes = c.cfg.Geom.SizeBytes
-	}
-	c.idlePJ += float64(span) * c.cfg.Energy.IdleCyclePJ(subs, bytes)
-	c.sizeIntegral += float64(span) * float64(c.EnabledBytes())
-	c.totalSizeSpanC += span
+	span := float64(now - c.lastIdleCycle)
+	c.idlePJ += span * c.idleCyclePJ
+	c.sizeIntegral += span * c.enabledBytesF
+	c.totalSizeSpanC += now - c.lastIdleCycle
 	c.lastIdleCycle = now
 }
 
@@ -280,7 +322,7 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 
 	block := c.blockAddr(addr)
 	set := c.setIndex(block)
-	ways := c.sets[set]
+	ways := c.setLines(set)
 	for w := 0; w < c.effWays; w++ {
 		ln := &ways[w]
 		if ln.Valid && ln.BlockAddr == block {
@@ -329,10 +371,11 @@ func (c *Cache) fetchAndFill(start uint64, addr, block uint64, set int, write bo
 	nextDone := c.next.Access(start, addr, false)
 
 	// Victim selection among enabled ways: prefer invalid, else LRU.
+	ways := c.setLines(set)
 	victim := 0
 	var oldest uint64 = ^uint64(0)
 	for w := 0; w < c.effWays; w++ {
-		ln := &c.sets[set][w]
+		ln := &ways[w]
 		if !ln.Valid {
 			victim = w
 			oldest = 0
@@ -343,7 +386,7 @@ func (c *Cache) fetchAndFill(start uint64, addr, block uint64, set int, write bo
 			victim = w
 		}
 	}
-	ln := &c.sets[set][victim]
+	ln := &ways[victim]
 	fillAt := nextDone
 	if ln.Valid && ln.Dirty {
 		fillAt = c.writebackVictim(nextDone, ln.BlockAddr)
@@ -360,16 +403,13 @@ func (c *Cache) fetchAndFill(start uint64, addr, block uint64, set int, write bo
 func (c *Cache) writebackVictim(now uint64, victimBlock uint64) uint64 {
 	c.chargeArray(KindWritebackRead)
 	c.Stat.Writebacks.Inc()
-	victimAddr := victimBlock << uint(c.offsetBits())
+	victimAddr := victimBlock << c.offBits
 	if c.wb == nil {
 		return c.next.Access(now, victimAddr, true)
 	}
-	slotAt, ok := c.wb.reserve(now)
-	if !ok {
-		// Buffer full: stall until the earliest entry drains.
-		slotAt = c.wb.earliestDrain()
-		slotAt, _ = c.wb.reserve(slotAt)
-	}
+	// acquire cannot fail: a full buffer resolves to the earliest drain
+	// cycle, at which a slot is free by construction.
+	slotAt := c.wb.acquire(now)
 	done := c.next.Access(slotAt, victimAddr, true)
 	c.wb.commit(done)
 	return slotAt // fill proceeds once buffered, not once drained
@@ -431,7 +471,7 @@ func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error
 		if ln.Dirty {
 			fl.Writebacks++
 			c.Stat.FlushedDirty.Inc()
-			c.next.Access(now, ln.BlockAddr<<uint(c.offsetBits()), true)
+			c.next.Access(now, ln.BlockAddr<<c.offBits, true)
 		}
 		ln.Valid = false
 		ln.Dirty = false
@@ -440,24 +480,27 @@ func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error
 	// 1. Ways being disabled.
 	if effWays < oldWays {
 		for s := 0; s < oldSets; s++ {
+			ways := c.setLines(s)
 			for w := effWays; w < oldWays; w++ {
-				flushLine(&c.sets[s][w])
+				flushLine(&ways[w])
 			}
 		}
 	}
 	// 2. Sets being disabled.
 	if effSets < oldSets {
 		for s := effSets; s < oldSets; s++ {
+			ways := c.setLines(s)
 			for w := 0; w < oldWays; w++ {
-				flushLine(&c.sets[s][w])
+				flushLine(&ways[w])
 			}
 		}
 	}
 	// 3. Sets being enabled: remapped survivors flush.
 	if effSets > oldSets {
 		for s := 0; s < oldSets; s++ {
+			ways := c.setLines(s)
 			for w := 0; w < oldWays && w < effWays; w++ {
-				ln := &c.sets[s][w]
+				ln := &ways[w]
 				if ln.Valid && int(ln.BlockAddr&uint64(effSets-1)) != s {
 					flushLine(ln)
 				}
@@ -467,6 +510,9 @@ func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error
 
 	c.effSets = effSets
 	c.effWays = effWays
+	// The flushes above charged the outgoing configuration's energy
+	// table; everything from here on runs under the new one.
+	c.refreshDerived()
 	return fl, nil
 }
 
@@ -502,9 +548,10 @@ func (c *Cache) AvgEnabledBytes() float64 {
 // Contents iterates over valid resident blocks (for tests and debugging).
 func (c *Cache) Contents(fn func(set, way int, ln Line)) {
 	for s := 0; s < c.effSets; s++ {
+		ways := c.setLines(s)
 		for w := 0; w < c.effWays; w++ {
-			if c.sets[s][w].Valid {
-				fn(s, w, c.sets[s][w])
+			if ways[w].Valid {
+				fn(s, w, ways[w])
 			}
 		}
 	}

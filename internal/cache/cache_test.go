@@ -433,27 +433,25 @@ func TestMemoryModel(t *testing.T) {
 
 func TestWritebackBufferBackpressure(t *testing.T) {
 	b := newWritebackBuffer(2)
-	at, ok := b.reserve(0)
-	if !ok || at != 0 {
-		t.Fatal("first reserve should succeed")
+	if at := b.acquire(0); at != 0 {
+		t.Fatalf("first acquire = %d, want 0", at)
 	}
 	b.commit(100)
-	at, ok = b.reserve(0)
-	if !ok {
-		t.Fatal("second reserve should succeed")
+	if at := b.acquire(0); at != 0 {
+		t.Fatalf("second acquire = %d, want 0", at)
 	}
 	b.commit(200)
-	if _, ok = b.reserve(50); ok {
-		t.Fatal("buffer should be full at cycle 50")
+	// Full at cycle 50: acquire stalls to the earliest drain.
+	if at := b.acquire(50); at != 100 {
+		t.Fatalf("full-buffer acquire = %d, want 100 (earliest drain)", at)
 	}
-	if d := b.earliestDrain(); d != 100 {
-		t.Fatalf("earliest drain = %d", d)
+	b.commit(180)
+	if got := b.occupancyAt(150); got != 2 {
+		t.Fatalf("occupancy at 150 = %d, want 2", got)
 	}
-	if got := b.occupancyAt(150); got != 1 {
-		t.Fatalf("occupancy at 150 = %d", got)
-	}
-	if _, ok = b.reserve(100); !ok {
-		t.Fatal("slot should free at its drain time")
+	// At a drain time the slot is free again with no stall.
+	if at := b.acquire(200); at != 200 {
+		t.Fatalf("acquire at drain time = %d, want 200", at)
 	}
 }
 

@@ -44,4 +44,7 @@ const (
 	KindWritebackRead
 	// KindFlushRead reads a block during a resize-induced flush.
 	KindFlushRead
+
+	// numAccessKinds sizes the per-kind precomputed energy tables.
+	numAccessKinds = int(KindFlushRead) + 1
 )

@@ -9,6 +9,11 @@ package cache
 type mshrFile struct {
 	blocks  []uint64
 	readyAt []uint64
+	// maxReady is the latest outstanding completion time: when now has
+	// passed it, no entry is busy and coalesce/earliestFree resolve with
+	// one compare instead of a scan — the common case on the hit path,
+	// where every access probes for an in-flight fill.
+	maxReady uint64
 }
 
 func newMSHRFile(entries int) *mshrFile {
@@ -21,6 +26,9 @@ func newMSHRFile(entries int) *mshrFile {
 // coalesce returns the completion time of an outstanding miss for block,
 // if one exists at cycle now.
 func (m *mshrFile) coalesce(block uint64, now uint64) (uint64, bool) {
+	if m.maxReady <= now {
+		return 0, false
+	}
 	for i, b := range m.blocks {
 		if m.readyAt[i] > now && b == block {
 			return m.readyAt[i], true
@@ -32,6 +40,9 @@ func (m *mshrFile) coalesce(block uint64, now uint64) (uint64, bool) {
 // earliestFree returns the earliest cycle >= now at which an entry is
 // available.
 func (m *mshrFile) earliestFree(now uint64) uint64 {
+	if m.maxReady <= now {
+		return now
+	}
 	var best uint64 = ^uint64(0)
 	for _, r := range m.readyAt {
 		if r <= now {
@@ -56,6 +67,9 @@ func (m *mshrFile) allocate(block uint64, readyAt uint64) {
 	}
 	m.blocks[oldestIdx] = block
 	m.readyAt[oldestIdx] = readyAt
+	if readyAt > m.maxReady {
+		m.maxReady = readyAt
+	}
 }
 
 // outstandingAt reports how many entries are busy at cycle now (tests).

@@ -14,27 +14,24 @@ func newWritebackBuffer(entries int) *writebackBuffer {
 	return &writebackBuffer{drainAt: make([]uint64, entries), pending: -1}
 }
 
-// reserve tries to claim a slot at cycle now; ok=false means all slots
-// are still draining.
-func (b *writebackBuffer) reserve(now uint64) (uint64, bool) {
+// acquire claims a slot at the earliest cycle >= now at which one is
+// free and returns that cycle. It cannot fail: when every slot is still
+// draining it claims the slot that frees first, at its drain time —
+// the full-buffer stall is resolved here, by construction, instead of
+// by a retry the caller must get right.
+func (b *writebackBuffer) acquire(now uint64) uint64 {
+	earliest := 0
 	for i, d := range b.drainAt {
 		if d <= now {
 			b.pending = i
-			return now, true
+			return now
+		}
+		if d < b.drainAt[earliest] {
+			earliest = i
 		}
 	}
-	return 0, false
-}
-
-// earliestDrain returns the first cycle at which any slot frees.
-func (b *writebackBuffer) earliestDrain() uint64 {
-	best := b.drainAt[0]
-	for _, d := range b.drainAt[1:] {
-		if d < best {
-			best = d
-		}
-	}
-	return best
+	b.pending = earliest
+	return b.drainAt[earliest]
 }
 
 // commit records the drain-completion time for the reserved slot.

@@ -22,7 +22,11 @@ type ResizableCache struct {
 	idx int // current schedule index
 
 	// Interval machinery (driven per access, in accesses as the paper's
-	// dynamic framework specifies).
+	// dynamic framework specifies). intervalLen caches the policy's
+	// IntervalLength at Wrap time — policies declare a fixed monitoring
+	// interval, so the hot path pays a field read instead of an
+	// interface call per access.
+	intervalLen      uint64
 	intervalAccesses uint64
 	intervalMisses   uint64
 
@@ -51,6 +55,7 @@ func Wrap(c *cache.Cache, sched Schedule, p Policy) (*ResizableCache, error) {
 	r := &ResizableCache{C: c, Sched: sched, policy: p}
 	if p != nil {
 		p.Bind(r)
+		r.intervalLen = p.IntervalLength()
 	}
 	return r, nil
 }
@@ -99,13 +104,11 @@ func (r *ResizableCache) Access(now uint64, addr uint64, write bool) uint64 {
 	if r.C.Stat.Misses.Value() != missesBefore {
 		r.intervalMisses++
 	}
-	if r.policy != nil {
-		if n := r.policy.IntervalLength(); n > 0 && r.intervalAccesses >= n {
-			r.policy.OnInterval(now, r.intervalMisses)
-			r.SizeTrace = append(r.SizeTrace, r.idx)
-			r.intervalAccesses = 0
-			r.intervalMisses = 0
-		}
+	if r.intervalLen > 0 && r.intervalAccesses >= r.intervalLen {
+		r.policy.OnInterval(now, r.intervalMisses)
+		r.SizeTrace = append(r.SizeTrace, r.idx)
+		r.intervalAccesses = 0
+		r.intervalMisses = 0
 	}
 	return done
 }

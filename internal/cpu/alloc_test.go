@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"testing"
+
+	"resizecache/internal/bpred"
+	"resizecache/internal/workload"
+)
+
+// allocSource cycles a fixed event mix without allocating.
+type allocSource struct {
+	evs []workload.Event
+	i   int
+}
+
+func (s *allocSource) Next(ev *workload.Event) bool {
+	*ev = s.evs[s.i]
+	if s.i++; s.i == len(s.evs) {
+		s.i = 0
+	}
+	return true
+}
+
+func allocMix() []workload.Event {
+	return []workload.Event{
+		{PC: 0x1000, Kind: workload.KindLoad, Addr: 0x2000_0000, Dep1: 2, Lat: 1},
+		{PC: 0x1004, Kind: workload.KindInt, Dep1: 1, Dep2: 3, Lat: 1},
+		{PC: 0x1008, Kind: workload.KindStore, Addr: 0x2000_4000, Dep1: 1, Lat: 1},
+		{PC: 0x100c, Kind: workload.KindBranch, Taken: true, Dep1: 2, Lat: 1},
+		{PC: 0x2000, Kind: workload.KindCall, Taken: true, Dep1: 1, Lat: 1},
+		{PC: 0x3000, Kind: workload.KindFloat, Dep1: 4, Dep2: 1, Lat: 4},
+		{PC: 0x3004, Kind: workload.KindReturn, Taken: true, Dep1: 1, Lat: 1},
+		{PC: 0x1010, Kind: workload.KindInt, Dep1: 1, Lat: 1},
+	}
+}
+
+// TestOutOfOrderStepZeroAllocs locks in the per-instruction step's
+// allocation behaviour: a Run's allocations are a fixed setup cost
+// (rings, fetch unit, predictor tables) independent of how many
+// instructions execute — i.e. the per-instruction step allocates zero
+// bytes. Asserted by comparing total allocations of a short and a 16×
+// longer run.
+func TestOutOfOrderStepZeroAllocs(t *testing.T) {
+	run := func(n uint64) float64 {
+		src := &allocSource{evs: allocMix()}
+		ic := &fixedLevel{lat: 1}
+		dc := &fixedLevel{lat: 1}
+		return testing.AllocsPerRun(3, func() {
+			eng, err := NewOutOfOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(src, n)
+		})
+	}
+	shortRun, longRun := run(2_000), run(32_000)
+	if longRun != shortRun {
+		t.Fatalf("out-of-order Run allocations grew with instruction count: %.1f for 2K instrs vs %.1f for 32K; the per-instruction step must not allocate", shortRun, longRun)
+	}
+}
+
+// TestInOrderStepZeroAllocs is the same guard for the in-order engine.
+func TestInOrderStepZeroAllocs(t *testing.T) {
+	run := func(n uint64) float64 {
+		src := &allocSource{evs: allocMix()}
+		ic := &fixedLevel{lat: 1}
+		dc := &fixedLevel{lat: 1}
+		return testing.AllocsPerRun(3, func() {
+			eng, err := NewInOrder(DefaultConfig(), ic, dc, bpred.NewDefault())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(src, n)
+		})
+	}
+	shortRun, longRun := run(2_000), run(32_000)
+	if longRun != shortRun {
+		t.Fatalf("in-order Run allocations grew with instruction count: %.1f for 2K instrs vs %.1f for 32K; the per-instruction step must not allocate", shortRun, longRun)
+	}
+}

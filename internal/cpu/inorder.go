@@ -6,6 +6,9 @@ import (
 	"resizecache/internal/workload"
 )
 
+// window is the in-order engine's dependence-scoreboard depth.
+const window = 64
+
 // InOrder is the in-order issue engine with a blocking d-cache: an
 // instruction issues only after all older instructions have issued and
 // its producers have completed, and a d-cache miss stalls the pipeline
@@ -40,8 +43,9 @@ func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
 		fetch = newFetchUnit(e.IC, e.Cfg.Width)
 
 		// Scoreboard of recent completion times for dependence stalls.
-		window    = 64
-		completed = make([]uint64, window)
+		// A constant power-of-two window lets the compiler turn the
+		// per-instruction ring indexing into a mask instead of a divide.
+		completed [window]uint64
 
 		issueTime    uint64 // last issue cycle (in-order)
 		issueInCycle int

@@ -34,15 +34,28 @@ func (o *OutOfOrder) Name() string { return "out-of-order/nonblocking" }
 
 // Run implements Engine.
 func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
+	// Ring sizes and widths are loop-invariant; hoisting them (and
+	// tracking wrapping ring indices instead of taking `%` by a
+	// non-constant size several times per instruction) keeps the
+	// per-instruction step in registers. robIdx == i % robN and
+	// lsqIdx == memopCount % lsqN throughout.
 	var (
 		res   Result
 		ev    workload.Event
 		fetch = newFetchUnit(o.IC, o.Cfg.Width)
 
-		rob        = make([]uint64, o.Cfg.ROBEntries) // completion time ring
-		retire     = make([]uint64, o.Cfg.ROBEntries) // retire time ring
-		lsqRetire  = make([]uint64, o.Cfg.LSQEntries) // memop retire ring
+		robN      = o.Cfg.ROBEntries
+		lsqN      = o.Cfg.LSQEntries
+		rob       = make([]uint64, robN) // completion time ring
+		retire    = make([]uint64, robN) // retire time ring
+		lsqRetire = make([]uint64, lsqN) // memop retire ring
+
+		robIdx     int
+		lsqIdx     int
 		memopCount uint64
+
+		decodeLat = o.Cfg.DecodeLatency
+		width     = o.Cfg.Width
 
 		lastRetire    uint64
 		retireInCycle int
@@ -57,32 +70,45 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 
 		// Dispatch: needs decode plus a free ROB entry (the instruction
 		// ROBEntries back must have retired).
-		dispatch := fetched + o.Cfg.DecodeLatency
-		if i >= uint64(o.Cfg.ROBEntries) {
-			if t := retire[i%uint64(o.Cfg.ROBEntries)]; t > dispatch {
+		dispatch := fetched + decodeLat
+		if i >= uint64(robN) {
+			if t := retire[robIdx]; t > dispatch {
 				dispatch = t
 			}
 		}
 		res.Activity.ROBInserts++
 
 		// Issue: producers must have completed. Producers older than the
-		// ROB window have necessarily retired.
+		// ROB window have necessarily retired. Unrolled over the two
+		// operands so no per-instruction operand array materializes.
 		ready := dispatch
-		for _, dep := range [2]int32{ev.Dep1, ev.Dep2} {
-			if dep > 0 && uint64(dep) <= i && dep <= int32(o.Cfg.ROBEntries) {
-				if t := rob[(i-uint64(dep))%uint64(o.Cfg.ROBEntries)]; t > ready {
-					ready = t
-				}
-				res.Activity.RegReads++
+		if dep := ev.Dep1; dep > 0 && uint64(dep) <= i && dep <= int32(robN) {
+			j := robIdx - int(dep)
+			if j < 0 {
+				j += robN
 			}
+			if t := rob[j]; t > ready {
+				ready = t
+			}
+			res.Activity.RegReads++
+		}
+		if dep := ev.Dep2; dep > 0 && uint64(dep) <= i && dep <= int32(robN) {
+			j := robIdx - int(dep)
+			if j < 0 {
+				j += robN
+			}
+			if t := rob[j]; t > ready {
+				ready = t
+			}
+			res.Activity.RegReads++
 		}
 
 		var complete uint64
 		switch ev.Kind {
 		case workload.KindLoad, workload.KindStore:
 			// LSQ slot: the memop LSQEntries back must have retired.
-			if memopCount >= uint64(o.Cfg.LSQEntries) {
-				if t := lsqRetire[memopCount%uint64(o.Cfg.LSQEntries)]; t > ready {
+			if memopCount >= uint64(lsqN) {
+				if t := lsqRetire[lsqIdx]; t > ready {
 					ready = t
 				}
 			}
@@ -118,7 +144,7 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 			res.Activity.RegWrites++
 		}
 
-		rob[i%uint64(o.Cfg.ROBEntries)] = complete
+		rob[robIdx] = complete
 
 		// In-order, width-limited retirement.
 		rt := complete
@@ -127,7 +153,7 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 		}
 		if rt == lastRetire {
 			retireInCycle++
-			if retireInCycle >= o.Cfg.Width {
+			if retireInCycle >= width {
 				rt++
 				retireInCycle = 0
 			}
@@ -135,10 +161,16 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 			retireInCycle = 1
 		}
 		lastRetire = rt
-		retire[i%uint64(o.Cfg.ROBEntries)] = rt
+		retire[robIdx] = rt
+		if robIdx++; robIdx == robN {
+			robIdx = 0
+		}
 		if ev.Kind == workload.KindLoad || ev.Kind == workload.KindStore {
-			lsqRetire[memopCount%uint64(o.Cfg.LSQEntries)] = rt
+			lsqRetire[lsqIdx] = rt
 			memopCount++
+			if lsqIdx++; lsqIdx == lsqN {
+				lsqIdx = 0
+			}
 		}
 	}
 

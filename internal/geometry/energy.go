@@ -119,6 +119,21 @@ func (m EnergyModel) AccessEnergyPJ(p AccessProfile) float64 {
 	return pre + bl + wl + sense + dec + cmp + out + wr
 }
 
+// AccessEnergies precomputes AccessEnergyPJ for a fixed set of profiles.
+// A cache's per-access profiles are pure functions of its effective
+// configuration, which changes only at (rare) resize events — hot paths
+// should build their profile set once per configuration, precompute this
+// table, and charge accesses by indexing it. Each entry is the exact
+// float64 AccessEnergyPJ would return for the same profile, so switching
+// a caller from per-access evaluation to table lookup is bit-identical.
+func (m EnergyModel) AccessEnergies(profiles []AccessProfile) []float64 {
+	table := make([]float64, len(profiles))
+	for i, p := range profiles {
+		table[i] = m.AccessEnergyPJ(p)
+	}
+	return table
+}
+
 // IdleCyclePJ returns per-cycle background energy (clock + leakage) for a
 // cache with the given enabled subarray count and enabled capacity.
 func (m EnergyModel) IdleCyclePJ(enabledSubarrays int, enabledBytes int) float64 {

@@ -1,0 +1,52 @@
+// Package prof wires the standard pprof profiles into the CLI drivers,
+// so hot-path work on the simulator is measurable without editing code:
+// run any experiment with -cpuprofile/-memprofile and feed the output
+// to `go tool pprof`.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start turns on CPU profiling (when cpuPath is non-empty) and arranges
+// a heap snapshot at stop time (when memPath is non-empty). The
+// returned stop function must run before the process exits — callers
+// that exit with os.Exit must do so *after* invoking it (defer it in a
+// function whose return precedes the exit), or the CPU profile is left
+// unterminated and the heap profile never written.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

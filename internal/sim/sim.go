@@ -375,37 +375,57 @@ func Run(cfg Config) (Result, error) {
 		iNext = newMem(cfg.ICache.Geom.BlockBytes)
 	}
 
+	// The L1s get the same treatment buildHierarchy gives shared levels:
+	// a resizable spec builds the full wrapper, a fixed spec connects the
+	// engine straight to the plain array so the per-access hot path pays
+	// no interval accounting for a cache that never resizes.
+	buildL1 := func(spec CacheSpec, name string, mshr, wbEntries int, next cache.Level) (builtLevel, error) {
+		if spec.resizable() {
+			r, err := core.NewResizable(core.Options{
+				Name: name, Geom: spec.Geom, Org: spec.Org,
+				Policy: spec.Policy.build(), HitLatency: 1,
+				MSHREntries: mshr, WritebackEntries: wbEntries,
+				Energy:                cfg.Energy,
+				AblationFullPrecharge: spec.AblationFullPrecharge,
+				AblationFreeFlush:     spec.AblationFreeFlush,
+			}, next)
+			if err != nil {
+				return builtLevel{}, err
+			}
+			return builtLevel{name: name, c: r.C, r: r, level: r}, nil
+		}
+		c, err := cache.New(cache.Config{
+			Name: name, Geom: spec.Geom, HitLatency: 1,
+			Energy:                cfg.Energy,
+			MSHREntries:           mshr,
+			WritebackEntries:      wbEntries,
+			AblationFullPrecharge: spec.AblationFullPrecharge,
+			AblationFreeFlush:     spec.AblationFreeFlush,
+		}, next)
+		if err != nil {
+			return builtLevel{}, err
+		}
+		return builtLevel{name: name, c: c, level: c}, nil
+	}
+
 	dMSHR := cfg.MSHREntries
 	if cfg.Engine == InOrder {
 		dMSHR = 0 // blocking d-cache
 	}
-	dc, err := core.NewResizable(core.Options{
-		Name: "L1d", Geom: cfg.DCache.Geom, Org: cfg.DCache.Org,
-		Policy: cfg.DCache.Policy.build(), HitLatency: 1,
-		MSHREntries: dMSHR, WritebackEntries: cfg.WritebackEntries,
-		Energy:                cfg.Energy,
-		AblationFullPrecharge: cfg.DCache.AblationFullPrecharge,
-		AblationFreeFlush:     cfg.DCache.AblationFreeFlush,
-	}, dNext)
+	dc, err := buildL1(cfg.DCache, "L1d", dMSHR, cfg.WritebackEntries, dNext)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: d-cache: %w", err)
 	}
-	ic, err := core.NewResizable(core.Options{
-		Name: "L1i", Geom: cfg.ICache.Geom, Org: cfg.ICache.Org,
-		Policy: cfg.ICache.Policy.build(), HitLatency: 1,
-		MSHREntries: 2, Energy: cfg.Energy,
-		AblationFullPrecharge: cfg.ICache.AblationFullPrecharge,
-		AblationFreeFlush:     cfg.ICache.AblationFreeFlush,
-	}, iNext)
+	ic, err := buildL1(cfg.ICache, "L1i", 2, 0, iNext)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: i-cache: %w", err)
 	}
 
 	var engine cpu.Engine
 	if cfg.Engine == InOrder {
-		engine, err = cpu.NewInOrder(cfg.CPU, ic, dc, bpred.NewDefault())
+		engine, err = cpu.NewInOrder(cfg.CPU, ic.level, dc.level, bpred.NewDefault())
 	} else {
-		engine, err = cpu.NewOutOfOrder(cfg.CPU, ic, dc, bpred.NewDefault())
+		engine, err = cpu.NewOutOfOrder(cfg.CPU, ic.level, dc.level, bpred.NewDefault())
 	}
 	if err != nil {
 		return Result{}, err
@@ -413,8 +433,8 @@ func Run(cfg Config) (Result, error) {
 
 	res := engine.Run(workload.NewGenerator(prof), cfg.Instructions)
 
-	dc.Finalize(res.Cycles)
-	ic.Finalize(res.Cycles)
+	dc.level.Finalize(res.Cycles)
+	ic.level.Finalize(res.Cycles)
 	var sharedPJ float64
 	levelReports := make([]LevelReport, len(shared))
 	for i, b := range shared {
@@ -430,8 +450,8 @@ func Run(cfg Config) (Result, error) {
 
 	bd := energy.Breakdown{
 		CorePJ: cfg.Core.CorePJ(res.Activity, res.Instructions, res.Cycles),
-		L1IPJ:  ic.EnergyPJ(),
-		L1DPJ:  dc.EnergyPJ(),
+		L1IPJ:  ic.c.EnergyPJ(),
+		L1DPJ:  dc.c.EnergyPJ(),
 		L2PJ:   sharedPJ, // every shared level below the L1s
 		MemPJ:  memPJ,
 	}
@@ -440,8 +460,8 @@ func Run(cfg Config) (Result, error) {
 		CPU:    res,
 		Energy: bd,
 		EDP:    stats.EDP{EnergyJ: bd.TotalJ(), Cycles: res.Cycles},
-		DCache: reportCache(dc.C, dc.SizeTrace),
-		ICache: reportCache(ic.C, ic.SizeTrace),
+		DCache: dc.report().CacheReport,
+		ICache: ic.report().CacheReport,
 		Levels: levelReports,
 	}, nil
 }

@@ -5,23 +5,32 @@ package workload
 // experiments are exactly reproducible.
 type rng struct{ s uint64 }
 
-func newRNG(seed uint64) *rng {
+func newRNG(seed uint64) rng {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &rng{s: seed}
+	return rng{s: seed}
 }
 
 func (r *rng) next() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545F4914F6CDD1D
+	// Keep the state in a register across the three xorshift steps: one
+	// load and one store instead of three read-modify-writes to memory.
+	// This is the simulator's innermost arithmetic — every generated
+	// instruction draws several times.
+	s := r.s
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	r.s = s
+	return s * 0x2545F4914F6CDD1D
 }
 
 // float returns a uniform float64 in [0,1).
 func (r *rng) float() float64 {
-	return float64(r.next()>>11) / (1 << 53)
+	// next()>>11 < 2^53 always fits in an int64, so the signed conversion
+	// yields the identical float64 while compiling to a single
+	// instruction (the unsigned conversion needs a sign test and branch).
+	return float64(int64(r.next()>>11)) / (1 << 53)
 }
 
 // intn returns a uniform int in [0,n).

@@ -118,7 +118,10 @@ func (p *Profile) TotalPhaseInstructions() uint64 {
 // Generator produces the deterministic event stream for a profile.
 type Generator struct {
 	prof *Profile
-	r    *rng
+	// r is embedded by value: every generated instruction draws from it
+	// several times, and an inline field keeps the state on the
+	// Generator's own cache line instead of behind a pointer.
+	r rng
 
 	instr       uint64 // instructions generated so far
 	phaseIdx    int
@@ -137,6 +140,26 @@ type Generator struct {
 	pcBase    uint64
 	brCounter int
 	callDepth int
+
+	// Profile-constant hoists, computed once in NewGenerator: the
+	// cumulative instruction-mix thresholds Next compares the kind draw
+	// against (summed in the same association order the inline
+	// expressions used, so every comparison sees the identical float64),
+	// and the inverse mean dependence distance depDistance's geometric
+	// loop tests against.
+	thLoad, thStore, thBranch, thFloat float64
+	invDepMean                         float64
+
+	// Per-phase hoists, rebuilt by enterPhase: the active phase pointer
+	// and, per working-set level, the effective jump probability (with
+	// the 1/32 jitter floor applied) and the instruction footprint in
+	// bytes and instruction slots.
+	curPhase *Phase
+	dJumpP   []float64 // per-DLevel reposition probability
+	dBase    []uint64  // per-DLevel region base address
+	iBytes   []int     // per-ILevel hot-code bytes (floored at one block)
+	iSlots   []int     // iBytes / instrBytes
+	iBase    []uint64  // per-ILevel region base address
 }
 
 // Address-space layout: disjoint regions so streams never alias.
@@ -158,26 +181,73 @@ func NewGenerator(p *Profile) *Generator {
 		r:      newRNG(seedFromString(p.Name)),
 		pcBase: codeBase,
 	}
+	g.thLoad = p.LoadFrac
+	g.thStore = p.LoadFrac + p.StoreFrac
+	g.thBranch = p.LoadFrac + p.StoreFrac + p.BranchFrac
+	g.thFloat = p.LoadFrac + p.StoreFrac + p.BranchFrac + p.FloatFrac
+	m := p.DepMeanDist
+	if m < 1 {
+		m = 1
+	}
+	g.invDepMean = 1 / m
 	g.enterPhase(0)
 	return g
+}
+
+// reuse returns s resized to n elements, reusing its backing storage
+// when it is large enough — enterPhase runs at every phase transition
+// of a periodic profile, and the generator must stay allocation-free
+// after warm-up. Contents are unspecified; callers assign every index.
+func reuse[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func (g *Generator) enterPhase(i int) {
 	g.phaseIdx = i
 	ph := &g.prof.Phases[i]
+	g.curPhase = ph
 	g.phaseLeft = ph.Instructions
-	g.dCursors = make([]int, len(ph.DLevels))
+	g.dCursors = reuse(g.dCursors, len(ph.DLevels))
+	g.dJumpP = reuse(g.dJumpP, len(ph.DLevels))
+	g.dBase = reuse(g.dBase, len(ph.DLevels))
+	dBase := uint64(dataBase)
 	for j := range g.dCursors {
 		// Stagger cursors so levels do not walk in lockstep.
+		c := 0
 		if ph.DLevels[j].Blocks > 0 {
-			g.dCursors[j] = g.r.intn(ph.DLevels[j].Blocks)
+			c = g.r.intn(ph.DLevels[j].Blocks)
 		}
+		g.dCursors[j] = c
+		jumpP := ph.DLevels[j].RandFrac
+		if jumpP < 1.0/32 {
+			jumpP = 1.0 / 32 // minimum jitter keeps knees from being cliffs
+		}
+		g.dJumpP[j] = jumpP
+		g.dBase[j] = dBase
+		dBase += uint64(ph.DLevels[j].Blocks)*blockBytes + (1 << 20) // separate regions
+	}
+	g.iBytes = reuse(g.iBytes, len(ph.ILevels))
+	g.iSlots = reuse(g.iSlots, len(ph.ILevels))
+	g.iBase = reuse(g.iBase, len(ph.ILevels))
+	iBase := g.pcBase
+	for j, lv := range ph.ILevels {
+		bytes := lv.Blocks * blockBytes
+		if bytes <= 0 {
+			bytes = blockBytes
+		}
+		g.iBytes[j] = bytes
+		g.iSlots[j] = bytes / instrBytes
+		g.iBase[j] = iBase
+		iBase += uint64(lv.Blocks)*blockBytes + (1 << 20) // separate regions
 	}
 	g.iCursor = 0
 	g.runLeft = 0
 }
 
-func (g *Generator) phase() *Phase { return &g.prof.Phases[g.phaseIdx] }
+func (g *Generator) phase() *Phase { return g.curPhase }
 
 // advancePhase moves to the next phase; returns false when the workload
 // is exhausted (non-periodic profile ran out of phases).
@@ -225,15 +295,10 @@ func (g *Generator) dataAddr() uint64 {
 	// Working-set levels: pick by fraction, walk cyclically with a small
 	// chance of repositioning (softens the LRU cliff), then start a short
 	// spatial run within the block.
-	var base uint64 = dataBase
 	for li, lv := range ph.DLevels {
 		if x < lv.Frac || li == len(ph.DLevels)-1 {
 			c := g.dCursors[li]
-			jumpP := lv.RandFrac
-			if jumpP < 1.0/32 {
-				jumpP = 1.0 / 32 // minimum jitter keeps knees from being cliffs
-			}
-			if g.r.float() < jumpP {
+			if g.r.float() < g.dJumpP[li] {
 				c = g.r.intn(lv.Blocks)
 			} else {
 				c++
@@ -242,14 +307,13 @@ func (g *Generator) dataAddr() uint64 {
 				}
 			}
 			g.dCursors[li] = c
-			addr := base + uint64(c)*blockBytes
+			addr := g.dBase[li] + uint64(c)*blockBytes
 			// 0-2 further word touches within the block.
 			g.runLeft = g.r.intn(3)
 			g.runAddr = addr
 			return addr
 		}
 		x -= lv.Frac
-		base += uint64(lv.Blocks)*blockBytes + (1 << 20) // separate regions
 	}
 	return dataBase
 }
@@ -266,32 +330,31 @@ func (g *Generator) nextPC() uint64 {
 	// Determine hot-code bytes from levels: treat ILevels like DLevels.
 	var pc uint64
 	x := g.r.float()
-	var base uint64 = g.pcBase
 	for li, lv := range ph.ILevels {
 		if x < lv.Frac || li == len(ph.ILevels)-1 {
-			bytes := lv.Blocks * blockBytes
-			if bytes <= 0 {
-				bytes = blockBytes
-			}
+			base := g.iBase[li]
+			bytes := g.iBytes[li]
 			if li == 0 {
 				// Hot loop code: sequential walk with RandFrac-controlled
 				// far jumps (calls/returns within the hot footprint).
+				// iCursor stays in [0, bytes): every assignment is 0, a
+				// slot index times instrBytes, or an increment followed by
+				// the wrap check below — so no modulo is needed.
 				if lv.RandFrac > 0 && g.r.float() < lv.RandFrac {
-					g.iCursor = g.r.intn(bytes/instrBytes) * instrBytes
+					g.iCursor = g.r.intn(g.iSlots[li]) * instrBytes
 				}
-				pc = base + uint64(g.iCursor%bytes)
+				pc = base + uint64(g.iCursor)
 				g.iCursor += instrBytes
 				if g.iCursor >= bytes {
 					g.iCursor = 0
 				}
 			} else {
 				// Secondary code levels (cold functions): random entry.
-				pc = base + uint64(g.r.intn(bytes/instrBytes))*instrBytes
+				pc = base + uint64(g.r.intn(g.iSlots[li]))*instrBytes
 			}
 			return pc
 		}
 		x -= lv.Frac
-		base += uint64(lv.Blocks)*blockBytes + (1 << 20)
 	}
 	g.iCursor += instrBytes
 	return g.pcBase + uint64(g.iCursor)
@@ -300,12 +363,8 @@ func (g *Generator) nextPC() uint64 {
 // depDistance samples a register-dependence distance (geometric around
 // DepMeanDist), bounded to stay inside a realistic window.
 func (g *Generator) depDistance() int32 {
-	m := g.prof.DepMeanDist
-	if m < 1 {
-		m = 1
-	}
 	d := 1
-	for g.r.float() > 1/m && d < 48 {
+	for g.r.float() > g.invDepMean && d < 48 {
 		d++
 	}
 	return int32(d)
@@ -336,14 +395,14 @@ func (g *Generator) Next(ev *Event) bool {
 	ev.Lat = 1
 
 	switch {
-	case x < p.LoadFrac:
+	case x < g.thLoad:
 		ev.Kind = KindLoad
 		ev.Addr = g.dataAddr()
-	case x < p.LoadFrac+p.StoreFrac:
+	case x < g.thStore:
 		ev.Kind = KindStore
 		ev.Addr = g.dataAddr()
 		ev.Dep2 = g.depDistance()
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+	case x < g.thBranch:
 		// ~12% of control transfers are calls and another ~12% returns,
 		// kept balanced around a bounded call depth; the rest are
 		// conditional branches.
@@ -367,7 +426,7 @@ func (g *Generator) Next(ev *Event) bool {
 				ev.Taken = g.brCounter%16 != 0
 			}
 		}
-	case x < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FloatFrac:
+	case x < g.thFloat:
 		ev.Kind = KindFloat
 		ev.Lat = 4
 		ev.Dep2 = g.depDistance()
