@@ -55,6 +55,7 @@ func BenchmarkFigureL2Resizing(b *testing.B)        { benchsuite.FigureL2Resizin
 func BenchmarkSimRun(b *testing.B)              { benchsuite.SimRun(b) }
 func BenchmarkSimRunDeepHierarchy(b *testing.B) { benchsuite.SimRunDeepHierarchy(b) }
 func BenchmarkSimInOrder(b *testing.B)          { benchsuite.SimInOrder(b) }
+func BenchmarkSweepGang(b *testing.B)           { benchsuite.SweepGang(b) }
 func BenchmarkWorkloadGenerator(b *testing.B)   { benchsuite.WorkloadGenerator(b) }
 
 // BenchmarkPlanBatchVsSequential quantifies the tentpole property of

@@ -8,6 +8,9 @@
 //	bench -short             # raw-throughput tier only (seconds)
 //	bench -out BENCH_0.json  # fixed output path (CI overwrites the head)
 //	bench -dir out           # auto-number BENCH_<n>.json under out/
+//	bench -baseline BENCH_0.json -maxregress 10
+//	                         # compare against a baseline report and exit
+//	                         # non-zero if any benchmark is >10% slower
 //
 // Each entry records ns/op, allocs/op, bytes/op, derived instrs/sec for
 // the simulator benchmarks, and every custom metric the benchmark
@@ -26,12 +29,24 @@ import (
 
 func main() {
 	var (
-		short = flag.Bool("short", false, "run only the raw-throughput tier (skip minutes-scale figure benchmarks)")
-		out   = flag.String("out", "", "output path (default: next free BENCH_<n>.json in -dir)")
-		dir   = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
-		quiet = flag.Bool("q", false, "suppress per-benchmark progress on stderr")
+		short      = flag.Bool("short", false, "run only the raw-throughput tier (skip minutes-scale figure benchmarks)")
+		out        = flag.String("out", "", "output path (default: next free BENCH_<n>.json in -dir)")
+		dir        = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
+		quiet      = flag.Bool("q", false, "suppress per-benchmark progress on stderr")
+		baseline   = flag.String("baseline", "", "baseline BENCH_<n>.json to compare against (prints per-benchmark deltas)")
+		maxregress = flag.Float64("maxregress", 10, "with -baseline: max tolerated ns/op regression in percent before exiting non-zero")
 	)
 	flag.Parse()
+
+	// Load the baseline before spending minutes on the suite.
+	var base benchsuite.Report
+	if *baseline != "" {
+		var err error
+		if base, err = benchsuite.LoadReport(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	path := *out
 	if path == "" {
@@ -68,5 +83,21 @@ func main() {
 	fmt.Println(path)
 	if failed {
 		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		fmt.Fprintf(os.Stderr, "bench: comparing against %s (max regression %.0f%%)\n",
+			*baseline, *maxregress)
+		deltas := benchsuite.Compare(base, entries)
+		for _, d := range deltas {
+			fmt.Fprintln(os.Stderr, "bench:", d)
+		}
+		if bad := benchsuite.Regressions(deltas, *maxregress); len(bad) > 0 {
+			for _, d := range bad {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION %s: %+.1f%% over baseline (limit %.0f%%)\n",
+					d.Name, d.Pct, *maxregress)
+			}
+			os.Exit(2)
+		}
 	}
 }

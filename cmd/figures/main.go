@@ -62,6 +62,7 @@ func realMain() int {
 		instr    = flag.Uint64("instr", 1_500_000, "instructions per simulation")
 		apps     = flag.String("apps", "", "comma-separated benchmark subset (default all twelve)")
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		gang     = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
 		resume   = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
 		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
@@ -105,7 +106,7 @@ func realMain() int {
 		if *progress {
 			fmt.Fprintln(os.Stderr, "figures: -progress is not supported for sensitivity experiments")
 		}
-		if err := runSens(ctx, *exp, *instr, appList, *par, *resume, *memo, *stats); err != nil {
+		if err := runSens(ctx, *exp, *instr, appList, *par, *gang, *resume, *memo, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			return 1
 		}
@@ -113,7 +114,7 @@ func realMain() int {
 	}
 
 	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{
-		Workers: *par, StorePath: *resume, MemoLimit: *memo})
+		Workers: *par, GangSize: *gang, StorePath: *resume, MemoLimit: *memo})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return 1
@@ -247,8 +248,8 @@ func sensExperiment(exp string) bool {
 }
 
 // runSens runs the extension sensitivity sweeps on the experiment layer.
-func runSens(ctx context.Context, exp string, instr uint64, apps []string, par int, resume string, memo int, stats bool) error {
-	ropts := runner.Options{Workers: par, MemoLimit: memo}
+func runSens(ctx context.Context, exp string, instr uint64, apps []string, par, gang int, resume string, memo int, stats bool) error {
+	ropts := runner.Options{Workers: par, GangSize: gang, MemoLimit: memo}
 	var store *runner.DiskStore
 	if resume != "" {
 		var err error

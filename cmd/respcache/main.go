@@ -132,6 +132,7 @@ func realMain() int {
 		l2assoc   = flag.Int("l2assoc", 0, "L2 set-associativity (0 = the hierarchy default, 4)")
 
 		stats = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
+		gang  = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -156,7 +157,11 @@ func realMain() int {
 		}
 	}()
 
-	session := resizecache.NewSession()
+	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{GangSize: *gang})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "respcache:", err)
+		return 1
+	}
 	out, err := session.SimulateContext(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)

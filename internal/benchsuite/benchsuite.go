@@ -20,6 +20,7 @@ package benchsuite
 import (
 	"context"
 	"testing"
+	"time"
 
 	"resizecache"
 	"resizecache/figures"
@@ -55,6 +56,7 @@ func All() []Bench {
 		{Name: "SimRun", Short: true, F: SimRun},
 		{Name: "SimRunDeepHierarchy", Short: true, F: SimRunDeepHierarchy},
 		{Name: "SimInOrder", Short: true, F: SimInOrder},
+		{Name: "SweepGang", Short: true, F: SweepGang},
 		{Name: "WorkloadGenerator", Short: true, F: WorkloadGenerator},
 		{Name: "Table1Hybrid", F: Table1Hybrid},
 		{Name: "Figure4Organizations", F: Figure4Organizations},
@@ -116,6 +118,55 @@ func SimInOrder(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// SweepGangConfigs returns the 8-configuration same-benchmark sweep the
+// gang benchmark measures: one benchmark's d-cache design points (four
+// capacities at two associativities), all sharing the simulation
+// front-end.
+func SweepGangConfigs() []sim.Config {
+	var cfgs []sim.Config
+	for _, assoc := range []int{2, 4} {
+		for _, kb := range []int{8, 16, 32, 64} {
+			cfg := sim.Default("gcc")
+			cfg.Instructions = 200_000
+			cfg.DCache.Geom.SizeBytes = kb << 10
+			cfg.DCache.Geom.Assoc = assoc
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// SweepGang times the 8-config sweep through one gang pass
+// (sim.RunGang) and reports gang_speedup_x: the multiplier over running
+// the same eight configs as independent sim.Runs (measured untimed each
+// invocation). This is the one-pass-sweep headline number; instrs/op
+// counts all eight members' instructions, so instrs/sec here is
+// sweep-cell throughput.
+func SweepGang(b *testing.B) {
+	cfgs := SweepGangConfigs()
+	soloStart := time.Now()
+	for _, cfg := range cfgs {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	soloNs := float64(time.Since(soloStart).Nanoseconds())
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	gangStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunGang(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gangNs := float64(time.Since(gangStart).Nanoseconds()) / float64(b.N)
+	if gangNs > 0 {
+		b.ReportMetric(soloNs/gangNs, "gang_speedup_x")
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(cfgs[0].Instructions), "instrs/op")
 }
 
 // WorkloadGenerator times event synthesis alone.

@@ -1,0 +1,91 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Delta is one benchmark's comparison against a baseline report.
+type Delta struct {
+	Name     string
+	BaseNs   float64 // baseline ns/op
+	NewNs    float64 // current ns/op
+	Pct      float64 // (NewNs-BaseNs)/BaseNs * 100; positive = slower
+	Missing  bool    // benchmark absent from the baseline
+	BaseFail bool    // baseline entry failed; delta not meaningful
+}
+
+// Regressed reports whether this delta is a regression past maxPct.
+// Missing or baseline-failed entries never regress: a freshly added
+// benchmark has no baseline to regress against.
+func (d Delta) Regressed(maxPct float64) bool {
+	return !d.Missing && !d.BaseFail && d.Pct > maxPct
+}
+
+func (d Delta) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%-24s %12.0f ns/op   (not in baseline)", d.Name, d.NewNs)
+	}
+	if d.BaseFail {
+		return fmt.Sprintf("%-24s %12.0f ns/op   (baseline failed)", d.Name, d.NewNs)
+	}
+	return fmt.Sprintf("%-24s %12.0f ns/op   baseline %12.0f   %+7.1f%%",
+		d.Name, d.NewNs, d.BaseNs, d.Pct)
+}
+
+// Compare matches current entries against a baseline report by name and
+// returns one Delta per current entry, in the current report's order.
+// Failed current entries are skipped — a benchmark that no longer runs
+// is a test failure, not a performance delta.
+func Compare(base Report, cur []Entry) []Delta {
+	byName := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e
+	}
+	var deltas []Delta
+	for _, e := range cur {
+		if e.Failed {
+			continue
+		}
+		d := Delta{Name: e.Name, NewNs: e.NsPerOp}
+		b, ok := byName[e.Name]
+		switch {
+		case !ok:
+			d.Missing = true
+		case b.Failed || b.NsPerOp <= 0:
+			d.BaseFail = true
+		default:
+			d.BaseNs = b.NsPerOp
+			d.Pct = (e.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters deltas to those past maxPct, worst first.
+func Regressions(deltas []Delta, maxPct float64) []Delta {
+	var bad []Delta
+	for _, d := range deltas {
+		if d.Regressed(maxPct) {
+			bad = append(bad, d)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].Pct > bad[j].Pct })
+	return bad
+}
+
+// LoadReport reads a BENCH_<n>.json written by WriteReport.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("benchsuite: parse %s: %w", path, err)
+	}
+	return rep, nil
+}

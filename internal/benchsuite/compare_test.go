@@ -1,0 +1,90 @@
+package benchsuite
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func baselineReport() Report {
+	return Report{
+		Schema: 1,
+		Benchmarks: []Entry{
+			{Name: "SimRun", NsPerOp: 1000},
+			{Name: "SimInOrder", NsPerOp: 2000},
+			{Name: "Broken", Failed: true},
+		},
+	}
+}
+
+func TestCompareDeltas(t *testing.T) {
+	cur := []Entry{
+		{Name: "SimRun", NsPerOp: 1100},     // +10%
+		{Name: "SimInOrder", NsPerOp: 1800}, // -10%
+		{Name: "Broken", NsPerOp: 500},      // baseline failed
+		{Name: "SweepGang", NsPerOp: 300},   // new benchmark
+		{Name: "Crashed", Failed: true},     // current failure: skipped
+	}
+	deltas := Compare(baselineReport(), cur)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %v", len(deltas), deltas)
+	}
+	if d := deltas[0]; d.Name != "SimRun" || math.Abs(d.Pct-10) > 1e-9 {
+		t.Errorf("SimRun delta = %+v, want +10%%", d)
+	}
+	if d := deltas[1]; math.Abs(d.Pct+10) > 1e-9 {
+		t.Errorf("SimInOrder delta = %+v, want -10%%", d)
+	}
+	if d := deltas[2]; !d.BaseFail {
+		t.Errorf("Broken delta = %+v, want BaseFail", d)
+	}
+	if d := deltas[3]; !d.Missing {
+		t.Errorf("SweepGang delta = %+v, want Missing", d)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	cur := []Entry{
+		{Name: "SimRun", NsPerOp: 1500},     // +50%
+		{Name: "SimInOrder", NsPerOp: 2300}, // +15%
+		{Name: "SweepGang", NsPerOp: 9999},  // missing from baseline
+	}
+	deltas := Compare(baselineReport(), cur)
+	bad := Regressions(deltas, 10)
+	if len(bad) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(bad), bad)
+	}
+	// Worst first.
+	if bad[0].Name != "SimRun" || bad[1].Name != "SimInOrder" {
+		t.Errorf("regression order = %s, %s; want SimRun, SimInOrder",
+			bad[0].Name, bad[1].Name)
+	}
+	if got := Regressions(deltas, 60); len(got) != 0 {
+		t.Errorf("threshold 60%%: got %v, want none", got)
+	}
+	// New benchmarks never count as regressions.
+	for _, d := range bad {
+		if d.Missing {
+			t.Errorf("missing-baseline entry reported as regression: %+v", d)
+		}
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0.json")
+	rep := NewReport(true, baselineReport().Benchmarks)
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != 1 || len(got.Benchmarks) != 3 || got.Benchmarks[0].Name != "SimRun" {
+		t.Errorf("round-trip report = %+v", got)
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}

@@ -1,0 +1,465 @@
+package cpu
+
+import (
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/workload"
+)
+
+// Gang execution: one workload pass drives N cache configurations in
+// lockstep. The split that makes this possible is already present in
+// the solo engines — everything that steers the instruction stream is
+// *functional* (depends only on the event sequence), while cache
+// contents and cycle arithmetic are *timing*:
+//
+//   - the direction predictor, BTB, and RAS are trained with (PC, taken)
+//     pairs only, so their state evolution is identical for every cache
+//     configuration;
+//   - fetch-group boundaries are functional too: groupLeft cycles with
+//     the width and resets on redirects, and every redirect is caused by
+//     a functional event (mispredict, taken transfer, BTB miss, RAS
+//     underflow) — the *cycle* a redirect lands on differs per member,
+//     but *that* it happens, and at which instruction, does not;
+//   - consequently every Activity counter and the branch accuracy are
+//     member-invariant, and the ROB/LSQ ring indices advance identically.
+//
+// What differs per member is exactly the timing model: fetch timestamps,
+// completion/retire rings, and the cache hierarchies those timestamps
+// are computed against. RunGang* therefore evaluates the shared
+// functional front-end once per instruction and fans the event out to N
+// private timing models, turning N×(generate+front-end+timing) into
+// generate+front-end+N×timing. Results are bit-identical to running
+// each member through the corresponding solo engine (pinned by
+// TestGangMatchesSolo and the sim golden fixtures).
+
+// GangMember is one gang member's private memory system: the L1 caches
+// its timing model issues accesses to (each backed by its own private
+// hierarchy and memory).
+type GangMember struct {
+	IC cache.Level
+	DC cache.Level
+}
+
+// ctrlAction is the shared functional outcome of one instruction's
+// control-flow handling; members apply its timing consequence to their
+// own fetch clock.
+type ctrlAction int
+
+const (
+	// ctrlNone: no control transfer, fetch continues.
+	ctrlNone ctrlAction = iota
+	// ctrlRedirect: fetch restarts at the current fetch time (correctly
+	// predicted taken transfer with a BTB/RAS hit) — a fetch-group break
+	// with no bubble.
+	ctrlRedirect
+	// ctrlRedirectBTBMiss: fetch restarts after the BTB-miss bubble.
+	ctrlRedirectBTBMiss
+	// ctrlRedirectMispredict: fetch restarts after the instruction
+	// completes plus the mispredict penalty.
+	ctrlRedirectMispredict
+)
+
+// gangFront is the shared functional front-end of a gang: one control
+// unit (predictor, BTB, RAS) and the fetch-group cursor, evolving
+// exactly as each solo engine's would.
+type gangFront struct {
+	cu        *controlUnit
+	groupLeft int
+	width     int
+}
+
+func newGangFront(bp *bpred.Stats, width int) *gangFront {
+	return &gangFront{cu: newControlUnit(bp), width: width}
+}
+
+// step consumes one instruction's functional front-end work: the
+// deferred BTB update, the fetch-group boundary decision, and the
+// control-flow outcome. It returns whether this instruction opens a new
+// fetch group and the shared control action. act receives every
+// member-invariant counter of the instruction's control handling.
+func (f *gangFront) step(ev *workload.Event, act *Activity) (newGroup bool, action ctrlAction) {
+	f.cu.observe(ev.PC)
+	if f.groupLeft == 0 {
+		f.groupLeft = f.width
+		act.FetchGroups++
+		newGroup = true
+	}
+	f.groupLeft--
+
+	switch ev.Kind {
+	case workload.KindBranch:
+		act.Branches++
+		act.BpredLookups++
+		if !f.cu.bp.PredictAndTrain(ev.PC, ev.Taken) {
+			act.Mispredicts++
+			action = ctrlRedirectMispredict
+		} else if ev.Taken {
+			action = f.lookupTarget(ev.PC, act)
+		}
+	case workload.KindCall:
+		act.RASOps++
+		f.cu.ras.Push(ev.PC + 4)
+		action = f.lookupTarget(ev.PC, act)
+	case workload.KindReturn:
+		act.RASOps++
+		if _, ok := f.cu.ras.Pop(); ok {
+			action = ctrlRedirect
+		} else {
+			act.Mispredicts++
+			action = ctrlRedirectMispredict
+		}
+	}
+	if action != ctrlNone {
+		// The redirect breaks the fetch group for the next instruction;
+		// members apply the cycle consequence themselves.
+		f.groupLeft = 0
+	}
+	return newGroup, action
+}
+
+// lookupTarget is controlUnit.lookupTarget's functional half.
+func (f *gangFront) lookupTarget(pc uint64, act *Activity) ctrlAction {
+	act.BTBLookups++
+	if _, hit := f.cu.btb.Lookup(pc); hit {
+		return ctrlRedirect
+	}
+	f.cu.pendingPC = pc
+	f.cu.hasPending = true
+	return ctrlRedirectBTBMiss
+}
+
+// results assembles the per-member Results: the shared functional
+// outcome (instructions, activity, branch accuracy) plus each member's
+// private cycle count.
+func gangResults(instr uint64, act Activity, accuracy float64, cycles []uint64) []Result {
+	out := make([]Result, len(cycles))
+	for m := range out {
+		out[m] = Result{
+			Instructions:   instr,
+			Cycles:         cycles[m],
+			Activity:       act,
+			BranchAccuracy: accuracy,
+		}
+	}
+	return out
+}
+
+// RunGangOutOfOrder drives every member's private out-of-order timing
+// model with one shared workload pass. Member m's Result is
+// bit-identical to NewOutOfOrder(cfg, members[m].IC, members[m].DC,
+// bp').Run(src', maxInstr) with a fresh predictor and source.
+func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bpred.Stats{P: bp}
+	n := len(members)
+	var (
+		act   Activity
+		instr uint64
+		ev    workload.Event
+		front = newGangFront(st, cfg.Width)
+
+		robN      = cfg.ROBEntries
+		lsqN      = cfg.LSQEntries
+		decodeLat = cfg.DecodeLatency
+		width     = cfg.Width
+
+		// Shared functional ring cursors (identical across members).
+		robIdx     int
+		lsqIdx     int
+		memopCount uint64
+
+		// Per-member timing state, struct-of-arrays: member m's ROB ring
+		// is rob[m*robN : (m+1)*robN], and the scalar clocks live in
+		// parallel slices so the member loop walks contiguous memory.
+		rob           = make([]uint64, n*robN)
+		retire        = make([]uint64, n*robN)
+		lsqRetire     = make([]uint64, n*lsqN)
+		fetchTime     = make([]uint64, n)
+		lastRetire    = make([]uint64, n)
+		retireInCycle = make([]int, n)
+	)
+
+	for instr < maxInstr && src.Next(&ev) {
+		i := instr
+		instr++
+
+		newGroup, action := front.step(&ev, &act)
+
+		// Shared functional decisions of the issue path: which operands
+		// are in the dependence window, and whether the LSQ ring clamps.
+		act.ROBInserts++
+		dep1 := ev.Dep1 > 0 && uint64(ev.Dep1) <= i && ev.Dep1 <= int32(robN)
+		dep2 := ev.Dep2 > 0 && uint64(ev.Dep2) <= i && ev.Dep2 <= int32(robN)
+		if dep1 {
+			act.RegReads++
+		}
+		if dep2 {
+			act.RegReads++
+		}
+		isStore := ev.Kind == workload.KindStore
+		isMem := isStore || ev.Kind == workload.KindLoad
+		lsqClamp := isMem && memopCount >= uint64(lsqN)
+		// execLat is the non-memory execution latency (control transfers
+		// resolve in one cycle; loads/stores go through the d-cache).
+		var execLat uint64
+		switch ev.Kind {
+		case workload.KindLoad:
+			act.LSQInserts++
+			act.Loads++
+			act.RegWrites++
+		case workload.KindStore:
+			act.LSQInserts++
+			act.Stores++
+		case workload.KindBranch:
+			execLat = uint64(ev.Lat)
+		case workload.KindCall, workload.KindReturn:
+			execLat = 1
+		case workload.KindFloat:
+			act.FloatOps++
+			act.RegWrites++
+			execLat = uint64(ev.Lat)
+		default:
+			act.IntOps++
+			act.RegWrites++
+			execLat = uint64(ev.Lat)
+		}
+
+		for m := 0; m < n; m++ {
+			ft := fetchTime[m]
+			if newGroup {
+				ft++
+				if done := members[m].IC.Access(ft, ev.PC, false); done > ft+1 {
+					ft = done
+				}
+			}
+
+			dispatch := ft + decodeLat
+			mrob := rob[m*robN : (m+1)*robN]
+			mretire := retire[m*robN : (m+1)*robN]
+			if i >= uint64(robN) {
+				if t := mretire[robIdx]; t > dispatch {
+					dispatch = t
+				}
+			}
+
+			ready := dispatch
+			if dep1 {
+				j := robIdx - int(ev.Dep1)
+				if j < 0 {
+					j += robN
+				}
+				if t := mrob[j]; t > ready {
+					ready = t
+				}
+			}
+			if dep2 {
+				j := robIdx - int(ev.Dep2)
+				if j < 0 {
+					j += robN
+				}
+				if t := mrob[j]; t > ready {
+					ready = t
+				}
+			}
+
+			var complete uint64
+			if isMem {
+				if lsqClamp {
+					if t := lsqRetire[m*lsqN+lsqIdx]; t > ready {
+						ready = t
+					}
+				}
+				done := members[m].DC.Access(ready, ev.Addr, isStore)
+				if isStore {
+					complete = ready + 1
+				} else {
+					complete = done
+				}
+			} else {
+				complete = ready + execLat
+			}
+
+			switch action {
+			case ctrlRedirectBTBMiss:
+				// fetchTime + penalty > fetchTime always.
+				ft += front.cu.btbMissPenalty
+			case ctrlRedirectMispredict:
+				if at := complete + cfg.MispredictPenalty; at > ft {
+					ft = at
+				}
+			}
+			fetchTime[m] = ft
+
+			mrob[robIdx] = complete
+
+			rt := complete
+			if rt < lastRetire[m] {
+				rt = lastRetire[m]
+			}
+			if rt == lastRetire[m] {
+				retireInCycle[m]++
+				if retireInCycle[m] >= width {
+					rt++
+					retireInCycle[m] = 0
+				}
+			} else {
+				retireInCycle[m] = 1
+			}
+			lastRetire[m] = rt
+			mretire[robIdx] = rt
+			if isMem {
+				lsqRetire[m*lsqN+lsqIdx] = rt
+			}
+		}
+
+		if robIdx++; robIdx == robN {
+			robIdx = 0
+		}
+		if isMem {
+			memopCount++
+			if lsqIdx++; lsqIdx == lsqN {
+				lsqIdx = 0
+			}
+		}
+	}
+
+	cycles := make([]uint64, n)
+	for m := range cycles {
+		cycles[m] = lastRetire[m] + 1
+	}
+	return gangResults(instr, act, st.Accuracy(), cycles), nil
+}
+
+// RunGangInOrder is RunGangOutOfOrder for the in-order/blocking-d-cache
+// timing model.
+func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bpred.Stats{P: bp}
+	n := len(members)
+	var (
+		act   Activity
+		instr uint64
+		ev    workload.Event
+		front = newGangFront(st, cfg.Width)
+
+		// Per-member timing state: member m's dependence scoreboard is
+		// completed[m*window : (m+1)*window].
+		completed    = make([]uint64, n*window)
+		fetchTime    = make([]uint64, n)
+		issueTime    = make([]uint64, n)
+		issueInCycle = make([]int, n)
+		maxComplete  = make([]uint64, n)
+	)
+
+	for instr < maxInstr && src.Next(&ev) {
+		i := instr
+		instr++
+
+		newGroup, action := front.step(&ev, &act)
+
+		dep1 := ev.Dep1 > 0 && uint64(ev.Dep1) <= i && int(ev.Dep1) <= window
+		dep2 := ev.Dep2 > 0 && uint64(ev.Dep2) <= i && int(ev.Dep2) <= window
+		if dep1 {
+			act.RegReads++
+		}
+		if dep2 {
+			act.RegReads++
+		}
+		isStore := ev.Kind == workload.KindStore
+		isMem := isStore || ev.Kind == workload.KindLoad
+		var execLat uint64
+		switch ev.Kind {
+		case workload.KindLoad:
+			act.Loads++
+			act.RegWrites++
+		case workload.KindStore:
+			act.Stores++
+		case workload.KindBranch:
+			execLat = uint64(ev.Lat)
+		case workload.KindCall, workload.KindReturn:
+			execLat = 1
+		case workload.KindFloat:
+			act.FloatOps++
+			act.RegWrites++
+			execLat = uint64(ev.Lat)
+		default:
+			act.IntOps++
+			act.RegWrites++
+			execLat = uint64(ev.Lat)
+		}
+
+		for m := 0; m < n; m++ {
+			ft := fetchTime[m]
+			if newGroup {
+				ft++
+				if done := members[m].IC.Access(ft, ev.PC, false); done > ft+1 {
+					ft = done
+				}
+			}
+
+			issue := ft + cfg.DecodeLatency
+			if issue < issueTime[m] {
+				issue = issueTime[m]
+			}
+			if issue == issueTime[m] {
+				issueInCycle[m]++
+				if issueInCycle[m] >= cfg.Width {
+					issue++
+					issueInCycle[m] = 0
+				}
+			} else {
+				issueInCycle[m] = 1
+			}
+
+			sb := completed[m*window : (m+1)*window]
+			if dep1 {
+				if t := sb[(i-uint64(ev.Dep1))%uint64(window)]; t > issue {
+					issue = t
+				}
+			}
+			if dep2 {
+				if t := sb[(i-uint64(ev.Dep2))%uint64(window)]; t > issue {
+					issue = t
+				}
+			}
+
+			var complete uint64
+			if isMem {
+				complete = members[m].DC.Access(issue, ev.Addr, isStore)
+				// Blocking d-cache: nothing issues until the access
+				// completes.
+				if complete > issue+1 {
+					issue = complete - 1
+				}
+			} else {
+				complete = issue + execLat
+			}
+
+			switch action {
+			case ctrlRedirectBTBMiss:
+				ft += front.cu.btbMissPenalty
+			case ctrlRedirectMispredict:
+				if at := complete + cfg.MispredictPenalty; at > ft {
+					ft = at
+				}
+			}
+			fetchTime[m] = ft
+
+			sb[i%uint64(window)] = complete
+			issueTime[m] = issue
+			if complete > maxComplete[m] {
+				maxComplete[m] = complete
+			}
+		}
+	}
+
+	cycles := make([]uint64, n)
+	for m := range cycles {
+		cycles[m] = maxComplete[m] + 1
+	}
+	return gangResults(instr, act, st.Accuracy(), cycles), nil
+}

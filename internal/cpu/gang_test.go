@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"testing"
+
+	"resizecache/internal/bpred"
+	"resizecache/internal/cache"
+	"resizecache/internal/geometry"
+	"resizecache/internal/workload"
+)
+
+// gangVariant is one member's private d-cache shape; the i-cache stays
+// fixed so members differ the way sweep cells do.
+type gangVariant struct {
+	dcSize  int
+	dcAssoc int
+	dcMSHR  int
+}
+
+// buildMember constructs an i/d L1 pair over a private L2+memory. Each
+// call builds an independent hierarchy, so solo and gang runs see
+// identical fresh cache state.
+func buildMember(t *testing.T, v gangVariant) (cache.Level, cache.Level) {
+	t.Helper()
+	mem := cache.NewMemory(64)
+	l2, err := cache.New(cache.Config{
+		Name: "L2", HitLatency: 12, Energy: geometry.Default18um(), DelayedPrecharge: true,
+		Geom: geometry.Geometry{SizeBytes: 512 << 10, Assoc: 4, BlockBytes: 64, SubarrayBytes: 4 << 10},
+	}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := cache.New(cache.Config{
+		Name: "L1i", HitLatency: 1, Energy: geometry.Default18um(),
+		MSHREntries: 2, WritebackEntries: 8,
+		Geom: geometry.Geometry{SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, SubarrayBytes: 1 << 10},
+	}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cache.New(cache.Config{
+		Name: "L1d", HitLatency: 1, Energy: geometry.Default18um(),
+		MSHREntries: v.dcMSHR, WritebackEntries: 8,
+		Geom: geometry.Geometry{SizeBytes: v.dcSize, Assoc: v.dcAssoc, BlockBytes: 32, SubarrayBytes: 1 << 10},
+	}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic, dc
+}
+
+func gangVariants(mshr int) []gangVariant {
+	return []gangVariant{
+		{dcSize: 8 << 10, dcAssoc: 1, dcMSHR: mshr},
+		{dcSize: 16 << 10, dcAssoc: 2, dcMSHR: mshr},
+		{dcSize: 32 << 10, dcAssoc: 2, dcMSHR: mshr},
+		{dcSize: 64 << 10, dcAssoc: 4, dcMSHR: mshr},
+	}
+}
+
+// TestGangMatchesSoloOutOfOrder: every gang member's Result is
+// bit-identical to a solo OutOfOrder run over the same config.
+func TestGangMatchesSoloOutOfOrder(t *testing.T) {
+	const instr = 30000
+	cfg := DefaultConfig()
+	variants := gangVariants(8)
+
+	solo := make([]Result, len(variants))
+	for m, v := range variants {
+		ic, dc := buildMember(t, v)
+		eng, err := NewOutOfOrder(cfg, ic, dc, bpred.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[m] = eng.Run(workload.NewGenerator(workload.MustGet("gcc")), instr)
+	}
+
+	members := make([]GangMember, len(variants))
+	for m, v := range variants {
+		ic, dc := buildMember(t, v)
+		members[m] = GangMember{IC: ic, DC: dc}
+	}
+	got, err := RunGangOutOfOrder(cfg, bpred.NewDefault(), members,
+		workload.NewGenerator(workload.MustGet("gcc")), instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range variants {
+		if got[m] != solo[m] {
+			t.Errorf("member %d: gang %+v\nsolo %+v", m, got[m], solo[m])
+		}
+	}
+}
+
+// TestGangMatchesSoloInOrder: same equivalence for the in-order engine
+// with a blocking d-cache.
+func TestGangMatchesSoloInOrder(t *testing.T) {
+	const instr = 30000
+	cfg := DefaultConfig()
+	variants := gangVariants(0)
+
+	solo := make([]Result, len(variants))
+	for m, v := range variants {
+		ic, dc := buildMember(t, v)
+		eng, err := NewInOrder(cfg, ic, dc, bpred.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[m] = eng.Run(workload.NewGenerator(workload.MustGet("vpr")), instr)
+	}
+
+	members := make([]GangMember, len(variants))
+	for m, v := range variants {
+		ic, dc := buildMember(t, v)
+		members[m] = GangMember{IC: ic, DC: dc}
+	}
+	got, err := RunGangInOrder(cfg, bpred.NewDefault(), members,
+		workload.NewGenerator(workload.MustGet("vpr")), instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range variants {
+		if got[m] != solo[m] {
+			t.Errorf("member %d: gang %+v\nsolo %+v", m, got[m], solo[m])
+		}
+	}
+}
+
+// TestGangRejectsInvalidConfig: validation errors surface rather than
+// running a desynchronized gang.
+func TestGangRejectsInvalidConfig(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Width = 0
+	if _, err := RunGangOutOfOrder(bad, bpred.NewDefault(), nil, nil, 0); err == nil {
+		t.Error("out-of-order gang accepted invalid config")
+	}
+	if _, err := RunGangInOrder(bad, bpred.NewDefault(), nil, nil, 0); err == nil {
+		t.Error("in-order gang accepted invalid config")
+	}
+}

@@ -59,7 +59,20 @@ type Options struct {
 	// RunSim overrides the simulation entry point (nil = sim.Run).
 	// Tests stub it to control timing and inject failures.
 	RunSim func(sim.Config) (sim.Result, error)
+	// GangSize bounds how many same-front-end configs one Enqueue pass
+	// coalesces into a single gang simulation (sim.RunGang). 0 means
+	// DefaultGangSize; 1 disables coalescing.
+	GangSize int
+	// RunGang overrides the gang entry point (nil = sim.RunGang, or a
+	// sequential RunSim loop when RunSim is stubbed without it).
+	RunGang func([]sim.Config) ([]sim.Result, error)
 }
+
+// DefaultGangSize is the gang bound when Options.GangSize is zero. Eight
+// members amortize the shared front-end well past the 2× mark while
+// keeping a gang's machine state compact and the pool's units of work
+// evenly sized.
+const DefaultGangSize = 8
 
 // Stats is a snapshot of a Runner's scheduling counters.
 type Stats struct {
@@ -81,6 +94,12 @@ type Stats struct {
 	// Enqueued counts configs submitted through Enqueue that were not
 	// already memoized or in flight (each got an owner goroutine).
 	Enqueued uint64
+	// Ganged counts configs simulated as members of a coalesced gang (a
+	// subset of Runs): one workload+engine pass served each batch.
+	Ganged uint64
+	// GangBatches counts the gang passes dispatched; Ganged/GangBatches
+	// is the realized average gang size.
+	GangBatches uint64
 	// EnqueueBatches counts Enqueue calls — the batched, non-blocking
 	// submission passes of plan execution.
 	EnqueueBatches uint64
@@ -104,9 +123,10 @@ type Stats struct {
 func (s Stats) Hits() uint64 { return s.MemoHits + s.StoreHits + s.InFlightDedups }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; batch: %d enqueued in %d passes, %d barriers; artifacts: %d hits, %d store hits, %d computes",
+	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; batch: %d enqueued in %d passes, %d barriers; gangs: %d ganged in %d batches; artifacts: %d hits, %d store hits, %d computes",
 		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors,
 		s.Evictions, s.Enqueued, s.EnqueueBatches, s.Barriers,
+		s.Ganged, s.GangBatches,
 		s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
 }
 
@@ -125,6 +145,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		Errors:            s.Errors - prev.Errors,
 		Evictions:         s.Evictions - prev.Evictions,
 		Enqueued:          s.Enqueued - prev.Enqueued,
+		Ganged:            s.Ganged - prev.Ganged,
+		GangBatches:       s.GangBatches - prev.GangBatches,
 		EnqueueBatches:    s.EnqueueBatches - prev.EnqueueBatches,
 		Barriers:          s.Barriers - prev.Barriers,
 		ArtifactHits:      s.ArtifactHits - prev.ArtifactHits,
@@ -151,6 +173,8 @@ type Runner struct {
 	store     Store
 	memoLimit int
 	runSim    func(sim.Config) (sim.Result, error)
+	runGang   func([]sim.Config) ([]sim.Result, error)
+	gangSize  int
 
 	mu      sync.Mutex
 	entries map[sim.Key]*entry
@@ -162,6 +186,7 @@ type Runner struct {
 	submitted, memoHits, storeHits, dedups, runs, errs atomic.Uint64
 	evictions, artHits, artStoreHits, artComputes      atomic.Uint64
 	enqueued, enqueueBatches, barriers                 atomic.Uint64
+	ganged, gangBatches                                atomic.Uint64
 }
 
 // New constructs a Runner.
@@ -174,11 +199,41 @@ func New(opts Options) *Runner {
 	if run == nil {
 		run = sim.Run
 	}
+	runGang := opts.RunGang
+	if runGang == nil {
+		if opts.RunSim != nil {
+			// A stubbed RunSim without a matching gang stub must keep
+			// observing every config, so gangs degrade to a sequential loop
+			// over the stub.
+			runGang = func(cfgs []sim.Config) ([]sim.Result, error) {
+				out := make([]sim.Result, len(cfgs))
+				for i, cfg := range cfgs {
+					res, err := run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = res
+				}
+				return out, nil
+			}
+		} else {
+			runGang = sim.RunGang
+		}
+	}
+	gangSize := opts.GangSize
+	if gangSize == 0 {
+		gangSize = DefaultGangSize
+	}
+	if gangSize < 1 {
+		gangSize = 1
+	}
 	return &Runner{
 		sem:       make(chan struct{}, workers),
 		store:     opts.Store,
 		memoLimit: opts.MemoLimit,
 		runSim:    run,
+		runGang:   runGang,
+		gangSize:  gangSize,
 		entries:   make(map[sim.Key]*entry),
 		lru:       list.New(),
 		artifacts: make(map[sim.Key]*artifactEntry),
@@ -208,6 +263,8 @@ func (r *Runner) Stats() Stats {
 		Errors:            r.errs.Load(),
 		Evictions:         r.evictions.Load(),
 		Enqueued:          r.enqueued.Load(),
+		Ganged:            r.ganged.Load(),
+		GangBatches:       r.gangBatches.Load(),
 		EnqueueBatches:    r.enqueueBatches.Load(),
 		Barriers:          r.barriers.Load(),
 		ArtifactHits:      r.artHits.Load(),
@@ -338,13 +395,19 @@ func (r *Runner) execute(ctx context.Context, key sim.Key, e *entry, cfg sim.Con
 // abandoning a batch — a plan whose gathers errored early, leaving
 // enqueued stragglers mid-simulation — must cancel ctx and wait before
 // flushing, or completed results can land after the flush and be lost.
+// Enqueue additionally coalesces the batch's memo-miss configs into
+// gangs: configs sharing a front-end fingerprint (sim.Config.FrontKey —
+// same benchmark, budget, engine, pipeline) run through one gang
+// simulation of up to GangSize members instead of GangSize independent
+// passes. Coalescing is invisible to waiters — outcomes publish to the
+// same entries — and is accounted by the Ganged/GangBatches counters.
 func (r *Runner) Enqueue(ctx context.Context, cfgs []sim.Config) (int, func()) {
 	if len(cfgs) == 0 || ctx.Err() != nil {
 		return 0, func() {}
 	}
 	r.enqueueBatches.Add(1)
 	var wg sync.WaitGroup
-	n := 0
+	var fresh []gangItem
 	for i := range cfgs {
 		key := cfgs[i].Key()
 		r.mu.Lock()
@@ -355,15 +418,128 @@ func (r *Runner) Enqueue(ctx context.Context, cfgs []sim.Config) (int, func()) {
 		e := &entry{done: make(chan struct{})}
 		r.entries[key] = e
 		r.mu.Unlock()
-		n++
-		wg.Add(1)
-		go func(i int, key sim.Key, e *entry) {
-			defer wg.Done()
-			r.execute(ctx, key, e, cfgs[i])
-		}(i, key, e)
+		fresh = append(fresh, gangItem{cfg: cfgs[i], key: key, e: e})
 	}
-	r.enqueued.Add(uint64(n))
-	return n, wg.Wait
+	r.enqueued.Add(uint64(len(fresh)))
+
+	solo := func(it gangItem) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.execute(ctx, it.key, it.e, it.cfg)
+		}()
+	}
+
+	if r.gangSize <= 1 {
+		for _, it := range fresh {
+			solo(it)
+		}
+		return len(fresh), wg.Wait
+	}
+
+	// Group the fresh entries by shared front-end; each same-front group
+	// dispatches as gangs of up to gangSize, stragglers solo.
+	groups := make(map[sim.Key][]gangItem)
+	var order []sim.Key
+	for _, it := range fresh {
+		fk := it.cfg.FrontKey()
+		if _, ok := groups[fk]; !ok {
+			order = append(order, fk)
+		}
+		groups[fk] = append(groups[fk], it)
+	}
+	for _, fk := range order {
+		g := groups[fk]
+		for len(g) >= 2 {
+			n := r.gangSize
+			if n > len(g) {
+				n = len(g)
+			}
+			batch := g[:n]
+			g = g[n:]
+			wg.Add(1)
+			go func(batch []gangItem) {
+				defer wg.Done()
+				r.executeGang(ctx, batch)
+			}(batch)
+		}
+		for _, it := range g {
+			solo(it)
+		}
+	}
+	return len(fresh), wg.Wait
+}
+
+// gangItem is one fresh Enqueue registration awaiting execution.
+type gangItem struct {
+	cfg sim.Config
+	key sim.Key
+	e   *entry
+}
+
+// executeGang owns a batch of same-front entries: members found in the
+// persistent store resolve individually, and the rest run as one gang
+// pass under a single worker slot. A gang-level error falls back to solo
+// execution per member, so error outcomes and attribution are identical
+// to the solo path.
+func (r *Runner) executeGang(ctx context.Context, batch []gangItem) {
+	live := batch[:0]
+	for _, it := range batch {
+		if r.store != nil {
+			if sr, ok := r.store.Lookup(it.key); ok {
+				r.storeHits.Add(1)
+				var err error
+				if sr.Err != "" {
+					err = &StoredError{Msg: sr.Err}
+					r.errs.Add(1)
+				}
+				r.complete(it.key, it.e, sr.Result, err)
+				continue
+			}
+		}
+		live = append(live, it)
+	}
+	switch len(live) {
+	case 0:
+		return
+	case 1:
+		r.execute(ctx, live[0].key, live[0].e, live[0].cfg)
+		return
+	}
+
+	gangCfgs := make([]sim.Config, len(live))
+	for i, it := range live {
+		gangCfgs[i] = it.cfg
+	}
+
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		for _, it := range live {
+			r.complete(it.key, it.e, sim.Result{}, ctx.Err())
+		}
+		return
+	}
+	results, err := r.runGang(gangCfgs)
+	<-r.sem
+
+	if err != nil {
+		// The gang entry point rejects the whole batch on any member's
+		// error; re-run solo so each member gets its own outcome.
+		for _, it := range live {
+			r.execute(ctx, it.key, it.e, it.cfg)
+		}
+		return
+	}
+	r.gangBatches.Add(1)
+	for i, it := range live {
+		r.runs.Add(1)
+		r.ganged.Add(1)
+		if r.store != nil {
+			r.store.Record(it.key, StoredResult{Result: results[i]})
+		}
+		r.complete(it.key, it.e, results[i], nil)
+	}
 }
 
 // complete publishes an entry's outcome. Cancellation outcomes are

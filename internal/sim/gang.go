@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"resizecache/internal/bpred"
+	"resizecache/internal/cpu"
+	"resizecache/internal/workload"
+)
+
+// gangChunk bounds how many machines one engine pass drives. Chunking
+// keeps a huge gang's per-instruction member loop within a working set
+// the data caches like; the chunks share one generated stream through a
+// workload.Tee, so generation still happens once per gang. Sequential
+// chunks make the tee buffer the full stream for the later chunks —
+// memory proportional to the instruction budget — which is the right
+// trade only past a healthy chunk size; runner-built gangs stay at or
+// below the configured gang size (default 8) and never chunk.
+const gangChunk = 32
+
+// RunGang executes N simulations in one workload+engine pass. All
+// configs must share a simulation front-end — equal FrontKeys: same
+// benchmark, instruction budget, engine kind, and pipeline shape —
+// because the gang evaluates the shared functional stream once and fans
+// each event out to every member's private memory system. Cache
+// geometries, resizing organizations and policies, hierarchy depth,
+// MSHRs, and energy models may all differ per member.
+//
+// Each member's Result is bit-identical to Run on the same config
+// (TestGangMatchesGolden pins this against the golden fixtures); a gang
+// of one degenerates to exactly Run.
+func RunGang(cfgs []Config) ([]Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	prof, err := validated(cfgs[0])
+	if err != nil {
+		return nil, err
+	}
+	front := cfgs[0].FrontKey()
+	for i, cfg := range cfgs[1:] {
+		if _, err := validated(cfg); err != nil {
+			return nil, err
+		}
+		if cfg.FrontKey() != front {
+			return nil, fmt.Errorf(
+				"sim: gang member %d front-end mismatch: %s/%d instr/%s/%+v vs member 0 %s/%d instr/%s/%+v",
+				i+1, cfg.Benchmark, cfg.Instructions, cfg.Engine, cfg.CPU,
+				cfgs[0].Benchmark, cfgs[0].Instructions, cfgs[0].Engine, cfgs[0].CPU)
+		}
+	}
+
+	machines := make([]*machine, len(cfgs))
+	members := make([]cpu.GangMember, len(cfgs))
+	for i, cfg := range cfgs {
+		m, err := buildMachine(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: gang member %d: %w", i, err)
+		}
+		machines[i] = m
+		members[i] = cpu.GangMember{IC: m.ic.level, DC: m.dc.level}
+	}
+
+	out := make([]Result, len(cfgs))
+	run := func(members []cpu.GangMember, src workload.Source) ([]cpu.Result, error) {
+		if cfgs[0].Engine == InOrder {
+			return cpu.RunGangInOrder(cfgs[0].CPU, bpred.NewDefault(), members, src, cfgs[0].Instructions)
+		}
+		return cpu.RunGangOutOfOrder(cfgs[0].CPU, bpred.NewDefault(), members, src, cfgs[0].Instructions)
+	}
+
+	if len(cfgs) <= gangChunk {
+		results, err := run(members, workload.NewGenerator(prof))
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = machines[i].finish(cfgs[i], results[i])
+		}
+		return out, nil
+	}
+
+	// Oversized gang: one generated stream feeds every chunk through a
+	// tee. Each chunk's engine rebuilds the functional front-end state
+	// (predictor, BTB, RAS) from the identical stream, so results stay
+	// bit-identical to the unchunked pass.
+	chunks := (len(cfgs) + gangChunk - 1) / gangChunk
+	tee := workload.NewTee(workload.NewGenerator(prof), chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * gangChunk
+		hi := lo + gangChunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		results, err := run(members[lo:hi], tee.Source(c))
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			out[lo+i] = machines[lo+i].finish(cfgs[lo+i], r)
+		}
+	}
+	return out, nil
+}

@@ -143,6 +143,27 @@ func (c Config) Key() Key {
 	return k
 }
 
+// FrontKey fingerprints the config's shared simulation front-end: the
+// projection of the config that determines workload generation and the
+// engine's functional stepping (benchmark, instruction budget, engine
+// kind, and the full pipeline shape). Two configs with equal FrontKeys
+// drive bit-identical functional streams and may therefore run as one
+// gang (RunGang); everything outside the projection — cache geometries,
+// resizing organizations and policies, hierarchy depth, MSHRs, energy
+// models — is per-member state a gang evaluates independently.
+func (c Config) FrontKey() Key {
+	return NewKeyBuilder("sim.front").
+		Str(c.Benchmark).
+		U64(c.Instructions).
+		U64(uint64(c.Engine)).
+		Int(c.CPU.Width).
+		Int(c.CPU.ROBEntries).
+		Int(c.CPU.LSQEntries).
+		U64(c.CPU.DecodeLatency).
+		U64(c.CPU.MispredictPenalty).
+		Sum()
+}
+
 // KeyBuilder accumulates explicitly ordered fields into a
 // content-addressed fingerprint with the same encoding rules as
 // Config.Key (fixed-width integers, length-prefixed strings, the shared

@@ -336,19 +336,35 @@ func buildHierarchy(specs []LevelSpec, em geometry.EnergyModel, mem cache.Level)
 	return built, next, nil
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (Result, error) {
+// validated resolves the config's workload profile and rejects
+// structurally invalid configs. Shared by Run and RunGang so both entry
+// points fail identically.
+func validated(cfg Config) (*workload.Profile, error) {
 	prof, err := workload.Get(cfg.Benchmark)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if cfg.Instructions == 0 {
-		return Result{}, fmt.Errorf("sim: zero instruction budget")
+		return nil, fmt.Errorf("sim: zero instruction budget")
 	}
 	if len(cfg.Levels) > 0 && cfg.L2Geom != (geometry.Geometry{}) {
-		return Result{}, fmt.Errorf("sim: both Levels and the deprecated L2Geom set; use Levels only")
+		return nil, fmt.Errorf("sim: both Levels and the deprecated L2Geom set; use Levels only")
 	}
+	return prof, nil
+}
 
+// machine is one config's built memory system — the split L1s, the
+// shared hierarchy, and the memories behind them. Run drives one
+// machine with a solo engine; RunGang builds N machines and drives them
+// all from one engine pass.
+type machine struct {
+	dc, ic builtLevel
+	shared []builtLevel
+	mems   []*cache.Memory
+}
+
+// buildMachine constructs the config's memory system.
+func buildMachine(cfg Config) (*machine, error) {
 	levels := cfg.Hierarchy()
 	// Memory transfers its client's block: the innermost shared level's
 	// when the hierarchy has one, otherwise one memory per L1 (the two
@@ -367,7 +383,7 @@ func Run(cfg Config) (Result, error) {
 		var l1Next cache.Level
 		shared, l1Next, err = buildHierarchy(levels, cfg.Energy, newMem(levels[n-1].Geom.BlockBytes))
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		dNext, iNext = l1Next, l1Next
 	} else {
@@ -414,44 +430,37 @@ func Run(cfg Config) (Result, error) {
 	}
 	dc, err := buildL1(cfg.DCache, "L1d", dMSHR, cfg.WritebackEntries, dNext)
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: d-cache: %w", err)
+		return nil, fmt.Errorf("sim: d-cache: %w", err)
 	}
 	ic, err := buildL1(cfg.ICache, "L1i", 2, 0, iNext)
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: i-cache: %w", err)
+		return nil, fmt.Errorf("sim: i-cache: %w", err)
 	}
+	return &machine{dc: dc, ic: ic, shared: shared, mems: mems}, nil
+}
 
-	var engine cpu.Engine
-	if cfg.Engine == InOrder {
-		engine, err = cpu.NewInOrder(cfg.CPU, ic.level, dc.level, bpred.NewDefault())
-	} else {
-		engine, err = cpu.NewOutOfOrder(cfg.CPU, ic.level, dc.level, bpred.NewDefault())
-	}
-	if err != nil {
-		return Result{}, err
-	}
-
-	res := engine.Run(workload.NewGenerator(prof), cfg.Instructions)
-
-	dc.level.Finalize(res.Cycles)
-	ic.level.Finalize(res.Cycles)
+// finish finalizes the machine's levels at the run's end time and
+// assembles the complete Result from the engine's timing outcome.
+func (m *machine) finish(cfg Config, res cpu.Result) Result {
+	m.dc.level.Finalize(res.Cycles)
+	m.ic.level.Finalize(res.Cycles)
 	var sharedPJ float64
-	levelReports := make([]LevelReport, len(shared))
-	for i, b := range shared {
+	levelReports := make([]LevelReport, len(m.shared))
+	for i, b := range m.shared {
 		b.level.Finalize(res.Cycles)
 		levelReports[i] = b.report()
 		sharedPJ += b.c.EnergyPJ()
 	}
 	var memPJ float64
-	for _, m := range mems {
-		m.Finalize(res.Cycles)
-		memPJ += m.EnergyPJ()
+	for _, mem := range m.mems {
+		mem.Finalize(res.Cycles)
+		memPJ += mem.EnergyPJ()
 	}
 
 	bd := energy.Breakdown{
 		CorePJ: cfg.Core.CorePJ(res.Activity, res.Instructions, res.Cycles),
-		L1IPJ:  ic.c.EnergyPJ(),
-		L1DPJ:  dc.c.EnergyPJ(),
+		L1IPJ:  m.ic.c.EnergyPJ(),
+		L1DPJ:  m.dc.c.EnergyPJ(),
 		L2PJ:   sharedPJ, // every shared level below the L1s
 		MemPJ:  memPJ,
 	}
@@ -460,8 +469,33 @@ func Run(cfg Config) (Result, error) {
 		CPU:    res,
 		Energy: bd,
 		EDP:    stats.EDP{EnergyJ: bd.TotalJ(), Cycles: res.Cycles},
-		DCache: dc.report().CacheReport,
-		ICache: ic.report().CacheReport,
+		DCache: m.dc.report().CacheReport,
+		ICache: m.ic.report().CacheReport,
 		Levels: levelReports,
-	}, nil
+	}
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	prof, err := validated(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := buildMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var engine cpu.Engine
+	if cfg.Engine == InOrder {
+		engine, err = cpu.NewInOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
+	} else {
+		engine, err = cpu.NewOutOfOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := engine.Run(workload.NewGenerator(prof), cfg.Instructions)
+	return m.finish(cfg, res), nil
 }

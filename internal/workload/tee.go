@@ -1,0 +1,106 @@
+package workload
+
+// Tee replicates one event stream to several consumers without
+// re-generating it: the underlying Source is pulled exactly once per
+// event, and every consumer observes the identical sequence. This is
+// the workload half of one-pass multi-config simulation — a sweep's
+// cells share their benchmark's instruction stream, so the generator
+// (or a trace decode) should run once per gang, not once per cell.
+//
+// Events live in a power-of-two ring buffer between the fastest and the
+// slowest consumer; the ring grows (doubling) only when the consumer lag
+// exceeds its capacity, so lockstep consumers — the gang engine's
+// regime — stay within the initial allocation and the steady state is
+// allocation-free. Consumers that run to completion one after another
+// instead force the ring to hold the whole stream; that works, but
+// costs memory proportional to the stream length.
+//
+// A Tee and its consumer Sources are not safe for concurrent use.
+type Tee struct {
+	src Source
+	buf []Event
+	// mask is len(buf)-1; buf[seq&mask] holds the event with sequence
+	// number seq while it is still live.
+	mask      uint64
+	produced  uint64 // events pulled from src so far
+	exhausted bool
+	pos       []uint64 // per-consumer next sequence number
+}
+
+// teeInitialCap is the starting ring capacity (power of two). Lockstep
+// consumers never lag by more than one event, so the default never
+// regrows in the gang engine's use.
+const teeInitialCap = 64
+
+// NewTee builds a tee over src with n consumers.
+func NewTee(src Source, n int) *Tee {
+	if n < 1 {
+		n = 1
+	}
+	return &Tee{
+		src:  src,
+		buf:  make([]Event, teeInitialCap),
+		mask: teeInitialCap - 1,
+		pos:  make([]uint64, n),
+	}
+}
+
+// Consumers returns the number of consumer views.
+func (t *Tee) Consumers() int { return len(t.pos) }
+
+// Source returns consumer i's view of the stream. Each view implements
+// workload.Source and yields exactly the events of the underlying
+// source, in order, independent of how the other views interleave.
+func (t *Tee) Source(i int) Source { return &teeView{t: t, i: i} }
+
+// teeView is one consumer's cursor into the tee.
+type teeView struct {
+	t *Tee
+	i int
+}
+
+// Next implements Source.
+func (v *teeView) Next(ev *Event) bool { return v.t.next(v.i, ev) }
+
+func (t *Tee) next(i int, ev *Event) bool {
+	p := t.pos[i]
+	if p == t.produced {
+		if t.exhausted {
+			return false
+		}
+		if t.produced-t.slowest() == uint64(len(t.buf)) {
+			t.grow()
+		}
+		if !t.src.Next(&t.buf[t.produced&t.mask]) {
+			t.exhausted = true
+			return false
+		}
+		t.produced++
+	}
+	*ev = t.buf[p&t.mask]
+	t.pos[i] = p + 1
+	return true
+}
+
+// slowest returns the smallest consumer cursor: events before it can be
+// overwritten.
+func (t *Tee) slowest() uint64 {
+	min := t.pos[0]
+	for _, p := range t.pos[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// grow doubles the ring, re-placing the live window [slowest, produced)
+// at its new masked positions.
+func (t *Tee) grow() {
+	nbuf := make([]Event, 2*len(t.buf))
+	nmask := uint64(len(nbuf) - 1)
+	for seq := t.slowest(); seq < t.produced; seq++ {
+		nbuf[seq&nmask] = t.buf[seq&t.mask]
+	}
+	t.buf, t.mask = nbuf, nmask
+}

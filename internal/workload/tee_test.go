@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+)
+
+// collect drains up to n events from a source.
+func collect(src Source, n int) []Event {
+	var out []Event
+	var ev Event
+	for len(out) < n && src.Next(&ev) {
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestTeeConsumersSeeIdenticalStream: every consumer view yields exactly
+// the stream a fresh generator produces, regardless of interleaving.
+func TestTeeConsumersSeeIdenticalStream(t *testing.T) {
+	const n = 2000
+	want := collect(NewGenerator(MustGet("gcc")), n)
+
+	interleavings := map[string]func(views []Source) [][]Event{
+		// Lockstep round-robin: the gang engine's regime.
+		"lockstep": func(views []Source) [][]Event {
+			out := make([][]Event, len(views))
+			var ev Event
+			for i := 0; i < n; i++ {
+				for c, v := range views {
+					if !v.Next(&ev) {
+						t.Fatalf("consumer %d exhausted at %d", c, i)
+					}
+					out[c] = append(out[c], ev)
+				}
+			}
+			return out
+		},
+		// One consumer races ahead in bursts, forcing ring growth.
+		"bursty": func(views []Source) [][]Event {
+			out := make([][]Event, len(views))
+			var ev Event
+			for len(out[0]) < n {
+				burst := 257
+				if n-len(out[0]) < burst {
+					burst = n - len(out[0])
+				}
+				for i := 0; i < burst; i++ {
+					views[0].Next(&ev)
+					out[0] = append(out[0], ev)
+				}
+				for c := 1; c < len(views); c++ {
+					for len(out[c]) < len(out[0]) {
+						views[c].Next(&ev)
+						out[c] = append(out[c], ev)
+					}
+				}
+			}
+			return out
+		},
+		// Fully sequential: consumer 0 drains first, then the others
+		// replay from the buffered window.
+		"sequential": func(views []Source) [][]Event {
+			out := make([][]Event, len(views))
+			for c, v := range views {
+				out[c] = collect(v, n)
+			}
+			return out
+		},
+	}
+
+	for name, run := range interleavings {
+		tee := NewTee(NewGenerator(MustGet("gcc")), 3)
+		views := []Source{tee.Source(0), tee.Source(1), tee.Source(2)}
+		got := run(views)
+		for c := range got {
+			if len(got[c]) != n {
+				t.Fatalf("%s: consumer %d saw %d events, want %d", name, c, len(got[c]), n)
+			}
+			for i := range got[c] {
+				if got[c][i] != want[i] {
+					t.Fatalf("%s: consumer %d event %d = %+v, want %+v", name, c, i, got[c][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTeeExhaustion: a finite source ends every consumer at the same
+// event count, and a consumer that hits the end keeps reporting false.
+func TestTeeExhaustion(t *testing.T) {
+	const limit = 500
+	tee := NewTee(&boundedSource{inner: NewGenerator(MustGet("vpr")), left: limit}, 2)
+	a := collect(tee.Source(0), limit+100)
+	b := collect(tee.Source(1), limit+100)
+	if len(a) != limit || len(b) != limit {
+		t.Fatalf("consumers saw %d/%d events, want %d each", len(a), len(b), limit)
+	}
+	var ev Event
+	if tee.Source(0).Next(&ev) {
+		t.Error("exhausted consumer yielded another event")
+	}
+}
+
+// boundedSource truncates a source after left events.
+type boundedSource struct {
+	inner Source
+	left  int
+}
+
+func (s *boundedSource) Next(ev *Event) bool {
+	if s.left == 0 {
+		return false
+	}
+	s.left--
+	return s.inner.Next(ev)
+}
+
+// TestTeeLockstepDoesNotAllocate: the gang regime must stay within the
+// initial ring — zero allocations once constructed.
+func TestTeeLockstepDoesNotAllocate(t *testing.T) {
+	tee := NewTee(NewGenerator(MustGet("gcc")), 4)
+	views := make([]Source, 4)
+	for i := range views {
+		views[i] = tee.Source(i)
+	}
+	var ev Event
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			for _, v := range views {
+				v.Next(&ev)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("lockstep tee allocated %.1f per run, want 0", allocs)
+	}
+}

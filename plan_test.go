@@ -524,3 +524,42 @@ func TestGridSkipsL1OrgContradictions(t *testing.T) {
 		t.Error("all-contradiction grid accepted")
 	}
 }
+
+// TestGridPlanUsesGangs: the acceptance check for one-pass sweeps — an
+// unchanged Grid plan transparently coalesces its same-benchmark
+// profiling simulations into gangs, visible only through the Ganged
+// counters (the facade API is untouched).
+func TestGridPlanUsesGangs(t *testing.T) {
+	plan, err := Grid{
+		Benchmarks:    []string{"m88ksim"},
+		Organizations: []Organization{SelectiveSets, SelectiveWays},
+		Sides:         []Sides{DOnly},
+		Instructions:  60_000,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	if _, err := Collect(s.Run(context.Background(), plan)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ganged == 0 || st.GangBatches == 0 {
+		t.Errorf("grid plan did not gang: %+v", st)
+	}
+	if st.Ganged > st.Runs {
+		t.Errorf("ganged %d exceeds runs %d", st.Ganged, st.Runs)
+	}
+
+	// GangSize 1 opts a session out; the same plan then runs solo only.
+	off, err := NewSessionWith(SessionOptions{GangSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(off.Run(context.Background(), plan)); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.Stats(); st.Ganged != 0 {
+		t.Errorf("GangSize=1 session still ganged: %+v", st)
+	}
+}

@@ -606,11 +606,16 @@ type SessionOptions struct {
 	// MemoLimit bounds the in-memory memo table, evicting the least
 	// recently used results beyond it (0 = unbounded).
 	MemoLimit int
+	// GangSize bounds how many same-front-end configurations a plan's
+	// batch-enqueue pass coalesces into one gang simulation (0 =
+	// runner.DefaultGangSize, currently 8; 1 disables coalescing).
+	GangSize int
 }
 
 // NewSessionWith returns a Session configured by opts.
 func NewSessionWith(opts SessionOptions) (*Session, error) {
-	ropts := runner.Options{Workers: opts.Workers, MemoLimit: opts.MemoLimit}
+	ropts := runner.Options{Workers: opts.Workers, MemoLimit: opts.MemoLimit,
+		GangSize: opts.GangSize}
 	var store *runner.DiskStore
 	if opts.StorePath != "" {
 		var err error
