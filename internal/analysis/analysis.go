@@ -1,0 +1,147 @@
+// Package analysis is a self-contained static-analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast + go/types (the environment this repo builds in has
+// no module proxy, so x/tools itself is unavailable). It exists to host
+// the repo-specific analyzers under internal/analysis/... — keycomplete,
+// hotalloc, determinism, ctxflow — which prove at build time the three
+// invariants the paper's claims rest on: every sim.Config field reaches
+// the Key() fingerprint, annotated hot paths stay allocation-free, and
+// simulation output is independent of map order and wall-clock state.
+//
+// The driver is cmd/simlint; tests use the sibling analysistest package
+// with `// want "regexp"` fixtures, mirroring the upstream idiom.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one check. Run inspects a Pass and reports
+// findings through pass.Report*; a non-nil error aborts the driver (it
+// means the analyzer itself failed, not that the code has findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	// Dep resolves another module-local package by import path, letting
+	// analyzers follow static calls across package boundaries (hotalloc
+	// proves hot paths transitively through the whole module). May be
+	// nil — e.g. under the fixture test harness — in which case
+	// cross-package reasoning degrades gracefully per analyzer.
+	Dep func(path string) (*Package, error)
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes one analyzer over one package and returns its findings
+// sorted by position. An optional dep resolver enables cross-package
+// reasoning (see Pass.Dep).
+func Run(a *Analyzer, pkg *Package, dep ...func(path string) (*Package, error)) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Pkg: pkg}
+	if len(dep) > 0 {
+		pass.Dep = dep[0]
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+	}
+	ds := pass.diagnostics
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos.Filename != ds[j].Pos.Filename {
+			return ds[i].Pos.Filename < ds[j].Pos.Filename
+		}
+		if ds[i].Pos.Line != ds[j].Pos.Line {
+			return ds[i].Pos.Line < ds[j].Pos.Line
+		}
+		return ds[i].Pos.Column < ds[j].Pos.Column
+	})
+	return ds, nil
+}
+
+// Directive is one `//simlint:<verb>` comment. Directives attach to
+// declarations (in their doc comment) or to statements (an end-of-line
+// or immediately preceding comment), and carry an optional free-text
+// justification after the verb.
+const directivePrefix = "//simlint:"
+
+// FuncDirective reports whether fn's doc comment carries the given
+// simlint directive verb (e.g. "hotpath", "coldpath").
+func FuncDirective(fn *ast.FuncDecl, verb string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if directiveVerb(c.Text) == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveVerb extracts the verb of a simlint directive comment, or "".
+func directiveVerb(text string) string {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// LineDirectives collects, per file line, the simlint directive verbs
+// attached to that line: a directive comment suppresses findings on its
+// own line and on the line directly below, covering both the
+// end-of-line form and the comment-above-the-statement form.
+func LineDirectives(pkg *Package, file *ast.File) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	add := func(line int, verb string) {
+		if out[line] == nil {
+			out[line] = make(map[string]bool)
+		}
+		out[line][verb] = true
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			verb := directiveVerb(c.Text)
+			if verb == "" {
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			add(line, verb)
+			add(line+1, verb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` expectations, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which this
+// environment cannot fetch). Fixtures live under
+// <testdata>/src/<pkgname>/ and may import the standard library and
+// module-local packages; each `// want` comment on a line asserts one
+// diagnostic whose message matches the quoted regexp, and every
+// diagnostic must be matched by exactly one want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"resizecache/internal/analysis"
+)
+
+// wantRe matches `// want "..."` with one or more space-separated
+// quoted regexps (several diagnostics may land on one line).
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> relative to dir, applies the analyzer,
+// and reports mismatches through t. It returns the diagnostics for any
+// further assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: loader: %v", err)
+	}
+	fixdir := filepath.Join(dir, "testdata", "src", pkg)
+	p, err := l.LoadDir(fixdir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", fixdir, err)
+	}
+	for _, e := range p.TypeErrors {
+		t.Errorf("analysistest: fixture type error: %v", e)
+	}
+	diags, err := analysis.Run(a, p)
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range p.Files {
+		wants = append(wants, collectWants(t, p, f)...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}
+
+func collectWants(t *testing.T, p *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				if !strings.HasPrefix(rest, `"`) {
+					t.Fatalf("%s:%d: malformed want clause %q", pos.Filename, pos.Line, rest)
+				}
+				q, tail, err := cutQuoted(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+				}
+				out = append(out, &expectation{
+					file: filepath.Base(pos.Filename),
+					line: pos.Line,
+					re:   re,
+					raw:  q,
+				})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return out
+}
+
+// cutQuoted splits a leading Go-quoted string off rest.
+func cutQuoted(rest string) (string, string, error) {
+	for i := 1; i < len(rest); i++ {
+		if rest[i] == '\\' {
+			i++
+			continue
+		}
+		if rest[i] == '"' {
+			q, err := strconv.Unquote(rest[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad quoted want %q: %w", rest[:i+1], err)
+			}
+			return q, rest[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want string in %q", rest)
+}

@@ -1,0 +1,199 @@
+// Package ctxflow enforces runner-layer hygiene around batch
+// scheduling and cancellation:
+//
+//  1. The wait function returned by Enqueue-style batch calls
+//     (Runner.Enqueue, experiment.EnqueueSweeps — any call whose result
+//     tuple ends in func()) must be consumed, not discarded. Dropping
+//     it leaks in-flight simulations past store flushes: the documented
+//     contract is "cancel ctx, then wait, before flushing", and a
+//     blank-assigned wait function makes that impossible.
+//
+//  2. A function that accepts a context.Context must actually thread
+//     it: calling context.Background()/context.TODO() inside such a
+//     function severs the caller's cancellation chain, and a context
+//     parameter that is never used at all means the entry point
+//     advertises cancellability it does not deliver.
+//
+// Suppress an individual finding with `//simlint:allow <why>` on (or
+// directly above) its line.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resizecache/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "Enqueue wait funcs must be consumed, and context.Context must thread through every sweep entry point",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Files {
+		directives := analysis.LineDirectives(pass.Pkg, file)
+		suppressed := func(n ast.Node) bool {
+			return directives[pass.Pkg.Fset.Position(n.Pos()).Line]["allow"]
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxParam(pass, fd, suppressed)
+			checkBody(pass, fd, info, suppressed)
+		}
+	}
+	return nil
+}
+
+// checkCtxParam flags context parameters that are declared but never
+// used (blank-named parameters are an explicit choice and exempt).
+func checkCtxParam(pass *analysis.Pass, fd *ast.FuncDecl, suppressed func(ast.Node) bool) {
+	info := pass.Pkg.TypesInfo
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if !used && !suppressed(name) {
+				pass.Reportf(name.Pos(),
+					"context parameter %q is never used: thread it through the sweep (or name it _ if this entry point is genuinely uncancellable)",
+					name.Name)
+			}
+		}
+	}
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, info *types.Info, suppressed func(ast.Node) bool) {
+	hasCtx := false
+	for _, field := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) && len(field.Names) > 0 {
+			for _, n := range field.Names {
+				if n.Name != "_" {
+					hasCtx = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested closure defines its own scope; keep walking — a
+			// Background() call inside it still severs the chain when
+			// the enclosing function has a ctx.
+			return true
+		case *ast.CallExpr:
+			if hasCtx && isBackgroundOrTODO(info, n) && !suppressed(n) {
+				pass.Reportf(n.Pos(),
+					"context.%s inside a function that already receives a context severs the caller's cancellation chain: pass the parameter through",
+					calleeName(n))
+			}
+		case *ast.AssignStmt:
+			checkEnqueueAssign(pass, n, info, suppressed)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if i := waitResultIndex(info, call); i >= 0 && !suppressed(n) {
+					pass.Reportf(n.Pos(),
+						"%s's returned wait function is discarded: the batch contract is cancel, wait, then flush — consume it",
+						calleeName(call))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkEnqueueAssign flags `n, _ := r.Enqueue(...)` — a blank-assigned
+// wait function.
+func checkEnqueueAssign(pass *analysis.Pass, as *ast.AssignStmt, info *types.Info, suppressed func(ast.Node) bool) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	i := waitResultIndex(info, call)
+	if i < 0 || i >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" && !suppressed(as) {
+		pass.Reportf(as.Pos(),
+			"%s's returned wait function is assigned to _: the batch contract is cancel, wait, then flush — consume it",
+			calleeName(call))
+	}
+}
+
+// waitResultIndex returns the index of the trailing func() result of an
+// Enqueue-style call (a function whose name starts with "Enqueue" and
+// whose final result is a niladic func), or -1.
+func waitResultIndex(info *types.Info, call *ast.CallExpr) int {
+	name := calleeName(call)
+	if len(name) < 7 || name[:7] != "Enqueue" {
+		return -1
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return -1
+	}
+	last := sig.Results().Len() - 1
+	fsig, ok := sig.Results().At(last).Type().Underlying().(*types.Signature)
+	if !ok || fsig.Params().Len() != 0 || fsig.Results().Len() != 0 {
+		return -1
+	}
+	return last
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isBackgroundOrTODO(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"resizecache/internal/analysis/analysistest"
+)
+
+func TestCtxflowFindings(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "ctxfix")
+}

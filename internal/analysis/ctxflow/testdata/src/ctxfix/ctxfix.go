@@ -1,0 +1,41 @@
+// Package ctxfix is the ctxflow fixture: a batch runner in the repo's
+// Enqueue shape, discarded and blank-assigned wait funcs, a severed
+// cancellation chain, and an unused context parameter.
+package ctxfix
+
+import "context"
+
+type runner struct{}
+
+// Enqueue mirrors the repo's batch contract: the trailing func() is
+// the wait handle.
+func (r *runner) Enqueue(ctx context.Context, n int) (int, func()) {
+	if ctx == nil {
+		return 0, func() {}
+	}
+	return n, func() {}
+}
+
+func Unused(ctx context.Context, n int) int { // want "context parameter \"ctx\" is never used"
+	return n + 1
+}
+
+func Severed(ctx context.Context, r *runner) int {
+	n, wait := r.Enqueue(ctx, 1)
+	bg := context.Background() // want "context.Background inside a function that already receives a context"
+	m, w2 := r.Enqueue(bg, 2)
+	w2()
+	wait()
+	return n + m
+}
+
+func Discards(ctx context.Context, r *runner) int {
+	r.Enqueue(ctx, 1)         // want "Enqueue's returned wait function is discarded"
+	n, _ := r.Enqueue(ctx, 2) // want "Enqueue's returned wait function is assigned to _"
+	//simlint:allow fixture: the wait handle is intentionally dropped here
+	r.Enqueue(ctx, 3)
+	return n
+}
+
+// Uncancellable names its context _: an explicit opt-out, no finding.
+func Uncancellable(_ context.Context) int { return 0 }

@@ -1,0 +1,11 @@
+package determinism
+
+import (
+	"testing"
+
+	"resizecache/internal/analysis/analysistest"
+)
+
+func TestDeterminismFindings(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "detfix")
+}

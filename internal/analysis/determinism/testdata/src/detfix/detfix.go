@@ -1,0 +1,36 @@
+// Package detfix is the determinism fixture: wall-clock reads, global
+// math/rand, and a bare map range are findings; the ordered and allow
+// directives suppress, and slice iteration is untouched.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad(m map[string]int) int64 {
+	t := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(t) // want "time.Since reads the wall clock"
+	x := rand.Int()    // want "use of rand.Int"
+	total := 0
+	for k := range m { // want "map iteration order is nondeterministic"
+		total += m[k]
+	}
+	//simlint:ordered fixture: consumer sorts before any order-sensitive use
+	for k := range m {
+		total += m[k]
+	}
+	//simlint:allow fixture: deliberate wall-clock read
+	now := time.Now()
+	return int64(total) + int64(d) + int64(x) + now.Unix()
+}
+
+// Fine ranges over a slice: iteration order is defined, no finding;
+// non-clock uses of package time are also fine.
+func Fine(xs []int) time.Duration {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return time.Duration(total) * time.Millisecond
+}

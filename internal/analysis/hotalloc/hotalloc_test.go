@@ -1,0 +1,15 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"resizecache/internal/analysis/analysistest"
+)
+
+// TestHotPathAllocations is the acceptance fixture: every allocating
+// construct inside (or transitively reachable from) a
+// //simlint:hotpath function is a finding; coldpath boundaries,
+// allow-suppressed lines, and allowlisted math calls are not.
+func TestHotPathAllocations(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "hotfix")
+}

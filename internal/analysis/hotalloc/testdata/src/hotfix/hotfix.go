@@ -1,0 +1,51 @@
+// Package hotfix is the hotalloc fixture: one annotated hot root that
+// trips every flagged construct once, a transitive same-package callee
+// that allocates, an allowlisted math call, a suppressed prologue
+// allocation, and a coldpath boundary the traversal must not cross.
+package hotfix
+
+import (
+	"fmt"
+	"math"
+)
+
+type sink struct{ v []int }
+
+//simlint:hotpath fixture root
+func Hot(s *sink, m map[int]int, name string) int {
+	x := make([]int, 4)     // want "make allocates"
+	p := new(int)           // want "new allocates"
+	s.v = append(s.v, 1)    // want "append may grow its backing array"
+	q := &sink{}            // want "heap-allocated composite literal"
+	l := []int{1, 2}        // want "slice literal allocates"
+	mm := map[int]int{1: 1} // want "map literal allocates"
+	f := func() {}          // want "closure allocates"
+	go f()                  // want "go statement allocates a goroutine"
+	defer f()               // want "defer in a hot path"
+	m[1] = 2                // want "map write may allocate"
+	str := "a" + name       // want "string concatenation allocates"
+	bs := []byte(str)       // want "copies/allocates"
+	iv := any(p)            // want "boxes its operand"
+	fmt.Sprint(1)           // want "argument boxed into interface parameter" "call into fmt is not proven alloc-free"
+	r := math.Sqrt(4)       // allowlisted stdlib package: no finding
+	//simlint:allow fixture: one-time prologue, outside the loop
+	ok := make([]int, 1)
+	helper()
+	cold()
+	_, _, _ = mm, bs, iv
+	return x[0] + *p + len(q.v) + len(l) + int(r) + ok[0] + m[1]
+}
+
+// helper is NOT annotated: it is reached transitively from Hot, so its
+// allocation is reported on Hot's hot path.
+func helper() int {
+	y := make([]int, 2) // want "make allocates"
+	return len(y)
+}
+
+// cold is an amortized boundary: the traversal stops here.
+//
+//simlint:coldpath fixture: amortized constructor
+func cold() []int {
+	return make([]int, 8)
+}

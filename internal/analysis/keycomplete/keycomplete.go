@@ -1,0 +1,409 @@
+// Package keycomplete proves the repo's scariest invariant at build
+// time: every exported field of sim.Config — and of every struct
+// reachable from it — is written into the Key() fingerprint. A field
+// that does not reach Key() makes two semantically different configs
+// hash identically, so the run-orchestration layer's memo store and
+// on-disk resume files silently serve one config's result for the
+// other. The analyzer walks the call closure of the Key method,
+// records which struct fields flow into the fingerprint, and reports
+// any exported field left out; a field that is deliberately inert can
+// opt out with a `simlint:"nokey"` struct tag.
+//
+// It also pins the fingerprinted field set to the keyVersion constant:
+// a hash of the tracked structs' field lists is recorded in
+// testdata/fieldhash.txt per (package, keyVersion), so changing the
+// fingerprinted shape without bumping keyVersion — which would let
+// stale persisted results alias the new encoding — is a build failure,
+// not a convention. internal/sim's key_test derives its own version
+// pin from the same hash (RepoFieldSet), so the test and the analyzer
+// cannot drift apart.
+package keycomplete
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"resizecache/internal/analysis"
+)
+
+//go:embed testdata/fieldhash.txt
+var pinData string
+
+// PinOverride, when non-empty, replaces the embedded pin table —
+// test-only, for exercising the pin diagnostics against fixtures.
+var PinOverride string
+
+// Analyzer is the keycomplete check.
+var Analyzer = &analysis.Analyzer{
+	Name: "keycomplete",
+	Doc:  "every exported field reachable from Config must be written into the Key() fingerprint, and the fingerprinted field set must be pinned to keyVersion",
+	Run:  run,
+}
+
+// result is the extracted fingerprint shape of one package.
+type result struct {
+	config   *types.Named
+	keyDecl  *ast.FuncDecl
+	tracked  []*types.Named // sorted by qualified name
+	consumed map[*types.Named]map[string]bool
+	version  int64 // keyVersion constant, -1 if absent
+	verPos   *types.Const
+	hash     string
+}
+
+func run(pass *analysis.Pass) error {
+	res, err := analyze(pass.Pkg)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil // no Config/Key pair in this package: nothing to prove
+	}
+
+	for _, named := range res.tracked {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || nokey(st.Tag(i)) {
+				continue
+			}
+			if !res.consumed[named][f.Name()] {
+				pass.Reportf(f.Pos(),
+					"exported field %s.%s does not reach %s's Key() fingerprint: encode it (and bump keyVersion) or tag it `simlint:\"nokey\"`",
+					named.Obj().Name(), f.Name(), res.config.Obj().Name())
+			}
+		}
+	}
+
+	pins := parsePins()
+	byVersion, pinned := pins[pass.Pkg.Path]
+	if !pinned {
+		return nil // package has no pin entries (e.g. fixtures): skip versioning
+	}
+	if res.version < 0 {
+		pass.Reportf(res.keyDecl.Pos(),
+			"package %s is pinned in fieldhash.txt but declares no keyVersion constant", pass.Pkg.Path)
+		return nil
+	}
+	want, ok := byVersion[res.version]
+	if !ok {
+		pass.Reportf(res.verPos.Pos(),
+			"keyVersion %d has no pinned field-set hash: add %q to internal/analysis/keycomplete/testdata/fieldhash.txt",
+			res.version, fmt.Sprintf("%s %d %s", pass.Pkg.Path, res.version, res.hash))
+		return nil
+	}
+	if want != res.hash {
+		pass.Reportf(res.verPos.Pos(),
+			"fingerprinted field set (hash %s) does not match the pin %s for keyVersion %d: the Key() encoding changed, so bump keyVersion and pin the new hash %q",
+			res.hash, want, res.version, fmt.Sprintf("%s %d %s", pass.Pkg.Path, res.version+1, res.hash))
+	}
+	return nil
+}
+
+// analyze extracts the fingerprint shape of pkg, or nil if the package
+// has no Config type with a Key method.
+func analyze(pkg *analysis.Package) (*result, error) {
+	scope := pkg.Types.Scope()
+	obj := scope.Lookup("Config")
+	if obj == nil {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, nil
+	}
+	var keyFn *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == "Key" {
+			keyFn = m
+			break
+		}
+	}
+	if keyFn == nil {
+		return nil, nil
+	}
+	decls := funcDecls(pkg)
+	keyDecl := decls[keyFn]
+	if keyDecl == nil {
+		return nil, fmt.Errorf("keycomplete: no AST for %s.Key", named.Obj().Name())
+	}
+
+	res := &result{
+		config:   named,
+		keyDecl:  keyDecl,
+		consumed: make(map[*types.Named]map[string]bool),
+		version:  -1,
+	}
+
+	// Tracked closure: Config plus every named struct reachable through
+	// exported, non-nokey fields (through slices, arrays, and pointers),
+	// restricted to this module (stdlib structs are not ours to police).
+	rootSeg := pkg.Path
+	if i := strings.Index(rootSeg, "/"); i >= 0 {
+		rootSeg = rootSeg[:i]
+	}
+	seen := map[*types.Named]bool{named: true}
+	work := []*types.Named{named}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || nokey(st.Tag(i)) {
+				continue
+			}
+			fn, ok := namedStruct(f.Type())
+			if !ok || seen[fn] {
+				continue
+			}
+			fpkg := fn.Obj().Pkg()
+			if fpkg == nil {
+				continue
+			}
+			fseg := fpkg.Path()
+			if i := strings.Index(fseg, "/"); i >= 0 {
+				fseg = fseg[:i]
+			}
+			if fseg != rootSeg {
+				continue
+			}
+			seen[fn] = true
+			work = append(work, fn)
+		}
+	}
+	for n := range seen {
+		res.tracked = append(res.tracked, n)
+	}
+	sort.Slice(res.tracked, func(i, j int) bool {
+		return qualifiedName(res.tracked[i]) < qualifiedName(res.tracked[j])
+	})
+
+	// Consumption: walk Key's body and, transitively, every
+	// same-package function it calls; a selector that resolves to a
+	// field of a tracked struct marks that field (and, through the
+	// selection's index path, any embedded hop) as fingerprinted.
+	visited := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pkg.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					markSelection(res, seen, sel)
+				}
+			case *ast.CallExpr:
+				if callee := calleeFunc(pkg, n); callee != nil && callee.Pkg() == pkg.Types {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	visit(keyFn)
+
+	// keyVersion constant and the field-set hash.
+	if vobj, ok := scope.Lookup("keyVersion").(*types.Const); ok {
+		if v, exact := constant.Int64Val(constant.ToInt(vobj.Val())); exact {
+			res.version = v
+			res.verPos = vobj
+		}
+	}
+	res.hash = hashFieldSet(res.tracked)
+	return res, nil
+}
+
+// markSelection records every tracked field the selection's index path
+// touches: `l.Geom` through an embedded CacheSpec marks both
+// LevelSpec.CacheSpec and CacheSpec.Geom.
+func markSelection(res *result, tracked map[*types.Named]bool, sel *types.Selection) {
+	t := sel.Recv()
+	for _, idx := range sel.Index() {
+		n, ok := namedStruct(t)
+		if !ok {
+			return
+		}
+		st := n.Underlying().(*types.Struct)
+		if idx >= st.NumFields() {
+			return
+		}
+		f := st.Field(idx)
+		if tracked[n] {
+			if res.consumed[n] == nil {
+				res.consumed[n] = make(map[string]bool)
+			}
+			res.consumed[n][f.Name()] = true
+		}
+		t = f.Type()
+	}
+}
+
+// namedStruct unwraps pointers, slices, arrays, and aliases down to a
+// named struct type.
+func namedStruct(t types.Type) (*types.Named, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, if it is a declared
+// function or method (builtin, dynamic, and type-conversion calls
+// resolve to nil). Generic instantiations resolve to their origin.
+func calleeFunc(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// funcDecls maps every declared function/method object to its AST.
+func funcDecls(pkg *analysis.Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+func nokey(tag string) bool {
+	return reflect.StructTag(tag).Get("simlint") == "nokey"
+}
+
+func qualifiedName(n *types.Named) string {
+	if p := n.Obj().Pkg(); p != nil {
+		return p.Path() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// hashFieldSet derives the canonical hash of the tracked structs'
+// exported field lists: struct identity, field declaration order, field
+// names, and field types (package-qualified by base name so the hash is
+// stable across module renames). Both the analyzer's pin check and
+// internal/sim's key_test compare against this exact derivation.
+func hashFieldSet(tracked []*types.Named) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	var b strings.Builder
+	for _, n := range tracked {
+		fmt.Fprintf(&b, "struct %s\n", qualifiedName(n))
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || nokey(st.Tag(i)) {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s %s\n", f.Name(), types.TypeString(f.Type(), qual))
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// parsePins reads the pin table: one `<pkgpath> <version> <hash>` entry
+// per line, '#' comments.
+func parsePins() map[string]map[int64]string {
+	data := pinData
+	if PinOverride != "" {
+		data = PinOverride
+	}
+	out := make(map[string]map[int64]string)
+	for _, line := range strings.Split(data, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &v); err != nil {
+			continue
+		}
+		if out[fields[0]] == nil {
+			out[fields[0]] = make(map[int64]string)
+		}
+		out[fields[0]][v] = fields[2]
+	}
+	return out
+}
+
+// RepoFieldSet loads this module's internal/sim package from source and
+// returns its declared keyVersion and fingerprinted field-set hash.
+// internal/sim's key_test derives its version-pin assertion from this,
+// so the test and the analyzer share one definition of "the field set
+// changed".
+func RepoFieldSet() (version int64, hash string, err error) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		return 0, "", err
+	}
+	pkg, err := l.Load(l.ModulePath() + "/internal/sim")
+	if err != nil {
+		return 0, "", err
+	}
+	res, err := analyze(pkg)
+	if err != nil {
+		return 0, "", err
+	}
+	if res == nil {
+		return 0, "", fmt.Errorf("keycomplete: internal/sim has no Config/Key pair")
+	}
+	return res.version, res.hash, nil
+}
+
+// Pin returns the pinned hash for (pkgpath, version) from the embedded
+// table.
+func Pin(pkgpath string, version int64) (string, bool) {
+	h, ok := parsePins()[pkgpath][version]
+	return h, ok
+}

@@ -1,0 +1,41 @@
+package keycomplete
+
+import (
+	"testing"
+
+	"resizecache/internal/analysis/analysistest"
+)
+
+// TestMissingFieldsAreReported is the acceptance fixture for the
+// repo's scariest regression: an exported Config field that never
+// reaches Key() must fail the build.
+func TestMissingFieldsAreReported(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "keyfix")
+}
+
+func TestPinMissingVersion(t *testing.T) {
+	PinOverride = "keypin_nover 1 0123456789abcdef\n"
+	defer func() { PinOverride = "" }()
+	analysistest.Run(t, ".", Analyzer, "keypin_nover")
+}
+
+func TestPinHashMismatch(t *testing.T) {
+	PinOverride = "keypin_mismatch 3 0000000000000000\n"
+	defer func() { PinOverride = "" }()
+	analysistest.Run(t, ".", Analyzer, "keypin_mismatch")
+}
+
+func TestPinWithoutVersionConstant(t *testing.T) {
+	PinOverride = "keypin_noconst 1 0123456789abcdef\n"
+	defer func() { PinOverride = "" }()
+	analysistest.Run(t, ".", Analyzer, "keypin_noconst")
+}
+
+// TestRepoPinExists: the embedded table must pin internal/sim at its
+// current keyVersion (internal/sim's key_test checks the hash value
+// itself against the source).
+func TestRepoPinExists(t *testing.T) {
+	if _, ok := Pin("resizecache/internal/sim", 2); !ok {
+		t.Fatal("testdata/fieldhash.txt has no pin for resizecache/internal/sim keyVersion 2")
+	}
+}

@@ -1,0 +1,31 @@
+// Package keyfix is the keycomplete fixture: a Config whose Key()
+// fingerprints some fields, forgets two, and two fields that opt out
+// (one unexported, one tagged nokey).
+package keyfix
+
+// Inner is reachable from Config through an exported field, so its
+// exported fields must reach the fingerprint too.
+type Inner struct {
+	Used   int
+	Missed bool // want "exported field Inner.Missed does not reach Config's Key"
+}
+
+type Config struct {
+	Name   string
+	Depth  int // want "exported field Config.Depth does not reach Config's Key"
+	Inner  Inner
+	hidden int
+	Inert  int `simlint:"nokey"`
+}
+
+func (c Config) Key() uint64 {
+	h := uint64(len(c.Name))
+	h = h*31 + c.mix()
+	return h + uint64(c.hidden)
+}
+
+// mix is part of Key's same-package call closure: fields consumed here
+// count as fingerprinted, including the embedded-selection index path.
+func (c Config) mix() uint64 {
+	return uint64(c.Inner.Used)
+}

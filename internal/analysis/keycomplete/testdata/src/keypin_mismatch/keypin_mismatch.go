@@ -1,0 +1,10 @@
+// Package keypin_mismatch: the pin table (overridden by the test)
+// records a stale hash for keyVersion 3, simulating a field-set change
+// that was not accompanied by a version bump.
+package keypin_mismatch
+
+const keyVersion = 3 // want "does not match the pin"
+
+type Config struct{ A int }
+
+func (c Config) Key() int { return c.A + keyVersion }

@@ -1,0 +1,7 @@
+// Package keypin_noconst is pinned in the (test-overridden) pin table
+// but declares no keyVersion constant at all.
+package keypin_noconst
+
+type Config struct{ A int }
+
+func (c Config) Key() int { return c.A } // want "declares no keyVersion constant"

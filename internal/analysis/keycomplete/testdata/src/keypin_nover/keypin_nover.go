@@ -1,0 +1,10 @@
+// Package keypin_nover: the pin table (overridden by the test) pins
+// this package at keyVersion 1 only, so the declared version 2 has no
+// recorded field-set hash.
+package keypin_nover
+
+const keyVersion = 2 // want "keyVersion 2 has no pinned field-set hash"
+
+type Config struct{ A int }
+
+func (c Config) Key() int { return c.A + keyVersion }

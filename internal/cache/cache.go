@@ -310,6 +310,8 @@ func (c *Cache) integrateIdle(now uint64) {
 }
 
 // Access implements Level.
+//
+//simlint:hotpath per-memory-reference; PR 5 pinned this at zero steady-state allocations
 func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 	c.integrateIdle(now)
 	c.Stat.Accesses.Inc()
@@ -435,6 +437,8 @@ type ResizeFlush struct {
 // returned ResizeFlush reports eviction work (the writebacks' energy is
 // charged to this cache and the next level; the latency is off the
 // critical path, modelling background flushing during the resize).
+//
+//simlint:coldpath runs at resize boundaries only, never per access
 func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error) {
 	var fl ResizeFlush
 	if effWays < 1 || effWays > c.maxWays {

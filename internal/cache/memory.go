@@ -33,6 +33,8 @@ func (m *Memory) Latency() uint64 {
 }
 
 // Access implements Level.
+//
+//simlint:hotpath bottom of every miss chain
 func (m *Memory) Access(now uint64, addr uint64, write bool) uint64 {
 	m.accesses++
 	m.energyPJ += m.AccessEnergyNJ * 1000

@@ -163,7 +163,7 @@ func BuildSchedule(g geometry.Geometry, org Organization) (Schedule, error) {
 				}
 			}
 		}
-		for _, p := range best {
+		for _, p := range best { //simlint:ordered sizes are unique map keys; the sort below imposes a total order
 			pts = append(pts, p)
 		}
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Bytes > pts[j].Bytes })

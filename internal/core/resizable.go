@@ -97,6 +97,8 @@ func (r *ResizableCache) Upsize(now uint64) bool {
 
 // Access implements cache.Level, threading each access through the
 // policy's interval accounting.
+//
+//simlint:hotpath per-access wrapper for policy-driven caches
 func (r *ResizableCache) Access(now uint64, addr uint64, write bool) uint64 {
 	missesBefore := r.C.Stat.Misses.Value()
 	done := r.C.Access(now, addr, write)
@@ -106,7 +108,7 @@ func (r *ResizableCache) Access(now uint64, addr uint64, write bool) uint64 {
 	}
 	if r.intervalLen > 0 && r.intervalAccesses >= r.intervalLen {
 		r.policy.OnInterval(now, r.intervalMisses)
-		r.SizeTrace = append(r.SizeTrace, r.idx)
+		r.SizeTrace = append(r.SizeTrace, r.idx) //simlint:allow amortized: one append per policy interval, not per access
 		r.intervalAccesses = 0
 		r.intervalMisses = 0
 	}

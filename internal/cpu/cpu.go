@@ -41,6 +41,8 @@ func DefaultConfig() Config {
 }
 
 // Validate reports the first invalid parameter.
+//
+//simlint:coldpath validation, once per run
 func (c Config) Validate() error {
 	switch {
 	case c.Width <= 0:
@@ -109,6 +111,7 @@ type fetchUnit struct {
 	hitLat    uint64
 }
 
+//simlint:coldpath constructor, once per Run
 func newFetchUnit(ic cache.Level, width int) *fetchUnit {
 	return &fetchUnit{ic: ic, width: width, hitLat: 1}
 }
@@ -156,6 +159,7 @@ type controlUnit struct {
 	hasPending bool
 }
 
+//simlint:coldpath constructor, once per engine
 func newControlUnit(bp *bpred.Stats) *controlUnit {
 	return &controlUnit{
 		bp:             bp,

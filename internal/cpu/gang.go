@@ -68,6 +68,7 @@ type gangFront struct {
 	width     int
 }
 
+//simlint:coldpath constructor, once per gang
 func newGangFront(bp *bpred.Stats, width int) *gangFront {
 	return &gangFront{cu: newControlUnit(bp), width: width}
 }
@@ -131,6 +132,8 @@ func (f *gangFront) lookupTarget(pc uint64, act *Activity) ctrlAction {
 // results assembles the per-member Results: the shared functional
 // outcome (instructions, activity, branch accuracy) plus each member's
 // private cycle count.
+//
+//simlint:coldpath epilogue, once per gang
 func gangResults(instr uint64, act Activity, accuracy float64, cycles []uint64) []Result {
 	out := make([]Result, len(cycles))
 	for m := range out {
@@ -148,11 +151,13 @@ func gangResults(instr uint64, act Activity, accuracy float64, cycles []uint64) 
 // model with one shared workload pass. Member m's Result is
 // bit-identical to NewOutOfOrder(cfg, members[m].IC, members[m].DC,
 // bp').Run(src', maxInstr) with a fresh predictor and source.
+//
+//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per gang
 func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st := &bpred.Stats{P: bp}
+	st := &bpred.Stats{P: bp} //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	n := len(members)
 	var (
 		act   Activity
@@ -173,12 +178,12 @@ func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src
 		// Per-member timing state, struct-of-arrays: member m's ROB ring
 		// is rob[m*robN : (m+1)*robN], and the scalar clocks live in
 		// parallel slices so the member loop walks contiguous memory.
-		rob           = make([]uint64, n*robN)
-		retire        = make([]uint64, n*robN)
-		lsqRetire     = make([]uint64, n*lsqN)
-		fetchTime     = make([]uint64, n)
-		lastRetire    = make([]uint64, n)
-		retireInCycle = make([]int, n)
+		rob           = make([]uint64, n*robN) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		retire        = make([]uint64, n*robN) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		lsqRetire     = make([]uint64, n*lsqN) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		fetchTime     = make([]uint64, n)      //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		lastRetire    = make([]uint64, n)      //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		retireInCycle = make([]int, n)         //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	)
 
 	for instr < maxInstr && src.Next(&ev) {
@@ -325,7 +330,7 @@ func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src
 		}
 	}
 
-	cycles := make([]uint64, n)
+	cycles := make([]uint64, n) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	for m := range cycles {
 		cycles[m] = lastRetire[m] + 1
 	}
@@ -334,11 +339,13 @@ func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src
 
 // RunGangInOrder is RunGangOutOfOrder for the in-order/blocking-d-cache
 // timing model.
+//
+//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per gang
 func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	st := &bpred.Stats{P: bp}
+	st := &bpred.Stats{P: bp} //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	n := len(members)
 	var (
 		act   Activity
@@ -348,11 +355,11 @@ func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src wo
 
 		// Per-member timing state: member m's dependence scoreboard is
 		// completed[m*window : (m+1)*window].
-		completed    = make([]uint64, n*window)
-		fetchTime    = make([]uint64, n)
-		issueTime    = make([]uint64, n)
-		issueInCycle = make([]int, n)
-		maxComplete  = make([]uint64, n)
+		completed    = make([]uint64, n*window) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		fetchTime    = make([]uint64, n)        //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		issueTime    = make([]uint64, n)        //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		issueInCycle = make([]int, n)           //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+		maxComplete  = make([]uint64, n)        //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	)
 
 	for instr < maxInstr && src.Next(&ev) {
@@ -457,7 +464,7 @@ func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src wo
 		}
 	}
 
-	cycles := make([]uint64, n)
+	cycles := make([]uint64, n) //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	for m := range cycles {
 		cycles[m] = maxComplete[m] + 1
 	}

@@ -36,6 +36,8 @@ func NewInOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*InOrder, e
 func (e *InOrder) Name() string { return "in-order/blocking" }
 
 // Run implements Engine.
+//
+//simlint:hotpath the per-instruction loop; prologue allocations are once per run
 func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
 	var (
 		res   Result

@@ -33,6 +33,8 @@ func NewOutOfOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*OutOfOr
 func (o *OutOfOrder) Name() string { return "out-of-order/nonblocking" }
 
 // Run implements Engine.
+//
+//simlint:hotpath the per-instruction loop; prologue allocations are once per run
 func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 	// Ring sizes and widths are loop-invariant; hoisting them (and
 	// tracking wrapping ring indices instead of taking `%` by a
@@ -44,11 +46,15 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 		ev    workload.Event
 		fetch = newFetchUnit(o.IC, o.Cfg.Width)
 
-		robN      = o.Cfg.ROBEntries
-		lsqN      = o.Cfg.LSQEntries
-		rob       = make([]uint64, robN) // completion time ring
-		retire    = make([]uint64, robN) // retire time ring
-		lsqRetire = make([]uint64, lsqN) // memop retire ring
+		robN = o.Cfg.ROBEntries
+		lsqN = o.Cfg.LSQEntries
+		// Completion, retire, and memop-retire time rings.
+		//simlint:allow once-per-run prologue, outside the per-instruction loop
+		rob = make([]uint64, robN)
+		//simlint:allow once-per-run prologue, outside the per-instruction loop
+		retire = make([]uint64, robN)
+		//simlint:allow once-per-run prologue, outside the per-instruction loop
+		lsqRetire = make([]uint64, lsqN)
 
 		robIdx     int
 		lsqIdx     int

@@ -4,9 +4,38 @@ import (
 	"crypto/sha256"
 	"testing"
 
+	"resizecache/internal/analysis/keycomplete"
 	"resizecache/internal/core"
 	"resizecache/internal/geometry"
 )
+
+// TestKeyVersionPinnedToFieldSet derives its assertion from the
+// keycomplete analyzer instead of hand-maintaining a parallel list of
+// fingerprinted fields: the analyzer re-extracts this package's
+// keyVersion and field-set hash from source and both must match the
+// pin table embedded in the analyzer
+// (internal/analysis/keycomplete/testdata/fieldhash.txt). Adding a
+// Config field without routing it into Key() fails keycomplete;
+// changing the fingerprinted shape without bumping keyVersion and
+// re-pinning fails here and in simlint identically.
+func TestKeyVersionPinnedToFieldSet(t *testing.T) {
+	version, hash, err := keycomplete.RepoFieldSet()
+	if err != nil {
+		t.Fatalf("extracting field set: %v", err)
+	}
+	if version != keyVersion {
+		t.Fatalf("analyzer saw keyVersion %d, package declares %d", version, keyVersion)
+	}
+	pinned, ok := keycomplete.Pin("resizecache/internal/sim", version)
+	if !ok {
+		t.Fatalf("keyVersion %d has no pin: add %q to internal/analysis/keycomplete/testdata/fieldhash.txt",
+			version, hash)
+	}
+	if pinned != hash {
+		t.Fatalf("fingerprinted field set (hash %s) drifted from the keyVersion-%d pin %s: bump keyVersion and pin the new hash",
+			hash, version, pinned)
+	}
+}
 
 // mutateL2 clones the hierarchy (the Levels backing array is shared
 // between config copies) and applies fn to the outermost level.

@@ -48,7 +48,7 @@ func register(p *Profile) {
 // alphabetical ordering in Figures 5 and 7-9).
 func Names() []string {
 	out := make([]string, 0, len(registry))
-	for n := range registry {
+	for n := range registry { //simlint:ordered collected then sorted before return
 		out = append(out, n)
 	}
 	sort.Strings(out)

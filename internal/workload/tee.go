@@ -60,6 +60,8 @@ type teeView struct {
 }
 
 // Next implements Source.
+//
+//simlint:hotpath per-instruction replay for >GangSize member gangs
 func (v *teeView) Next(ev *Event) bool { return v.t.next(v.i, ev) }
 
 func (t *Tee) next(i int, ev *Event) bool {
@@ -96,6 +98,8 @@ func (t *Tee) slowest() uint64 {
 
 // grow doubles the ring, re-placing the live window [slowest, produced)
 // at its new masked positions.
+//
+//simlint:coldpath ring doubling, amortized over the lag that caused it
 func (t *Tee) grow() {
 	nbuf := make([]Event, 2*len(t.buf))
 	nmask := uint64(len(nbuf) - 1)

@@ -205,6 +205,7 @@ func reuse[T any](s []T, n int) []T {
 	return s[:n]
 }
 
+//simlint:coldpath runs at phase transitions only; reuse() keeps it allocation-free after warm-up
 func (g *Generator) enterPhase(i int) {
 	g.phaseIdx = i
 	ph := &g.prof.Phases[i]
@@ -372,6 +373,8 @@ func (g *Generator) depDistance() int32 {
 
 // Next fills ev with the next instruction; it returns false when a
 // non-periodic profile is exhausted.
+//
+//simlint:hotpath per-generated-instruction
 func (g *Generator) Next(ev *Event) bool {
 	if g.exhausted {
 		return false
