@@ -60,11 +60,12 @@ func BenchmarkWorkloadGenerator(b *testing.B)   { benchsuite.WorkloadGenerator(b
 
 // BenchmarkPlanBatchVsSequential quantifies the tentpole property of
 // the batch API: one plan over N scenarios submits its profiling sweeps
-// in one batched enqueue pass (zero fan-out barriers at gather time),
-// where N sequential Simulate calls pay one barrier per sweep and drain
-// the pool between scenarios. Both paths run the identical scenario set
-// on cold sessions; the reported metrics carry the barrier counts and
-// wall times.
+// in one batched enqueue pass, where N sequential Simulate calls pay
+// one enqueue pass per sweep and drain the pool between scenarios.
+// (Both paths now gather barrier-free — sequential sweeps pre-enqueue
+// their candidates.) Both paths run the identical scenario set on cold
+// sessions; the reported metrics carry the enqueue-pass counts and wall
+// times.
 func BenchmarkPlanBatchVsSequential(b *testing.B) {
 	scenarios := make([]resizecache.Scenario, 0, len(benchApps))
 	for _, app := range benchApps {
@@ -80,7 +81,7 @@ func BenchmarkPlanBatchVsSequential(b *testing.B) {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
-	var planNS, seqNS, planBarriers, seqBarriers float64
+	var planNS, seqNS, planPasses, seqPasses float64
 	for i := 0; i < b.N; i++ {
 		batch := resizecache.NewSession()
 		start := time.Now()
@@ -102,15 +103,16 @@ func BenchmarkPlanBatchVsSequential(b *testing.B) {
 		if bst.Runs != sst.Runs {
 			b.Fatalf("paths ran different work: %d vs %d sims", bst.Runs, sst.Runs)
 		}
-		if bst.Barriers >= sst.Barriers {
-			b.Fatalf("plan run did not reduce barriers: %d vs %d", bst.Barriers, sst.Barriers)
+		if bst.EnqueueBatches >= sst.EnqueueBatches {
+			b.Fatalf("plan run did not reduce enqueue passes: %d vs %d",
+				bst.EnqueueBatches, sst.EnqueueBatches)
 		}
-		planBarriers, seqBarriers = float64(bst.Barriers), float64(sst.Barriers)
+		planPasses, seqPasses = float64(bst.EnqueueBatches), float64(sst.EnqueueBatches)
 	}
 	b.ReportMetric(planNS, "plan_ns")
 	b.ReportMetric(seqNS, "sequential_ns")
-	b.ReportMetric(planBarriers, "plan_barriers")
-	b.ReportMetric(seqBarriers, "sequential_barriers")
+	b.ReportMetric(planPasses, "plan_enqueue_passes")
+	b.ReportMetric(seqPasses, "sequential_enqueue_passes")
 }
 
 // ---------------------------------------------------------------------

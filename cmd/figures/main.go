@@ -15,6 +15,7 @@
 //	figures -exp fig4 -instr 500000  # faster, lower fidelity
 //	figures -exp fig5 -apps gcc,vpr  # restrict benchmarks
 //	figures -exp all -resume out/results.json   # resumable across runs
+//	figures -exp fig4 -server unix:/tmp/simd.sock  # run on a simd daemon
 //
 // Every figure runs through the declarative batch API: its grid expands
 // to a resizecache.Plan and executes via Session.Run, which enqueues
@@ -30,9 +31,14 @@
 // invocation re-simulates only what is missing (persisted simulation
 // *errors* replay without re-running; only cancellations are retried).
 // -memolimit bounds the in-memory memo table with LRU eviction.
+// With -server, plans execute on a long-lived simd daemon (cmd/simd)
+// instead of in-process: simulations partition across the daemon's
+// worker shards and memoize against every other client's work, so a
+// second client replaying a figure reports zero new simulations.
 // -stats prints the scheduler's hit/miss, batch, and artifact counters
-// to stderr on exit. Interrupting with ^C cancels cleanly between
-// simulations (and, with -resume, flushes what completed).
+// for this invocation to stderr on exit (against a daemon, the delta of
+// its cumulative counters). Interrupting with ^C cancels cleanly
+// between simulations (and, with -resume, flushes what completed).
 package main
 
 import (
@@ -64,6 +70,7 @@ func realMain() int {
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		gang     = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
 		resume   = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
+		server   = flag.String("server", "", "run plans on a simd daemon at this address (unix:<path> or host:port) instead of in-process")
 		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print completed-of-total scenario progress to stderr (figure experiments only)")
@@ -106,6 +113,10 @@ func realMain() int {
 		if *progress {
 			fmt.Fprintln(os.Stderr, "figures: -progress is not supported for sensitivity experiments")
 		}
+		if *server != "" {
+			fmt.Fprintln(os.Stderr, "figures: -server is not supported for sensitivity experiments (they bypass the plan protocol)")
+			return 1
+		}
 		if err := runSens(ctx, *exp, *instr, appList, *par, *gang, *resume, *memo, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			return 1
@@ -113,11 +124,29 @@ func realMain() int {
 		return 0
 	}
 
-	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{
-		Workers: *par, GangSize: *gang, StorePath: *resume, MemoLimit: *memo})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		return 1
+	var session resizecache.Executor
+	if *server != "" {
+		// The daemon owns the workers, gangs, and store; client-side
+		// overrides would silently not apply.
+		if *resume != "" {
+			fmt.Fprintln(os.Stderr, "figures: -server and -resume are mutually exclusive (the daemon owns the store; start simd with -store)")
+			return 1
+		}
+		remote, err := resizecache.Dial(*server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer remote.Close()
+		session = remote
+	} else {
+		local, err := resizecache.NewSessionWith(resizecache.SessionOptions{
+			Workers: *par, GangSize: *gang, StorePath: *resume, MemoLimit: *memo})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		session = local
 	}
 
 	fopts := figures.Options{Instructions: *instr, Apps: appList}
@@ -130,6 +159,11 @@ func realMain() int {
 		}
 	}
 
+	// Snapshot before running: a RemoteSession's counters are the
+	// daemon's cumulative view across all clients, so -stats reports the
+	// delta this invocation caused. For a fresh local session the delta
+	// equals the cumulative counters.
+	before := session.Stats()
 	runErr := run(ctx, *exp, session, fopts)
 
 	if *resume != "" {
@@ -140,7 +174,7 @@ func realMain() int {
 		}
 	}
 	if *stats {
-		fmt.Fprintln(os.Stderr, "figures:", session.Stats())
+		fmt.Fprintln(os.Stderr, "figures:", session.Stats().Delta(before))
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "figures:", runErr)
@@ -151,7 +185,7 @@ func realMain() int {
 
 // run regenerates the tables and figures selected by exp through the
 // session's batch API.
-func run(ctx context.Context, exp string, s *resizecache.Session, fopts figures.Options) error {
+func run(ctx context.Context, exp string, s resizecache.Executor, fopts figures.Options) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 

@@ -11,6 +11,12 @@
 //	respcache -bench vpr -org hybrid -l2org ways           # L1s + L2
 //	respcache -bench gcc -org none -l2org sets -l2dynamic  # L2 alone
 //	respcache -bench gcc -org sets -hierarchy l2+l3 -stats
+//	respcache -bench gcc -org sets -server unix:/tmp/simd.sock  # shared memo fabric
+//
+// With -server, simulations still run in this process but the memo
+// store round-trips to a simd daemon (cmd/simd): results another client
+// already computed are store hits here (visible as remote hits under
+// -stats), and this run's fresh results are recorded for everyone else.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"resizecache"
 	"resizecache/internal/prof"
+	"resizecache/internal/runner"
 )
 
 // parseHierarchy maps the -hierarchy flag to a preset; the String()
@@ -131,8 +138,9 @@ func realMain() int {
 		l2dynamic = flag.Bool("l2dynamic", false, "resize the L2 with the dynamic miss-ratio controller")
 		l2assoc   = flag.Int("l2assoc", 0, "L2 set-associativity (0 = the hierarchy default, 4)")
 
-		stats = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
-		gang  = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
+		stats  = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
+		gang   = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
+		server = flag.String("server", "", "share the memo store of a simd daemon at this address (unix:<path> or host:port); simulations still run locally")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -157,7 +165,21 @@ func realMain() int {
 		}
 	}()
 
-	session, err := resizecache.NewSessionWith(resizecache.SessionOptions{GangSize: *gang})
+	sopts := resizecache.SessionOptions{GangSize: *gang}
+	if *server != "" {
+		// Simulations run in this process, but results and profiling
+		// artifacts round-trip to the daemon's store — so detached
+		// respcache invocations (and every figures -server client) share
+		// one memo fabric.
+		netStore, err := runner.OpenNetStore(*server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "respcache:", err)
+			return 1
+		}
+		defer netStore.Close()
+		sopts.Store = netStore
+	}
+	session, err := resizecache.NewSessionWith(sopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
 		return 1
@@ -166,6 +188,12 @@ func realMain() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "respcache:", err)
 		return 1
+	}
+	if *server != "" {
+		// Ask the daemon to persist what this run contributed.
+		if err := session.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "respcache:", err)
+		}
 	}
 
 	eng := "out-of-order"

@@ -60,6 +60,12 @@ var determinismScope = map[string]bool{
 	"internal/geometry": true,
 	"internal/energy":   true,
 	"internal/stats":    true,
+	// The daemon fabric: frames, handlers, and the client mux must not
+	// inject wall-clock or iteration-order nondeterminism between a
+	// plan's submission and its bit-identical remote results.
+	"internal/simd":        true,
+	"internal/simd/wire":   true,
+	"internal/simd/client": true,
 }
 
 func main() {

@@ -61,7 +61,7 @@ func cellOf(sc resizecache.Scenario) cell {
 // collect runs a plan through the session and indexes the outcomes by
 // their axes. The first per-scenario error (in plan order) aborts the
 // figure.
-func collect(ctx context.Context, s *resizecache.Session, plan resizecache.Plan, o Options) (map[cell]resizecache.Outcome, error) {
+func collect(ctx context.Context, s resizecache.Executor, plan resizecache.Plan, o Options) (map[cell]resizecache.Outcome, error) {
 	var opts []resizecache.RunOption
 	if o.Progress != nil {
 		opts = append(opts, resizecache.OnResult(func(_ resizecache.Result, done, total int) {
@@ -94,7 +94,7 @@ const figureVersion = 1
 // caches the aggregate. A cached payload that no longer decodes (e.g. a
 // store written by a foreign build) falls back to the direct run and
 // repairs the cache.
-func cachedFigure[T any](ctx context.Context, s *resizecache.Session, domain string, g resizecache.Grid, o Options, aggregate func(map[cell]resizecache.Outcome) (T, error)) (T, error) {
+func cachedFigure[T any](ctx context.Context, s resizecache.Executor, domain string, g resizecache.Grid, o Options, aggregate func(map[cell]resizecache.Outcome) (T, error)) (T, error) {
 	var zero T
 	plan, err := g.Expand()
 	if err != nil {
@@ -167,7 +167,7 @@ func (f Fig4Result) Cell(side resizecache.Sides, org resizecache.Organization, a
 // OrgGrid sweeps an organization × associativity grid for the d- and
 // i-cache sides separately under the static strategy — the machinery of
 // Figures 4 and 6 — as one plan.
-func OrgGrid(ctx context.Context, s *resizecache.Session, orgs []resizecache.Organization, assocs []int, o Options) (Fig4Result, error) {
+func OrgGrid(ctx context.Context, s resizecache.Executor, orgs []resizecache.Organization, assocs []int, o Options) (Fig4Result, error) {
 	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: orgs,
@@ -203,7 +203,7 @@ func OrgGrid(ctx context.Context, s *resizecache.Session, orgs []resizecache.Org
 
 // Figure4 regenerates Figure 4: static selective-ways vs selective-sets,
 // mean processor EDP reduction, for 2/4/8/16-way 32K caches.
-func Figure4(ctx context.Context, s *resizecache.Session, o Options) (Fig4Result, error) {
+func Figure4(ctx context.Context, s resizecache.Executor, o Options) (Fig4Result, error) {
 	return OrgGrid(ctx, s,
 		[]resizecache.Organization{resizecache.SelectiveWays, resizecache.SelectiveSets},
 		[]int{2, 4, 8, 16}, o)
@@ -211,7 +211,7 @@ func Figure4(ctx context.Context, s *resizecache.Session, o Options) (Fig4Result
 
 // Figure6 regenerates Figure 6: hybrid vs selective-ways vs
 // selective-sets across associativities.
-func Figure6(ctx context.Context, s *resizecache.Session, o Options) (Fig4Result, error) {
+func Figure6(ctx context.Context, s resizecache.Executor, o Options) (Fig4Result, error) {
 	return OrgGrid(ctx, s,
 		[]resizecache.Organization{resizecache.Hybrid, resizecache.SelectiveWays, resizecache.SelectiveSets},
 		[]int{2, 4, 8, 16}, o)
@@ -268,7 +268,7 @@ func (f Fig5Result) Row(app string) (Fig5Row, bool) {
 // Figure5 regenerates Figure 5 for one side (DOnly or IOnly): per-app
 // average-size and EDP reductions of static selective-ways vs
 // selective-sets on 32K 4-way.
-func Figure5(ctx context.Context, s *resizecache.Session, side resizecache.Sides, o Options) (Fig5Result, error) {
+func Figure5(ctx context.Context, s resizecache.Executor, side resizecache.Sides, o Options) (Fig5Result, error) {
 	if side != resizecache.DOnly && side != resizecache.IOnly {
 		return Fig5Result{}, fmt.Errorf("figures: Figure 5 compares single-cache resizings (got %v)", side)
 	}
@@ -365,7 +365,7 @@ func (f Fig7Result) Row(app string) (Fig7Row, bool) {
 // Figures 7 and 8) for one cache side (DOnly or IOnly) and engine, on
 // 32K 2-way selective-sets as in the paper — one plan spanning both
 // strategies' sweeps.
-func StrategyPanel(ctx context.Context, s *resizecache.Session, side resizecache.Sides, engine resizecache.Engine, o Options) (Fig7Result, error) {
+func StrategyPanel(ctx context.Context, s resizecache.Executor, side resizecache.Sides, engine resizecache.Engine, o Options) (Fig7Result, error) {
 	if side != resizecache.DOnly && side != resizecache.IOnly {
 		return Fig7Result{}, fmt.Errorf("figures: strategy panels compare single-cache resizings (got %v)", side)
 	}
@@ -413,7 +413,7 @@ func StrategyPanel(ctx context.Context, s *resizecache.Session, side resizecache
 
 // Figure7 regenerates Figure 7 (d-cache): panel (a) in-order/blocking,
 // panel (b) out-of-order/non-blocking.
-func Figure7(ctx context.Context, s *resizecache.Session, o Options) (inorder, ooo Fig7Result, err error) {
+func Figure7(ctx context.Context, s resizecache.Executor, o Options) (inorder, ooo Fig7Result, err error) {
 	inorder, err = StrategyPanel(ctx, s, resizecache.DOnly, resizecache.InOrderEngine, o)
 	if err != nil {
 		return
@@ -423,7 +423,7 @@ func Figure7(ctx context.Context, s *resizecache.Session, o Options) (inorder, o
 }
 
 // Figure8 regenerates Figure 8 (i-cache).
-func Figure8(ctx context.Context, s *resizecache.Session, o Options) (inorder, ooo Fig7Result, err error) {
+func Figure8(ctx context.Context, s resizecache.Executor, o Options) (inorder, ooo Fig7Result, err error) {
 	inorder, err = StrategyPanel(ctx, s, resizecache.IOnly, resizecache.InOrderEngine, o)
 	if err != nil {
 		return
@@ -487,7 +487,7 @@ func (f Fig9Result) Row(app string) (Fig9Row, bool) {
 // over the three Sides values. The BothSides scenario holds each cache
 // at its standalone profiled winner, matching the paper's
 // decoupled-profiling argument.
-func Figure9(ctx context.Context, s *resizecache.Session, o Options) (Fig9Result, error) {
+func Figure9(ctx context.Context, s resizecache.Executor, o Options) (Fig9Result, error) {
 	grid := resizecache.Grid{
 		Benchmarks:    o.apps(),
 		Organizations: []resizecache.Organization{resizecache.SelectiveSets},
@@ -560,7 +560,7 @@ func (f FigL2Result) Row(org resizecache.Organization) (FigL2Row, bool) {
 // suite-mean EDP reduction, L2 size reduction, and energy breakdown —
 // one plan over the L2Orgs axis through Session.Run, cached like every
 // other figure.
-func FigureL2(ctx context.Context, s *resizecache.Session, strat resizecache.Strategy, o Options) (FigL2Result, error) {
+func FigureL2(ctx context.Context, s resizecache.Executor, strat resizecache.Strategy, o Options) (FigL2Result, error) {
 	orgs := []resizecache.Organization{
 		resizecache.SelectiveWays, resizecache.SelectiveSets, resizecache.Hybrid}
 	grid := resizecache.Grid{

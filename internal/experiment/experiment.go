@@ -371,6 +371,21 @@ func BestSpecContext(ctx context.Context, spec SweepSpec, opts Options) (Best, e
 		return Best{}, err
 	}
 	return cachedBest(ctx, opts.runner(), spec.kind(), cfgs, func(ctx context.Context) (Best, error) {
+		// Batch-enqueue the candidate set before gathering, so a solo
+		// sweep (a single Session.Simulate, cmd/respcache) coalesces its
+		// same-front candidates into gangs exactly like a plan's
+		// batched pass does — instead of fanning them out one Run at a
+		// time behind a barrier. Skipped when the caller bounds
+		// Parallelism, which Enqueue's pool-wide dispatch cannot honour.
+		if opts.Parallelism <= 0 {
+			enqCtx, stopEnqueue := context.WithCancel(ctx)
+			_, waitEnqueued := opts.runner().Enqueue(enqCtx, cfgs)
+			defer func() {
+				// Abandon stragglers on error; see Enqueue's wait contract.
+				stopEnqueue()
+				waitEnqueued()
+			}()
+		}
 		res, err := opts.runAll(ctx, cfgs)
 		if err != nil {
 			return Best{}, err

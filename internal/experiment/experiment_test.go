@@ -42,6 +42,31 @@ func TestBestStaticPicksProfiledMinimum(t *testing.T) {
 	}
 }
 
+// TestSoloSweepGangsCandidates: a lone sweep (the sequential
+// Simulate/BestStatic path, no plan in sight) must still route its
+// candidates through the runner's batched Enqueue, so same-front
+// configs coalesce into gangs and the gather loop never pays a
+// fan-out barrier.
+func TestSoloSweepGangsCandidates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Instructions = 60_000
+	r := runner.New(runner.Options{})
+	opts.Runner = r
+	if _, err := BestStatic("m88ksim", DSide, core.SelectiveSets, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.EnqueueBatches == 0 || st.Enqueued == 0 {
+		t.Fatalf("solo sweep bypassed Enqueue: %+v", st)
+	}
+	if st.Ganged == 0 || st.GangBatches == 0 {
+		t.Errorf("solo sweep coalesced no gangs: %+v", st)
+	}
+	if st.Barriers != 0 {
+		t.Errorf("solo sweep fanned out %d gather barriers, want 0", st.Barriers)
+	}
+}
+
 func TestSwimNeverDownsizes(t *testing.T) {
 	opts := fastOpts()
 	for _, org := range []core.Organization{core.SelectiveWays, core.SelectiveSets} {
@@ -325,7 +350,9 @@ func TestCachedBestRepairsUndecodablePayload(t *testing.T) {
 	cfg := sim.Default("gcc")
 	cfg.Instructions = 1000
 	cfgs := []sim.Config{cfg}
-	store.RecordArtifact(sweepArtifactKey("best-static", cfgs), []byte("not json"))
+	// Valid JSON (so every Store backend keeps it) that does not decode
+	// into a Best payload.
+	store.RecordArtifact(sweepArtifactKey("best-static", cfgs), []byte("[1,2,3]"))
 
 	var computes int
 	want := Best{App: "gcc", Desc: "static 8K/2-way"}

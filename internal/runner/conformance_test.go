@@ -1,0 +1,61 @@
+package runner_test
+
+// The in-tree Store backends run the shared conformance suite; the
+// NetStore backend runs the same suite against an in-process daemon in
+// internal/simd's tests (it cannot live here without importing the
+// server package into runner's tests).
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resizecache/internal/runner"
+	"resizecache/internal/runner/storetest"
+)
+
+func TestMemStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) runner.Store {
+		return runner.NewMemStore()
+	})
+}
+
+func TestDiskStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) runner.Store {
+		s, err := runner.OpenDiskStore(filepath.Join(t.TempDir(), "store.json"))
+		if err != nil {
+			t.Fatalf("OpenDiskStore: %v", err)
+		}
+		return s
+	})
+}
+
+// TestDiskStoreConformanceAfterReload re-runs the round-trip contracts
+// through an actual disk cycle: record, flush, reopen, look up.
+func TestDiskStoreReloadKeepsContract(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	s, err := runner.OpenDiskStore(path)
+	if err != nil {
+		t.Fatalf("OpenDiskStore: %v", err)
+	}
+	key := func(seed byte) (out [32]byte) {
+		for i := range out {
+			out[i] = seed + byte(i)
+		}
+		return out
+	}
+	s.Record(key(1), runner.StoredResult{Err: "persisted failure"})
+	s.RecordArtifact(key(2), []byte(`{"rows":[1,2]}`))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	re, err := runner.OpenDiskStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, ok := re.Lookup(key(1)); !ok || got.Err != "persisted failure" {
+		t.Errorf("reloaded result = %+v, %v; want the persisted failure", got, ok)
+	}
+	if got, ok := re.LookupArtifact(key(2)); !ok || string(got) != `{"rows":[1,2]}` {
+		t.Errorf("reloaded artifact = %s, %v", got, ok)
+	}
+}

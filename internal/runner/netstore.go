@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"resizecache/internal/sim"
+	simdclient "resizecache/internal/simd/client"
+	"resizecache/internal/simd/wire"
+)
+
+// NetStore is the network Store backend: every Lookup/Record and
+// artifact operation round-trips to a simd daemon's store service, so
+// detached processes share one memo fabric even when they run their own
+// simulations. Per the Store contract, failures degrade to misses — a
+// daemon that is unreachable mid-run costs re-simulation, never
+// corruption — and are counted (with successful remote hits) in the
+// owning Runner's Stats as RemoteErrors/RemoteHits.
+//
+// Record and RecordArtifact write through synchronously; the daemon
+// buffers them in its backing store, which it flushes on drain (and on
+// an explicit Flush call here).
+type NetStore struct {
+	conn       *simdclient.Conn
+	hits, errs atomic.Uint64
+}
+
+var _ Store = (*NetStore)(nil)
+var _ RemoteCounter = (*NetStore)(nil)
+
+// OpenNetStore dials a simd daemon (address forms per the simd client:
+// "unix:<path>", "tcp:<host:port>", bare path or host:port) and returns
+// a Store backed by its store service.
+func OpenNetStore(addr string) (*NetStore, error) {
+	conn, err := simdclient.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("runner: dial net store %s: %w", addr, err)
+	}
+	return &NetStore{conn: conn}, nil
+}
+
+// Close tears down the daemon connection. Subsequent operations fail
+// (and so read as misses).
+func (s *NetStore) Close() error { return s.conn.Close() }
+
+// RemoteCounts implements RemoteCounter.
+func (s *NetStore) RemoteCounts() (hits, errors uint64) {
+	return s.hits.Load(), s.errs.Load()
+}
+
+// call performs one synchronous store round trip, counting failures.
+func (s *NetStore) call(req wire.Request) (wire.Response, bool) {
+	resp, err := s.conn.Call(context.Background(), req)
+	if err != nil {
+		s.errs.Add(1)
+		return wire.Response{}, false
+	}
+	return resp, true
+}
+
+// Lookup implements Store; a transport or protocol failure is a miss.
+func (s *NetStore) Lookup(k sim.Key) (StoredResult, bool) {
+	resp, ok := s.call(wire.Request{Op: wire.OpLookup, Key: k.String()})
+	if !ok || !resp.Found {
+		return StoredResult{}, false
+	}
+	var sr StoredResult
+	if err := json.Unmarshal(resp.Value, &sr); err != nil {
+		s.errs.Add(1)
+		return StoredResult{}, false
+	}
+	s.hits.Add(1)
+	return sr, true
+}
+
+// Record implements Store.
+func (s *NetStore) Record(k sim.Key, v StoredResult) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	s.call(wire.Request{Op: wire.OpRecord, Key: k.String(), Value: data})
+}
+
+// LookupArtifact implements Store; failures are misses.
+func (s *NetStore) LookupArtifact(k sim.Key) ([]byte, bool) {
+	resp, ok := s.call(wire.Request{Op: wire.OpLookupArtifact, Key: k.String()})
+	if !ok || !resp.Found {
+		return nil, false
+	}
+	s.hits.Add(1)
+	return append([]byte(nil), resp.Value...), true
+}
+
+// RecordArtifact implements Store. Non-JSON payloads are dropped here
+// (the Store contract lets backends embed payloads in JSON documents)
+// rather than burning a round trip on a frame the daemon would reject.
+func (s *NetStore) RecordArtifact(k sim.Key, data []byte) {
+	if !json.Valid(data) {
+		return
+	}
+	s.call(wire.Request{Op: wire.OpRecordArtifact, Key: k.String(), Value: data})
+}
+
+// Flush implements Store: it asks the daemon to persist its backing
+// store. Unlike lookups, a flush failure is surfaced — callers flush to
+// establish durability, and a silent no-op would break that contract.
+func (s *NetStore) Flush() error {
+	if _, err := s.conn.Call(context.Background(), wire.Request{Op: wire.OpFlush}); err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("runner: net store flush: %w", err)
+	}
+	return nil
+}

@@ -100,8 +100,11 @@ type Stats struct {
 	// GangBatches counts the gang passes dispatched; Ganged/GangBatches
 	// is the realized average gang size.
 	GangBatches uint64
-	// EnqueueBatches counts Enqueue calls — the batched, non-blocking
-	// submission passes of plan execution.
+	// EnqueueBatches counts Enqueue calls that registered fresh work —
+	// the batched, non-blocking submission passes of plan execution.
+	// Calls fully covered by the memo table or in-flight entries (a warm
+	// plan, or a solo sweep whose configs an earlier pass enqueued) are
+	// not counted.
 	EnqueueBatches uint64
 	// Barriers counts RunAll batches that had to submit fresh work (at
 	// least one config neither memoized nor in flight): the caller
@@ -117,17 +120,30 @@ type Stats struct {
 	ArtifactStoreHits uint64
 	// ArtifactComputes ran a sweep to produce an artifact.
 	ArtifactComputes uint64
+	// RemoteHits counts result and artifact lookups served by a remote
+	// store tier (a RemoteCounter backend such as NetStore). They are a
+	// subset of StoreHits/ArtifactStoreHits: every remote hit is also a
+	// store hit, so the two together separate local memo traffic from
+	// network store traffic.
+	RemoteHits uint64
+	// RemoteErrors counts remote-store round trips that failed and were
+	// degraded to misses (lookups) or dropped (records).
+	RemoteErrors uint64
 }
 
 // Hits is the total number of submissions that skipped simulation.
 func (s Stats) Hits() uint64 { return s.MemoHits + s.StoreHits + s.InFlightDedups }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; batch: %d enqueued in %d passes, %d barriers; gangs: %d ganged in %d batches; artifacts: %d hits, %d store hits, %d computes",
+	out := fmt.Sprintf("runner: %d submitted, %d simulated, %d memo hits, %d store hits, %d in-flight dedups, %d errors, %d evictions; batch: %d enqueued in %d passes, %d barriers; gangs: %d ganged in %d batches; artifacts: %d hits, %d store hits, %d computes",
 		s.Submitted, s.Runs, s.MemoHits, s.StoreHits, s.InFlightDedups, s.Errors,
 		s.Evictions, s.Enqueued, s.EnqueueBatches, s.Barriers,
 		s.Ganged, s.GangBatches,
 		s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
+	if s.RemoteHits > 0 || s.RemoteErrors > 0 {
+		out += fmt.Sprintf("; remote: %d hits, %d errors", s.RemoteHits, s.RemoteErrors)
+	}
+	return out
 }
 
 // Delta returns the field-wise difference s − prev: the runner activity
@@ -152,6 +168,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		ArtifactHits:      s.ArtifactHits - prev.ArtifactHits,
 		ArtifactStoreHits: s.ArtifactStoreHits - prev.ArtifactStoreHits,
 		ArtifactComputes:  s.ArtifactComputes - prev.ArtifactComputes,
+		RemoteHits:        s.RemoteHits - prev.RemoteHits,
+		RemoteErrors:      s.RemoteErrors - prev.RemoteErrors,
 	}
 }
 
@@ -252,9 +270,16 @@ func Default() *Runner {
 	return defaultRunner
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. When the store is a remote tier
+// (RemoteCounter), its hit/error counts are folded in.
 func (r *Runner) Stats() Stats {
+	var remoteHits, remoteErrs uint64
+	if rc, ok := r.store.(RemoteCounter); ok {
+		remoteHits, remoteErrs = rc.RemoteCounts()
+	}
 	return Stats{
+		RemoteHits:        remoteHits,
+		RemoteErrors:      remoteErrs,
 		Submitted:         r.submitted.Load(),
 		MemoHits:          r.memoHits.Load(),
 		StoreHits:         r.storeHits.Load(),
@@ -405,7 +430,6 @@ func (r *Runner) Enqueue(ctx context.Context, cfgs []sim.Config) (int, func()) {
 	if len(cfgs) == 0 || ctx.Err() != nil {
 		return 0, func() {}
 	}
-	r.enqueueBatches.Add(1)
 	var wg sync.WaitGroup
 	var fresh []gangItem
 	for i := range cfgs {
@@ -420,6 +444,10 @@ func (r *Runner) Enqueue(ctx context.Context, cfgs []sim.Config) (int, func()) {
 		r.mu.Unlock()
 		fresh = append(fresh, gangItem{cfg: cfgs[i], key: key, e: e})
 	}
+	if len(fresh) == 0 {
+		return 0, func() {}
+	}
+	r.enqueueBatches.Add(1)
 	r.enqueued.Add(uint64(len(fresh)))
 
 	solo := func(it gangItem) {

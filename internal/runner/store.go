@@ -38,6 +38,16 @@ type Store interface {
 	Flush() error
 }
 
+// RemoteCounter is implemented by Store backends that talk to a remote
+// tier (NetStore); Runner.Stats folds the counts into its
+// RemoteHits/RemoteErrors fields so -stats output distinguishes local
+// memo hits from network store traffic.
+type RemoteCounter interface {
+	// RemoteCounts returns the backend's cumulative successful remote
+	// hits and failed round trips.
+	RemoteCounts() (hits, errors uint64)
+}
+
 // StoredResult is one persisted simulation outcome: either a successful
 // result or the message of the real (non-cancellation) error the
 // simulation failed with. Persisting errors keeps a failing config from
@@ -254,8 +264,14 @@ func (s *MemStore) LookupArtifact(k sim.Key) ([]byte, bool) {
 	return data, ok
 }
 
-// RecordArtifact implements Store.
+// RecordArtifact implements Store. Like DiskStore, non-JSON payloads
+// are dropped (they stay cache misses): the reference in-memory backend
+// models the strictest contract a backend may apply, so code that works
+// against a MemStore works against every store.
 func (s *MemStore) RecordArtifact(k sim.Key, data []byte) {
+	if !json.Valid(data) {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.artifacts[k.String()] = append([]byte(nil), data...)

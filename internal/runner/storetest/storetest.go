@@ -1,0 +1,167 @@
+// Package storetest is the runner.Store conformance suite: one set of
+// contract assertions every backend — MemStore, DiskStore, NetStore
+// against an in-process daemon, and any future sharded store — must
+// pass. The contract under test is the Store interface doc plus the
+// parts the Runner relies on: result and error round trips, artifact
+// round trips with the non-JSON-drop rule, record-buffer independence,
+// and stored outcomes (results and failures alike) replaying through a
+// Runner without re-simulating.
+package storetest
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"resizecache/internal/runner"
+	"resizecache/internal/sim"
+	"resizecache/internal/stats"
+)
+
+// key returns a distinct deterministic fingerprint per seed.
+func key(seed byte) sim.Key {
+	var k sim.Key
+	for i := range k {
+		k[i] = seed + byte(i)
+	}
+	return k
+}
+
+// sampleResult is a representative outcome: scalar, float, and slice
+// fields all set, so a lossy round trip (JSON or wire) cannot hide. The
+// floats are binary-exact in JSON.
+func sampleResult() sim.Result {
+	return sim.Result{
+		EDP: stats.EDP{EnergyJ: 0.125, Cycles: 123456},
+		DCache: sim.CacheReport{Accesses: 42, MissRatio: 0.25, AvgBytes: 16384,
+			FullBytes: 32768, Resizes: 3, FlushedBlocks: 7,
+			SizeTrace: []int{32768, 16384, 16384},
+			EnergyPJ:  12.5, SwitchingPJ: 10.5, BackgroundPJ: 2},
+		ICache: sim.CacheReport{Accesses: 99, FullBytes: 32768},
+		Levels: []sim.LevelReport{{Name: "L2",
+			CacheReport: sim.CacheReport{Accesses: 7, FullBytes: 512 << 10}}},
+	}
+}
+
+// Run exercises one Store implementation against the full contract.
+// open must return a fresh, empty store per call; it is called once per
+// subtest, so backends with per-instance state (temp files, daemon
+// connections) get clean fixtures.
+func Run(t *testing.T, open func(t *testing.T) runner.Store) {
+	t.Run("ResultRoundTrip", func(t *testing.T) {
+		s := open(t)
+		want := runner.StoredResult{Result: sampleResult()}
+		s.Record(key(1), want)
+		got, ok := s.Lookup(key(1))
+		if !ok {
+			t.Fatal("recorded result not found")
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip mutated the result:\n got %+v\nwant %+v", got, want)
+		}
+		if _, ok := s.Lookup(key(2)); ok {
+			t.Error("lookup of an unrecorded key reported a hit")
+		}
+	})
+
+	t.Run("ErrorRoundTrip", func(t *testing.T) {
+		s := open(t)
+		want := runner.StoredResult{Err: "workload exploded"}
+		s.Record(key(3), want)
+		got, ok := s.Lookup(key(3))
+		if !ok {
+			t.Fatal("recorded failure not found")
+		}
+		if got.Err != want.Err {
+			t.Errorf("Err = %q, want %q", got.Err, want.Err)
+		}
+	})
+
+	t.Run("ArtifactRoundTrip", func(t *testing.T) {
+		s := open(t)
+		payload := []byte(`{"winner":3,"edp":0.5}`)
+		s.RecordArtifact(key(4), payload)
+		got, ok := s.LookupArtifact(key(4))
+		if !ok {
+			t.Fatal("recorded artifact not found")
+		}
+		if string(got) != string(payload) {
+			t.Errorf("artifact = %s, want %s", got, payload)
+		}
+		if _, ok := s.LookupArtifact(key(5)); ok {
+			t.Error("lookup of an unrecorded artifact key reported a hit")
+		}
+	})
+
+	t.Run("NonJSONArtifactDropped", func(t *testing.T) {
+		s := open(t)
+		s.RecordArtifact(key(6), []byte("not json at all"))
+		if _, ok := s.LookupArtifact(key(6)); ok {
+			t.Error("non-JSON artifact was stored; the contract says it stays a miss")
+		}
+	})
+
+	t.Run("RecordBufferIndependence", func(t *testing.T) {
+		s := open(t)
+		payload := []byte(`{"v":1}`)
+		s.RecordArtifact(key(7), payload)
+		payload[5] = '2' // the caller reuses its buffer
+		got, ok := s.LookupArtifact(key(7))
+		if !ok {
+			t.Fatal("recorded artifact not found")
+		}
+		if string(got) != `{"v":1}` {
+			t.Errorf("artifact aliases the caller's buffer: got %s", got)
+		}
+	})
+
+	t.Run("FlushSucceeds", func(t *testing.T) {
+		s := open(t)
+		s.Record(key(8), runner.StoredResult{Result: sampleResult()})
+		if err := s.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	})
+
+	t.Run("StoredResultReplay", func(t *testing.T) {
+		s := open(t)
+		cfg := sim.Default("gcc")
+		cfg.Instructions = 1000
+		want := sampleResult()
+		s.Record(cfg.Key(), runner.StoredResult{Result: want})
+		r := runner.New(runner.Options{Store: s, RunSim: func(sim.Config) (sim.Result, error) {
+			t.Error("stored config was re-simulated")
+			return sim.Result{}, nil
+		}})
+		got, err := r.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("replayed result differs:\n got %+v\nwant %+v", got, want)
+		}
+		if st := r.Stats(); st.StoreHits != 1 || st.Runs != 0 {
+			t.Errorf("stats = %v; want 1 store hit, 0 runs", st)
+		}
+	})
+
+	t.Run("StoredErrorReplay", func(t *testing.T) {
+		s := open(t)
+		cfg := sim.Default("gcc")
+		cfg.Instructions = 1000
+		s.Record(cfg.Key(), runner.StoredResult{Err: "known-bad config"})
+		r := runner.New(runner.Options{Store: s, RunSim: func(sim.Config) (sim.Result, error) {
+			t.Error("stored failure was re-simulated")
+			return sim.Result{}, nil
+		}})
+		_, err := r.Run(context.Background(), cfg)
+		var stored *runner.StoredError
+		if !errors.As(err, &stored) {
+			t.Fatalf("Run error = %v; want a replayed *StoredError", err)
+		}
+		if stored.Msg != "known-bad config" {
+			t.Errorf("replayed message = %q, want %q", stored.Msg, "known-bad config")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package simd
+
+import (
+	"testing"
+
+	"resizecache/internal/simd/client"
+)
+
+// TestAddressGrammar keeps the server's parseAddr and the client's
+// ParseAddr in lockstep: the two packages deliberately do not import
+// each other, so this table is the contract that one address string
+// means the same endpoint on both ends.
+func TestAddressGrammar(t *testing.T) {
+	cases := []struct {
+		addr    string
+		network string
+		target  string
+	}{
+		{"unix:/run/simd.sock", "unix", "/run/simd.sock"},
+		{"tcp:127.0.0.1:9821", "tcp", "127.0.0.1:9821"},
+		{"tcp:localhost:80", "tcp", "localhost:80"},
+		{"/tmp/simd.sock", "unix", "/tmp/simd.sock"},
+		{"./relative.sock", "unix", "./relative.sock"},
+		{`C:\pipe\simd`, "unix", `C:\pipe\simd`},
+		{"127.0.0.1:9821", "tcp", "127.0.0.1:9821"},
+		{"localhost:9821", "tcp", "localhost:9821"},
+	}
+	for _, tc := range cases {
+		sn, st := parseAddr(tc.addr)
+		if sn != tc.network || st != tc.target {
+			t.Errorf("server parseAddr(%q) = %s, %s; want %s, %s",
+				tc.addr, sn, st, tc.network, tc.target)
+		}
+		cn, ct := client.ParseAddr(tc.addr)
+		if cn != sn || ct != st {
+			t.Errorf("grammar skew on %q: client says %s,%s; server says %s,%s",
+				tc.addr, cn, ct, sn, st)
+		}
+	}
+}

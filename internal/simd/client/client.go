@@ -1,0 +1,229 @@
+// Package client implements the client side of the simd wire protocol:
+// one multiplexed connection over which synchronous store calls (Call)
+// and streaming plan submissions (Stream) interleave freely. Both
+// runner.NetStore and the facade's RemoteSession are built on a Conn.
+package client
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+
+	"resizecache/internal/simd/wire"
+)
+
+// RemoteError is a request-level failure reported by the daemon (a
+// KindError frame): the request reached the server and was rejected, as
+// opposed to a transport failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "simd: remote error: " + e.Msg }
+
+// ParseAddr splits a simd address into a net.Dial network and target.
+// Accepted forms: "unix:<path>", "tcp:<host:port>", a bare path
+// containing a path separator (unix), or a bare host:port (tcp).
+func ParseAddr(addr string) (network, target string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsAny(addr, "/\\"):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}
+
+// Conn is a multiplexed client connection to a simd daemon. Safe for
+// concurrent use: requests carry unique IDs, a single read loop routes
+// response frames to their callers, and writes are serialized.
+type Conn struct {
+	nc  net.Conn
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Response
+	err     error
+	closed  chan struct{} // closed when the read loop exits
+}
+
+// Dial connects to a simd daemon at addr (see ParseAddr).
+func Dial(addr string) (*Conn, error) {
+	network, target := ParseAddr(addr)
+	nc, err := net.Dial(network, target)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		nc:      nc,
+		pending: make(map[uint64]chan wire.Response),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; pending calls fail with the close
+// error.
+func (c *Conn) Close() error {
+	err := c.nc.Close()
+	<-c.closed
+	return err
+}
+
+// Err returns the error that terminated the read loop, if it has.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// readLoop routes incoming frames to their exchange's channel. A
+// decode or transport error terminates the connection: the loop records
+// the error and closes the broadcast channel every waiter selects on.
+func (c *Conn) readLoop() {
+	for {
+		var resp wire.Response
+		if err := wire.ReadFrame(c.nc, &resp); err != nil {
+			c.mu.Lock()
+			c.err = err
+			close(c.closed)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		if resp.Kind != wire.KindResult {
+			// A terminal frame (done/reply/error) ends the exchange.
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			// Call buffers its single reply and Stream drains to the
+			// terminal frame before abandoning its channel, so this send
+			// cannot block the loop indefinitely.
+			ch <- resp
+		}
+	}
+}
+
+// send registers a new exchange and writes its request frame. buffered
+// sizes the exchange channel: 1 for single-reply calls, larger for
+// streams so the read loop keeps flowing while the consumer works.
+func (c *Conn) send(req wire.Request, buffered int) (chan wire.Response, uint64, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Response, buffered)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req.V = wire.ProtocolVersion
+	req.ID = id
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.nc, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return nil, 0, err
+	}
+	return ch, id, nil
+}
+
+// forget abandons an exchange: late frames for the ID are dropped by
+// the read loop.
+func (c *Conn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Call performs one synchronous request and returns its single reply
+// frame. A KindError reply is surfaced as a *RemoteError.
+func (c *Conn) Call(ctx context.Context, req wire.Request) (wire.Response, error) {
+	ch, id, err := c.send(req, 1)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Kind == wire.KindError {
+			return wire.Response{}, &RemoteError{Msg: resp.Err}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(id)
+		return wire.Response{}, ctx.Err()
+	case <-c.closed:
+		return wire.Response{}, c.Err()
+	}
+}
+
+// Stream performs one streaming request (OpPlan), invoking frame for
+// every KindResult until the server's KindDone. Cancelling ctx — or a
+// frame callback error — sends a best-effort OpCancel and keeps
+// draining the exchange to its terminal frame so the connection's
+// multiplexing stays healthy, then returns the cancellation cause. A
+// KindError terminal frame returns a *RemoteError; a connection failure
+// returns the transport error.
+func (c *Conn) Stream(ctx context.Context, req wire.Request, frame func(wire.Response) error) error {
+	ch, id, err := c.send(req, 64)
+	if err != nil {
+		return err
+	}
+	done := ctx.Done()
+	var cause error // first cancellation/callback error; wins over later frames
+	abandon := func(err error) {
+		if cause != nil {
+			return
+		}
+		cause = err
+		done = nil // drain on frames alone from here
+		c.wmu.Lock()
+		// Best-effort: if the cancel frame cannot be written the read
+		// loop is about to fail and end the drain anyway.
+		_ = wire.WriteFrame(c.nc, wire.Request{V: wire.ProtocolVersion, Op: wire.OpCancel, Target: id})
+		c.wmu.Unlock()
+	}
+	for {
+		select {
+		case resp := <-ch:
+			switch resp.Kind {
+			case wire.KindDone:
+				if cause != nil {
+					return cause
+				}
+				return nil
+			case wire.KindError:
+				if cause != nil {
+					return cause
+				}
+				return &RemoteError{Msg: resp.Err}
+			default:
+				if cause != nil {
+					continue // draining after cancellation
+				}
+				if err := frame(resp); err != nil {
+					abandon(err)
+				}
+			}
+		case <-done:
+			abandon(ctx.Err())
+			// Keep draining: the terminal frame (or connection close)
+			// ends the loop.
+		case <-c.closed:
+			if cause != nil {
+				return cause
+			}
+			return c.Err()
+		}
+	}
+}

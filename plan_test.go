@@ -240,8 +240,10 @@ func TestOnResultReportsCompletedOfTotal(t *testing.T) {
 // TestPlanRunsAsOneBatchedPass is the acceptance check for batch
 // scheduling: a multi-scenario plan submits its profiling sweeps through
 // one batched enqueue pass and gathers with zero fan-out barriers, where
-// the same scenarios run sequentially through Simulate pay one barrier
-// per sweep; and a warm plan re-run neither enqueues nor simulates.
+// the same scenarios run sequentially through Simulate pay one enqueue
+// pass per sweep (each sweep pre-enqueues its own candidates, so even
+// the solo path gangs and gathers barrier-free); and a warm plan re-run
+// neither enqueues nor simulates.
 func TestPlanRunsAsOneBatchedPass(t *testing.T) {
 	scenarios := []Scenario{
 		{Benchmark: "m88ksim", Organization: SelectiveSets, Sides: DOnly, Instructions: 60_000},
@@ -268,7 +270,9 @@ func TestPlanRunsAsOneBatchedPass(t *testing.T) {
 		t.Errorf("plan gathers fanned out %d barriers, want 0", bst.Barriers)
 	}
 
-	// The same scenarios sequentially: one fan-out barrier per sweep.
+	// The same scenarios sequentially: one enqueue pass per sweep, and —
+	// because each sweep pre-enqueues its candidates — zero gather-time
+	// barriers and ganged execution even on the solo path.
 	seq := NewSession()
 	for _, sc := range scenarios {
 		if _, err := seq.Simulate(sc); err != nil {
@@ -279,9 +283,16 @@ func TestPlanRunsAsOneBatchedPass(t *testing.T) {
 	if sst.Runs != bst.Runs {
 		t.Fatalf("paths ran different work: %d vs %d sims", sst.Runs, bst.Runs)
 	}
-	if sst.Barriers != uint64(len(scenarios)) {
-		t.Errorf("sequential path hit %d barriers, want %d (one per sweep)",
-			sst.Barriers, len(scenarios))
+	if sst.EnqueueBatches != uint64(len(scenarios)) {
+		t.Errorf("sequential path used %d enqueue passes, want %d (one per sweep)",
+			sst.EnqueueBatches, len(scenarios))
+	}
+	if sst.Barriers != 0 {
+		t.Errorf("sequential sweeps hit %d gather barriers, want 0 (candidates pre-enqueue)",
+			sst.Barriers)
+	}
+	if sst.Ganged == 0 {
+		t.Errorf("sequential sweeps coalesced no gangs: %+v", sst)
 	}
 
 	// Warm-cache behaviour is preserved: a repeated plan resolves at the

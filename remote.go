@@ -1,0 +1,199 @@
+package resizecache
+
+// The remote execution surface: Dial connects to a long-lived simd
+// daemon (cmd/simd, internal/simd) and returns a RemoteSession that
+// satisfies the same Executor surface as an in-process Session. Plans
+// serialize to the daemon, which partitions them across its worker
+// shards through the shared runner — so gang coalescing, in-flight
+// dedup, and memoization work across every connected client — and
+// streams per-scenario results back with the same error-isolation and
+// completed-of-total progress semantics Session.Run gives locally.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"resizecache/internal/runner"
+	simdclient "resizecache/internal/simd/client"
+	"resizecache/internal/simd/wire"
+)
+
+// RemoteError is a failure reported by the daemon — either a scenario's
+// isolated simulation error replayed over the wire, or a request-level
+// rejection.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "resizecache: remote: " + e.Msg }
+
+// RemoteSession executes scenarios on a simd daemon. It is an Executor:
+// Run, Simulate, and Artifact behave like Session's, except that
+// simulations run in the daemon's worker pool and memoize against every
+// other client's work. Safe for concurrent use; one connection
+// multiplexes concurrent plans. Close when done.
+type RemoteSession struct {
+	conn *simdclient.Conn
+}
+
+var _ Executor = (*RemoteSession)(nil)
+
+// Dial connects to a simd daemon. Address forms: "unix:<path>",
+// "tcp:<host:port>", a bare path containing a path separator (unix), or
+// a bare host:port (tcp).
+func Dial(addr string) (*RemoteSession, error) {
+	conn, err := simdclient.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("resizecache: dial %s: %w", addr, err)
+	}
+	return &RemoteSession{conn: conn}, nil
+}
+
+// Close tears down the daemon connection; in-flight plans terminate
+// with transport errors.
+func (s *RemoteSession) Close() error { return s.conn.Close() }
+
+// Run executes a plan on the daemon and streams results with
+// Session.Run's contract: exactly plan.Len() results on a channel
+// buffered to the plan size, per-scenario error isolation, OnResult
+// progress in completion order. A transport failure mid-stream delivers
+// the connection error as each unfinished scenario's Result.Err;
+// cancelling ctx cancels the remote plan and does the same.
+func (s *RemoteSession) Run(ctx context.Context, plan Plan, opts ...RunOption) <-chan Result {
+	var ro runOptions
+	for _, o := range opts {
+		o(&ro)
+	}
+	out := make(chan Result, plan.Len())
+	if plan.Len() == 0 {
+		close(out)
+		return out
+	}
+	scenarios := plan.scenarios
+	go func() {
+		defer close(out)
+		total := len(scenarios)
+		delivered := make([]bool, total)
+		completed := 0
+		deliver := func(res Result) {
+			delivered[res.Index] = true
+			completed++
+			if ro.onResult != nil {
+				ro.onResult(res, completed, total)
+			}
+			out <- res
+		}
+
+		payload, err := json.Marshal(scenarios)
+		if err == nil {
+			err = s.conn.Stream(ctx, wire.Request{Op: wire.OpPlan, Scenarios: payload},
+				func(f wire.Response) error {
+					if f.Index < 0 || f.Index >= total || delivered[f.Index] {
+						return fmt.Errorf("resizecache: remote plan stream: unexpected result index %d", f.Index)
+					}
+					res := Result{Index: f.Index, Scenario: scenarios[f.Index]}
+					switch {
+					case f.Err != "":
+						res.Err = &RemoteError{Msg: f.Err}
+					default:
+						if uerr := json.Unmarshal(f.Outcome, &res.Outcome); uerr != nil {
+							res.Err = fmt.Errorf("resizecache: decode remote outcome: %w", uerr)
+						}
+					}
+					deliver(res)
+					return nil
+				})
+		}
+		if completed == total {
+			return
+		}
+		// The stream ended before every scenario reported: attribute the
+		// stream-level failure to each unfinished scenario, preserving
+		// the exactly-plan.Len()-results contract.
+		if err == nil {
+			err = fmt.Errorf("resizecache: remote plan stream ended early (%d of %d results)", completed, total)
+		}
+		for i := range scenarios {
+			if !delivered[i] {
+				deliver(Result{Index: i, Scenario: scenarios[i], Err: err})
+			}
+		}
+	}()
+	return out
+}
+
+// Simulate runs one scenario on the daemon.
+func (s *RemoteSession) Simulate(sc Scenario) (Outcome, error) {
+	return s.SimulateContext(context.Background(), sc)
+}
+
+// SimulateContext is Simulate with cancellation: it submits the
+// scenario as a one-element plan, so identical concurrent submissions —
+// from this client or any other — deduplicate on the daemon.
+func (s *RemoteSession) SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
+	plan, err := PlanOf(sc)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res := <-s.Run(ctx, plan)
+	return res.Outcome, res.Err
+}
+
+// Artifact mirrors Session.Artifact against the daemon's store: a
+// payload cached under the plan's fingerprint is returned without
+// touching the plan's sweeps; a miss runs compute locally and records
+// the payload for every other client. Lookup failures degrade to
+// misses; a compute result that is not valid JSON is returned but not
+// recorded (the store contract).
+func (s *RemoteSession) Artifact(ctx context.Context, domain string, version int, plan Plan, compute func(context.Context) ([]byte, error)) ([]byte, error) {
+	key := planArtifactKey(domain, version, plan).String()
+	resp, err := s.conn.Call(ctx, wire.Request{Op: wire.OpLookupArtifact, Key: key})
+	if err == nil && resp.Found {
+		return append([]byte(nil), resp.Value...), nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	data, err := compute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if json.Valid(data) {
+		// Best-effort: a record failure costs the next client a
+		// recompute, never correctness.
+		s.conn.Call(ctx, wire.Request{Op: wire.OpRecordArtifact, Key: key, Value: data})
+	}
+	return data, nil
+}
+
+// PutArtifact force-installs a payload under Artifact's fingerprint on
+// the daemon (best-effort, like every store record).
+func (s *RemoteSession) PutArtifact(domain string, version int, plan Plan, payload []byte) {
+	if !json.Valid(payload) {
+		return
+	}
+	s.conn.Call(context.Background(), wire.Request{
+		Op: wire.OpRecordArtifact, Key: planArtifactKey(domain, version, plan).String(), Value: payload})
+}
+
+// Stats returns the daemon's cumulative scheduling counters — the
+// shared runner's view across every client. A transport failure returns
+// the zero Stats.
+func (s *RemoteSession) Stats() runner.Stats {
+	resp, err := s.conn.Call(context.Background(), wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return runner.Stats{}
+	}
+	var st runner.Stats
+	if json.Unmarshal(resp.Value, &st) != nil {
+		return runner.Stats{}
+	}
+	return st
+}
+
+// Flush asks the daemon to persist its backing store.
+func (s *RemoteSession) Flush() error {
+	if _, err := s.conn.Call(context.Background(), wire.Request{Op: wire.OpFlush}); err != nil {
+		return fmt.Errorf("resizecache: remote flush: %w", err)
+	}
+	return nil
+}

@@ -574,6 +574,32 @@ func SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
 	return simulate(ctx, sc, nil)
 }
 
+// Executor is the execution surface shared by the in-process Session
+// and the daemon-backed RemoteSession (see Dial): everything the figure
+// drivers and CLIs need — plan runs with streaming results, single
+// scenarios, plan-level artifact memoization, scheduling stats, and
+// store flushing. Code written against Executor runs unchanged whether
+// the simulations execute in this process or on a shared simd daemon.
+type Executor interface {
+	// Run executes a plan and streams results; see Session.Run.
+	Run(ctx context.Context, plan Plan, opts ...RunOption) <-chan Result
+	// Simulate / SimulateContext run one scenario.
+	Simulate(sc Scenario) (Outcome, error)
+	SimulateContext(ctx context.Context, sc Scenario) (Outcome, error)
+	// Artifact / PutArtifact memoize plan-level derived payloads; see
+	// Session.Artifact.
+	Artifact(ctx context.Context, domain string, version int, plan Plan, compute func(context.Context) ([]byte, error)) ([]byte, error)
+	PutArtifact(domain string, version int, plan Plan, payload []byte)
+	// Stats reports scheduling counters. For a RemoteSession they are
+	// the daemon's cumulative counters across all clients; diff two
+	// snapshots (runner.Stats.Delta) for a per-invocation view.
+	Stats() runner.Stats
+	// Flush persists the executor's store, if it has one.
+	Flush() error
+}
+
+var _ Executor = (*Session)(nil)
+
 // Session shares one run-orchestration layer (worker pool, memoized
 // result store, and sweep-level artifact cache; see internal/runner)
 // across many Simulate and Run calls while staying isolated from the
@@ -586,7 +612,7 @@ func SimulateContext(ctx context.Context, sc Scenario) (Outcome, error) {
 // Safe for concurrent use.
 type Session struct {
 	r     *runner.Runner
-	store *runner.DiskStore
+	store runner.Store
 }
 
 // NewSession returns a Session with a fresh memo store.
@@ -610,21 +636,29 @@ type SessionOptions struct {
 	// batch-enqueue pass coalesces into one gang simulation (0 =
 	// runner.DefaultGangSize, currently 8; 1 disables coalescing).
 	GangSize int
+	// Store injects a pluggable persistent backend — e.g. a
+	// runner.NetStore dialled to a simd daemon, so this session's
+	// simulations run locally but share the daemon's memo fabric.
+	// Mutually exclusive with StorePath (which opens a DiskStore).
+	Store runner.Store
 }
 
 // NewSessionWith returns a Session configured by opts.
 func NewSessionWith(opts SessionOptions) (*Session, error) {
+	if opts.Store != nil && opts.StorePath != "" {
+		return nil, fmt.Errorf("resizecache: SessionOptions.Store and StorePath are mutually exclusive")
+	}
 	ropts := runner.Options{Workers: opts.Workers, MemoLimit: opts.MemoLimit,
 		GangSize: opts.GangSize}
-	var store *runner.DiskStore
+	store := opts.Store
 	if opts.StorePath != "" {
-		var err error
-		store, err = runner.OpenDiskStore(opts.StorePath)
+		diskStore, err := runner.OpenDiskStore(opts.StorePath)
 		if err != nil {
 			return nil, err
 		}
-		ropts.Store = store
+		store = diskStore
 	}
+	ropts.Store = store
 	return &Session{r: runner.New(ropts), store: store}, nil
 }
 
