@@ -74,6 +74,7 @@ func realMain() int {
 		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print completed-of-total scenario progress to stderr (figure experiments only)")
+		sample   = flag.Bool("sample", false, "interval-sampled simulation (default schedule): several times faster, EDP reductions become estimates with error bars")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -113,6 +114,9 @@ func realMain() int {
 		if *progress {
 			fmt.Fprintln(os.Stderr, "figures: -progress is not supported for sensitivity experiments")
 		}
+		if *sample {
+			fmt.Fprintln(os.Stderr, "figures: -sample is not supported for sensitivity experiments (they bypass the plan protocol)")
+		}
 		if *server != "" {
 			fmt.Fprintln(os.Stderr, "figures: -server is not supported for sensitivity experiments (they bypass the plan protocol)")
 			return 1
@@ -150,6 +154,9 @@ func realMain() int {
 	}
 
 	fopts := figures.Options{Instructions: *instr, Apps: appList}
+	if *sample {
+		fopts.Sampling = resizecache.DefaultSampling()
+	}
 	if *progress {
 		fopts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d scenarios", done, total)

@@ -25,6 +25,12 @@ type Options struct {
 	Instructions uint64
 	// Apps restricts the benchmark list (nil = all twelve).
 	Apps []string
+	// Sampling, when enabled, runs every figure simulation interval
+	// sampled (resizecache.SamplingSpec): grids regenerate several times
+	// faster and the aggregated EDP reductions become estimates with
+	// error bars. Sampled and detailed figure aggregates cache under
+	// distinct artifact fingerprints. The zero value keeps full detail.
+	Sampling resizecache.SamplingSpec
 	// Progress, if non-nil, is invoked after each completed scenario of
 	// a figure's plan with completed-of-total counts.
 	Progress func(completed, total int)
@@ -175,6 +181,7 @@ func OrgGrid(ctx context.Context, s resizecache.Executor, orgs []resizecache.Org
 		Assocs:        assocs,
 		Sides:         []resizecache.Sides{resizecache.DOnly, resizecache.IOnly},
 		Instructions:  o.Instructions,
+		Sampling:      o.Sampling,
 	}
 	apps := o.apps()
 	return cachedFigure(ctx, s, "org-grid", grid, o, func(outs map[cell]resizecache.Outcome) (Fig4Result, error) {
@@ -279,6 +286,7 @@ func Figure5(ctx context.Context, s resizecache.Executor, side resizecache.Sides
 		Assocs:        []int{4},
 		Sides:         []resizecache.Sides{side},
 		Instructions:  o.Instructions,
+		Sampling:      o.Sampling,
 	}
 	return cachedFigure(ctx, s, "fig5", grid, o, func(outs map[cell]resizecache.Outcome) (Fig5Result, error) {
 		sizeRed := func(out resizecache.Outcome) float64 {
@@ -377,6 +385,7 @@ func StrategyPanel(ctx context.Context, s resizecache.Executor, side resizecache
 		Sides:         []resizecache.Sides{side},
 		Engines:       []resizecache.Engine{engine},
 		Instructions:  o.Instructions,
+		Sampling:      o.Sampling,
 	}
 	return cachedFigure(ctx, s, "strategy-panel", grid, o, func(outs map[cell]resizecache.Outcome) (Fig7Result, error) {
 		inOrder := engine == resizecache.InOrderEngine
@@ -495,6 +504,7 @@ func Figure9(ctx context.Context, s resizecache.Executor, o Options) (Fig9Result
 		Assocs:        []int{2},
 		Sides:         []resizecache.Sides{resizecache.DOnly, resizecache.IOnly, resizecache.BothSides},
 		Instructions:  o.Instructions,
+		Sampling:      o.Sampling,
 	}
 	return cachedFigure(ctx, s, "fig9", grid, o, func(outs map[cell]resizecache.Outcome) (Fig9Result, error) {
 		var f Fig9Result
@@ -572,6 +582,7 @@ func FigureL2(ctx context.Context, s resizecache.Executor, strat resizecache.Str
 		L2Orgs:        orgs,
 		L2Strategies:  []resizecache.Strategy{strat},
 		Instructions:  o.Instructions,
+		Sampling:      o.Sampling,
 	}
 	apps := o.apps()
 	return cachedFigure(ctx, s, "fig-l2", grid, o, func(outs map[cell]resizecache.Outcome) (FigL2Result, error) {

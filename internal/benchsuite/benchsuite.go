@@ -26,6 +26,7 @@ import (
 	"resizecache/figures"
 	"resizecache/internal/core"
 	"resizecache/internal/geometry"
+	"resizecache/internal/runner"
 	"resizecache/internal/sim"
 	"resizecache/internal/workload"
 )
@@ -54,6 +55,7 @@ type Bench struct {
 func All() []Bench {
 	return []Bench{
 		{Name: "SimRun", Short: true, F: SimRun},
+		{Name: "SimSampled", Short: true, F: SimSampled},
 		{Name: "SimRunDeepHierarchy", Short: true, F: SimRunDeepHierarchy},
 		{Name: "SimInOrder", Short: true, F: SimInOrder},
 		{Name: "SweepGang", Short: true, F: SweepGang},
@@ -116,6 +118,47 @@ func SimInOrder(b *testing.B) {
 		if _, err := sim.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
+}
+
+// SimSampled times interval-sampled execution of exactly the SimRun
+// workload (the default sampling schedule, warmup checkpointed through
+// an in-memory store as the runner does) and reports sampled_speedup_x:
+// the multiplier over a fully detailed sim.Run of the same config,
+// measured untimed each invocation. The first iteration computes and
+// records the warmup checkpoint; later iterations restore it, exactly
+// the steady state of a design-space sweep. edp_relse_pct reports the
+// estimate's own error bar (one relative standard error, in percent).
+func SimSampled(b *testing.B) {
+	full := sim.Default("gcc")
+	full.Instructions = 200_000
+	soloStart := time.Now()
+	if _, err := sim.Run(full); err != nil {
+		b.Fatal(err)
+	}
+	soloNs := float64(time.Since(soloStart).Nanoseconds())
+
+	cfg := full
+	cfg.Sampling = sim.DefaultSampling()
+	store := runner.NewMemStore()
+	var last sim.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	sampledStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, _, err := sim.RunWithCheckpoints(cfg, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	sampledNs := float64(time.Since(sampledStart).Nanoseconds()) / float64(b.N)
+	if sampledNs > 0 {
+		b.ReportMetric(soloNs/sampledNs, "sampled_speedup_x")
+	}
+	if last.Sample != nil {
+		b.ReportMetric(100*last.Sample.EDPRelStdErr, "edp_relse_pct")
 	}
 	b.ReportMetric(float64(cfg.Instructions), "instrs/op")
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Delta is one benchmark's comparison against a baseline report.
@@ -15,6 +16,35 @@ type Delta struct {
 	Pct      float64 // (NewNs-BaseNs)/BaseNs * 100; positive = slower
 	Missing  bool    // benchmark absent from the baseline
 	BaseFail bool    // baseline entry failed; delta not meaningful
+	// Metrics compares the entry's custom metrics (b.ReportMetric
+	// values) against the baseline entry's, sorted by name. A metric
+	// present only in the current report — a freshly added measurement
+	// like sampled_speedup_x landing in an existing benchmark — is a new
+	// entry (NewInReport), never a failure or regression; one present
+	// only in the baseline is flagged Removed so silently dropped
+	// measurements still surface in the comparison output.
+	Metrics []MetricDelta
+}
+
+// MetricDelta is one custom metric's comparison against the baseline
+// entry of the same benchmark.
+type MetricDelta struct {
+	Name        string
+	Base, New   float64
+	Pct         float64 // (New-Base)/Base * 100 when both sides present
+	NewInReport bool    // metric absent from the baseline entry
+	Removed     bool    // metric absent from the current entry
+}
+
+func (m MetricDelta) String() string {
+	switch {
+	case m.NewInReport:
+		return fmt.Sprintf("%s=%g (new metric)", m.Name, m.New)
+	case m.Removed:
+		return fmt.Sprintf("%s (removed; baseline %g)", m.Name, m.Base)
+	default:
+		return fmt.Sprintf("%s=%g (%+.1f%%)", m.Name, m.New, m.Pct)
+	}
 }
 
 // Regressed reports whether this delta is a regression past maxPct.
@@ -31,8 +61,18 @@ func (d Delta) String() string {
 	if d.BaseFail {
 		return fmt.Sprintf("%-24s %12.0f ns/op   (baseline failed)", d.Name, d.NewNs)
 	}
-	return fmt.Sprintf("%-24s %12.0f ns/op   baseline %12.0f   %+7.1f%%",
+	s := fmt.Sprintf("%-24s %12.0f ns/op   baseline %12.0f   %+7.1f%%",
 		d.Name, d.NewNs, d.BaseNs, d.Pct)
+	var notes []string
+	for _, m := range d.Metrics {
+		if m.NewInReport || m.Removed {
+			notes = append(notes, m.String())
+		}
+	}
+	if len(notes) > 0 {
+		s += "   [" + strings.Join(notes, ", ") + "]"
+	}
+	return s
 }
 
 // Compare matches current entries against a baseline report by name and
@@ -59,10 +99,40 @@ func Compare(base Report, cur []Entry) []Delta {
 		default:
 			d.BaseNs = b.NsPerOp
 			d.Pct = (e.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			d.Metrics = compareMetrics(b.Metrics, e.Metrics)
 		}
 		deltas = append(deltas, d)
 	}
 	return deltas
+}
+
+// compareMetrics matches two entries' custom-metric maps by name. New
+// metrics (current only) and removed metrics (baseline only) are
+// flagged, not dropped, so a growing or shrinking metric set reads as
+// exactly that in the comparison.
+func compareMetrics(base, cur map[string]float64) []MetricDelta {
+	names := make([]string, 0, len(base)+len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []MetricDelta
+	for _, name := range names {
+		bv, inBase := base[name]
+		cv, inCur := cur[name]
+		m := MetricDelta{Name: name, Base: bv, New: cv,
+			NewInReport: !inBase, Removed: !inCur}
+		if inBase && inCur && bv != 0 {
+			m.Pct = (cv - bv) / bv * 100
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // Regressions filters deltas to those past maxPct, worst first.

@@ -3,6 +3,7 @@ package benchsuite
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -40,6 +41,55 @@ func TestCompareDeltas(t *testing.T) {
 	}
 	if d := deltas[3]; !d.Missing {
 		t.Errorf("SweepGang delta = %+v, want Missing", d)
+	}
+}
+
+// A metric that exists only in the new report — sampled_speedup_x landing
+// in an upgraded benchmark, or a whole new benchmark like SimSampled —
+// must read as a new entry, never as a failure or regression.
+func TestCompareNewMetricsAreNewEntries(t *testing.T) {
+	base := Report{
+		Schema: 1,
+		Benchmarks: []Entry{
+			{Name: "SimRun", NsPerOp: 1000,
+				Metrics: map[string]float64{"instrs/op": 200000, "legacy_ratio": 2}},
+		},
+	}
+	cur := []Entry{
+		{Name: "SimRun", NsPerOp: 1000,
+			Metrics: map[string]float64{"instrs/op": 200000, "sampled_speedup_x": 3.4}},
+		{Name: "SimSampled", NsPerOp: 300,
+			Metrics: map[string]float64{"sampled_speedup_x": 3.4}},
+	}
+	deltas := Compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %v", len(deltas), deltas)
+	}
+	if bad := Regressions(deltas, 0); len(bad) != 0 {
+		t.Fatalf("new metrics/benchmarks reported as regressions: %v", bad)
+	}
+
+	simRun := deltas[0]
+	byName := map[string]MetricDelta{}
+	for _, m := range simRun.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["sampled_speedup_x"]; !m.NewInReport || m.New != 3.4 {
+		t.Errorf("sampled_speedup_x = %+v, want NewInReport with value 3.4", m)
+	}
+	if m := byName["legacy_ratio"]; !m.Removed || m.Base != 2 {
+		t.Errorf("legacy_ratio = %+v, want Removed with baseline 2", m)
+	}
+	if m := byName["instrs/op"]; m.NewInReport || m.Removed || m.Pct != 0 {
+		t.Errorf("instrs/op = %+v, want unchanged both-sides metric", m)
+	}
+	if s := simRun.String(); !strings.Contains(s, "sampled_speedup_x=3.4 (new metric)") ||
+		!strings.Contains(s, "legacy_ratio (removed; baseline 2)") {
+		t.Errorf("SimRun delta string missing metric notes: %q", s)
+	}
+
+	if d := deltas[1]; !d.Missing || d.Regressed(0) {
+		t.Errorf("SimSampled delta = %+v, want Missing and never regressed", d)
 	}
 }
 

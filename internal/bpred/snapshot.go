@@ -1,0 +1,206 @@
+package bpred
+
+import "fmt"
+
+// This file implements warm-state snapshot/restore for every predictor
+// structure. The sampled execution mode serializes these states into
+// persistent warmup checkpoints (internal/sim), so the field sets below
+// are a wire format: changing what they capture requires bumping the
+// checkpoint format version in internal/sim (see CONTRIBUTING.md).
+
+// PredictorState is the serializable warm state of a direction
+// predictor. Table holds two-bit counters one per byte ([]byte
+// round-trips through JSON as base64, keeping checkpoints compact);
+// combining predictors store the meta table there and their components
+// in Comp1/Comp2.
+type PredictorState struct {
+	Kind    string          `json:"kind"`
+	Table   []byte          `json:"table"`
+	History uint64          `json:"history,omitempty"` // gshare global history
+	Comp1   *PredictorState `json:"comp1,omitempty"`
+	Comp2   *PredictorState `json:"comp2,omitempty"`
+}
+
+func counterBytes(t []twoBit) []byte {
+	b := make([]byte, len(t))
+	for i, c := range t {
+		b[i] = byte(c)
+	}
+	return b
+}
+
+func restoreCounters(dst []twoBit, src []byte, what string) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("bpred: %s table length %d does not match predictor's %d", what, len(src), len(dst))
+	}
+	for i, b := range src {
+		if b > 3 {
+			return fmt.Errorf("bpred: %s counter %d out of two-bit range", what, b)
+		}
+		dst[i] = twoBit(b)
+	}
+	return nil
+}
+
+// SnapshotPredictor captures the warm state of a predictor built from
+// this package's constructors. It errors on an unknown implementation,
+// so a new predictor type cannot silently checkpoint as empty state.
+func SnapshotPredictor(p Predictor) (PredictorState, error) {
+	switch v := p.(type) {
+	case *Bimodal:
+		return PredictorState{Kind: "bimodal", Table: counterBytes(v.table)}, nil
+	case *GShare:
+		return PredictorState{Kind: "gshare", Table: counterBytes(v.table), History: v.history}, nil
+	case *Combining:
+		c1, err := SnapshotPredictor(v.comp1)
+		if err != nil {
+			return PredictorState{}, err
+		}
+		c2, err := SnapshotPredictor(v.comp2)
+		if err != nil {
+			return PredictorState{}, err
+		}
+		return PredictorState{Kind: "combining", Table: counterBytes(v.meta), Comp1: &c1, Comp2: &c2}, nil
+	default:
+		return PredictorState{}, fmt.Errorf("bpred: cannot snapshot predictor %q (%T)", p.Name(), p)
+	}
+}
+
+// RestorePredictor loads a snapshot into an already-constructed
+// predictor of the same shape (same kinds, same table geometries).
+func RestorePredictor(p Predictor, s PredictorState) error {
+	switch v := p.(type) {
+	case *Bimodal:
+		if s.Kind != "bimodal" {
+			return fmt.Errorf("bpred: snapshot kind %q into bimodal", s.Kind)
+		}
+		return restoreCounters(v.table, s.Table, "bimodal")
+	case *GShare:
+		if s.Kind != "gshare" {
+			return fmt.Errorf("bpred: snapshot kind %q into gshare", s.Kind)
+		}
+		if err := restoreCounters(v.table, s.Table, "gshare"); err != nil {
+			return err
+		}
+		v.history = s.History & ((1 << v.histLen) - 1)
+		return nil
+	case *Combining:
+		if s.Kind != "combining" || s.Comp1 == nil || s.Comp2 == nil {
+			return fmt.Errorf("bpred: snapshot kind %q into combining", s.Kind)
+		}
+		if err := restoreCounters(v.meta, s.Table, "combining meta"); err != nil {
+			return err
+		}
+		if err := RestorePredictor(v.comp1, *s.Comp1); err != nil {
+			return err
+		}
+		return RestorePredictor(v.comp2, *s.Comp2)
+	default:
+		return fmt.Errorf("bpred: cannot restore predictor %q (%T)", p.Name(), p)
+	}
+}
+
+// BTBState is the serializable warm state of a BTB: parallel per-entry
+// arrays plus the LRU clock and hit counters.
+type BTBState struct {
+	Tags    []uint64 `json:"tags"`
+	Targets []uint64 `json:"targets"`
+	LRU     []uint64 `json:"lru"`
+	Valid   []byte   `json:"valid"`
+	Clock   uint64   `json:"clock"`
+	Lookups uint64   `json:"lookups"`
+	Hits    uint64   `json:"hits"`
+}
+
+// Snapshot captures the BTB's warm state.
+func (b *BTB) Snapshot() BTBState {
+	n := len(b.entries)
+	s := BTBState{
+		Tags:    make([]uint64, n),
+		Targets: make([]uint64, n),
+		LRU:     make([]uint64, n),
+		Valid:   make([]byte, n),
+		Clock:   b.clock,
+		Lookups: b.Lookups,
+		Hits:    b.Hits,
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		s.Tags[i] = e.tag
+		s.Targets[i] = e.tgt
+		s.LRU[i] = e.lru
+		if e.valid {
+			s.Valid[i] = 1
+		}
+	}
+	return s
+}
+
+// Restore loads a snapshot into a BTB of the same geometry.
+func (b *BTB) Restore(s BTBState) error {
+	n := len(b.entries)
+	if len(s.Tags) != n || len(s.Targets) != n || len(s.LRU) != n || len(s.Valid) != n {
+		return fmt.Errorf("bpred: BTB snapshot entry count does not match geometry (%d entries)", n)
+	}
+	for i := range b.entries {
+		b.entries[i] = btbEntry{tag: s.Tags[i], tgt: s.Targets[i], lru: s.LRU[i], valid: s.Valid[i] != 0}
+	}
+	b.clock = s.Clock
+	b.Lookups = s.Lookups
+	b.Hits = s.Hits
+	return nil
+}
+
+// RASState is the serializable warm state of a return-address stack.
+type RASState struct {
+	Stack  []uint64 `json:"stack"`
+	Top    int      `json:"top"`
+	Depth  int      `json:"depth"`
+	Pushes uint64   `json:"pushes"`
+	Pops   uint64   `json:"pops"`
+}
+
+// Snapshot captures the RAS's warm state.
+func (r *RAS) Snapshot() RASState {
+	return RASState{
+		Stack:  append([]uint64(nil), r.stack...),
+		Top:    r.top,
+		Depth:  r.depth,
+		Pushes: r.Pushes,
+		Pops:   r.Pops,
+	}
+}
+
+// Restore loads a snapshot into a RAS of the same capacity.
+func (r *RAS) Restore(s RASState) error {
+	if len(s.Stack) != len(r.stack) {
+		return fmt.Errorf("bpred: RAS snapshot depth %d does not match capacity %d", len(s.Stack), len(r.stack))
+	}
+	if s.Top < 0 || s.Top >= len(r.stack) || s.Depth < 0 || s.Depth > len(r.stack) {
+		return fmt.Errorf("bpred: RAS snapshot top/depth out of range")
+	}
+	copy(r.stack, s.Stack)
+	r.top = s.Top
+	r.depth = s.Depth
+	r.Pushes = s.Pushes
+	r.Pops = s.Pops
+	return nil
+}
+
+// StatsState is the serializable accuracy-counter state of Stats.
+type StatsState struct {
+	Lookups    uint64 `json:"lookups"`
+	Mispredict uint64 `json:"mispredict"`
+}
+
+// Snapshot captures the accuracy counters (the wrapped predictor is
+// snapshotted separately via SnapshotPredictor).
+func (s *Stats) Snapshot() StatsState {
+	return StatsState{Lookups: s.Lookups, Mispredict: s.Mispredict}
+}
+
+// Restore loads the accuracy counters.
+func (s *Stats) Restore(st StatsState) {
+	s.Lookups = st.Lookups
+	s.Mispredict = st.Mispredict
+}

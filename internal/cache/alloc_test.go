@@ -11,6 +11,7 @@ import (
 type silentLevel struct{ latency uint64 }
 
 func (s *silentLevel) Access(now uint64, addr uint64, write bool) uint64 { return now + s.latency }
+func (s *silentLevel) Warm(addr uint64, write bool)                      {}
 func (s *silentLevel) Finalize(uint64)                                   {}
 func (s *silentLevel) EnergyPJ() float64                                 { return 0 }
 

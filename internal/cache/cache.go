@@ -367,6 +367,54 @@ func (c *Cache) Access(now uint64, addr uint64, write bool) uint64 {
 	return fillDone
 }
 
+// Warm implements Level: the functional twin of Access. It walks the same
+// tag/LRU/dirty state machine — identical hit decisions, identical victim
+// selection, identical dirty-victim propagation to the next level — but
+// performs no timing, charges no energy, and records no statistics, MSHR,
+// or writeback-buffer activity. useClock is shared with Access so LRU
+// ordering stays consistent when detailed and fast-forward windows
+// interleave.
+//
+//simlint:hotpath per-memory-reference during fast-forward windows
+func (c *Cache) Warm(addr uint64, write bool) {
+	c.useClock++
+	block := c.blockAddr(addr)
+	set := c.setIndex(block)
+	ways := c.setLines(set)
+	for w := 0; w < c.effWays; w++ {
+		ln := &ways[w]
+		if ln.Valid && ln.BlockAddr == block {
+			ln.lastUse = c.useClock
+			if write {
+				ln.Dirty = true
+			}
+			return
+		}
+	}
+
+	// Miss: warm the next level, evict as Access would, install.
+	c.next.Warm(addr, false)
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.effWays; w++ {
+		ln := &ways[w]
+		if !ln.Valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if ln.lastUse < oldest {
+			oldest = ln.lastUse
+			victim = w
+		}
+	}
+	ln := &ways[victim]
+	if ln.Valid && ln.Dirty {
+		c.next.Warm(ln.BlockAddr<<c.offBits, true)
+	}
+	*ln = Line{BlockAddr: block, Valid: true, Dirty: write, lastUse: c.useClock}
+}
+
 // fetchAndFill requests the block from the next level, selects a victim,
 // performs any writeback, and installs the block. Returns completion time.
 func (c *Cache) fetchAndFill(start uint64, addr, block uint64, set int, write bool) uint64 {
@@ -519,6 +567,13 @@ func (c *Cache) SetEnabled(now uint64, effSets, effWays int) (ResizeFlush, error
 	c.refreshDerived()
 	return fl, nil
 }
+
+// IntegrateIdleTo accrues background (clock + leakage) energy and the
+// size-time integral up to cycle now without finalizing the cache. The
+// sampled execution mode calls it at detailed-window boundaries so
+// per-window energy deltas include background energy; a later Finalize
+// at the same cycle then integrates nothing further.
+func (c *Cache) IntegrateIdleTo(now uint64) { c.integrateIdle(now) }
 
 // Finalize implements Level.
 func (c *Cache) Finalize(endCycle uint64) {

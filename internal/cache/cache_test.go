@@ -24,8 +24,9 @@ func (s *stubLevel) Access(now uint64, addr uint64, write bool) uint64 {
 	s.addrs = append(s.addrs, addr)
 	return now + s.latency
 }
-func (s *stubLevel) Finalize(uint64)   {}
-func (s *stubLevel) EnergyPJ() float64 { return 0 }
+func (s *stubLevel) Warm(addr uint64, write bool) { s.Access(0, addr, write) }
+func (s *stubLevel) Finalize(uint64)              {}
+func (s *stubLevel) EnergyPJ() float64            { return 0 }
 
 func testGeom() geometry.Geometry {
 	// Small geometry keeps tests readable: 4K 2-way, 32B blocks, 1K

@@ -21,6 +21,13 @@ type Level interface {
 	// block containing addr, starting at cycle now, and returns the cycle
 	// at which the request completes.
 	Access(now uint64, addr uint64, write bool) (doneAt uint64)
+	// Warm performs a functional access: it advances tag, LRU, and dirty
+	// state exactly as Access would — same hit/miss decisions, same
+	// victim choice, same dirty-victim propagation — but models no
+	// timing and charges no energy or statistics. Fast-forward windows
+	// of the sampled execution mode use it to keep arrays warm between
+	// detailed windows.
+	Warm(addr uint64, write bool)
 	// Finalize integrates background (clock/leakage) energy up to
 	// endCycle. It must be called exactly once, after the simulation.
 	Finalize(endCycle uint64)

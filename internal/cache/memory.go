@@ -41,6 +41,12 @@ func (m *Memory) Access(now uint64, addr uint64, write bool) uint64 {
 	return now + m.Latency()
 }
 
+// Warm implements Level: main memory holds everything, so a functional
+// access has no state to advance.
+//
+//simlint:hotpath bottom of every fast-forward miss chain
+func (m *Memory) Warm(addr uint64, write bool) {}
+
 // Finalize implements Level (memory has no clocked idle energy here; DRAM
 // refresh is outside the processor energy budget the paper reports).
 func (m *Memory) Finalize(endCycle uint64) {}

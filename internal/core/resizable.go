@@ -115,6 +115,14 @@ func (r *ResizableCache) Access(now uint64, addr uint64, write bool) uint64 {
 	return done
 }
 
+// Warm implements cache.Level: functional accesses advance the array's
+// warm state but bypass the policy's interval accounting — dynamic
+// policies observe only the detailed windows, so their resize decisions
+// stay a pure function of the detailed access stream.
+//
+//simlint:hotpath per-access wrapper during fast-forward windows
+func (r *ResizableCache) Warm(addr uint64, write bool) { r.C.Warm(addr, write) }
+
 // Finalize implements cache.Level.
 func (r *ResizableCache) Finalize(endCycle uint64) { r.C.Finalize(endCycle) }
 

@@ -10,6 +10,7 @@ import (
 type stubNext struct{ latency uint64 }
 
 func (s *stubNext) Access(now uint64, addr uint64, write bool) uint64 { return now + s.latency }
+func (s *stubNext) Warm(addr uint64, write bool)                      {}
 func (s *stubNext) Finalize(uint64)                                   {}
 func (s *stubNext) EnergyPJ() float64                                 { return 0 }
 

@@ -1,0 +1,43 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestActivityAddScaledCoverEveryField walks Activity's fields by
+// reflection so that adding a counter without extending Add and Scaled
+// fails here instead of silently dropping events from sampled-run
+// extrapolation.
+func TestActivityAddScaledCoverEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Activity{})
+	for i := 0; i < typ.NumField(); i++ {
+		if typ.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Activity.%s is %s; Add/Scaled assume uint64 counters", typ.Field(i).Name, typ.Field(i).Type)
+		}
+	}
+
+	// Give every field a distinct value via reflection.
+	var a Activity
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetUint(uint64(i + 1))
+	}
+
+	var sum Activity
+	sum.Add(a)
+	sum.Add(a)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("Add dropped Activity.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+
+	dv := reflect.ValueOf(a.Scaled(3))
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(3*(i+1)); got != want {
+			t.Errorf("Scaled dropped Activity.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+}

@@ -74,6 +74,50 @@ type Activity struct {
 	RASOps       uint64
 }
 
+// Add accumulates b's counts into a. The sampled execution mode sums
+// per-window activities into a whole-run aggregate before energy
+// accounting; TestActivityAddScaledCoverEveryField pins that both
+// helpers cover every field.
+func (a *Activity) Add(b Activity) {
+	a.IntOps += b.IntOps
+	a.FloatOps += b.FloatOps
+	a.Loads += b.Loads
+	a.Stores += b.Stores
+	a.Branches += b.Branches
+	a.Mispredicts += b.Mispredicts
+	a.FetchGroups += b.FetchGroups
+	a.ROBInserts += b.ROBInserts
+	a.LSQInserts += b.LSQInserts
+	a.RegReads += b.RegReads
+	a.RegWrites += b.RegWrites
+	a.BpredLookups += b.BpredLookups
+	a.BTBLookups += b.BTBLookups
+	a.RASOps += b.RASOps
+}
+
+// Scaled returns every count multiplied by s, rounded half-up: the
+// extrapolation from detailed-window measurements to a whole-run
+// estimate in the sampled execution mode.
+func (a Activity) Scaled(s float64) Activity {
+	scale := func(v uint64) uint64 { return uint64(float64(v)*s + 0.5) }
+	return Activity{
+		IntOps:       scale(a.IntOps),
+		FloatOps:     scale(a.FloatOps),
+		Loads:        scale(a.Loads),
+		Stores:       scale(a.Stores),
+		Branches:     scale(a.Branches),
+		Mispredicts:  scale(a.Mispredicts),
+		FetchGroups:  scale(a.FetchGroups),
+		ROBInserts:   scale(a.ROBInserts),
+		LSQInserts:   scale(a.LSQInserts),
+		RegReads:     scale(a.RegReads),
+		RegWrites:    scale(a.RegWrites),
+		BpredLookups: scale(a.BpredLookups),
+		BTBLookups:   scale(a.BTBLookups),
+		RASOps:       scale(a.RASOps),
+	}
+}
+
 // Result is one simulation's timing outcome.
 type Result struct {
 	Instructions   uint64

@@ -19,8 +19,9 @@ func (f *fixedLevel) Access(now uint64, addr uint64, write bool) uint64 {
 	f.accesses++
 	return now + f.lat
 }
-func (f *fixedLevel) Finalize(uint64)   {}
-func (f *fixedLevel) EnergyPJ() float64 { return 0 }
+func (f *fixedLevel) Warm(addr uint64, write bool) { f.accesses++ }
+func (f *fixedLevel) Finalize(uint64)              {}
+func (f *fixedLevel) EnergyPJ() float64            { return 0 }
 
 // synthSource yields a scripted list of events repeatedly.
 type synthSource struct {

@@ -151,19 +151,31 @@ func gangResults(instr uint64, act Activity, accuracy float64, cycles []uint64) 
 // model with one shared workload pass. Member m's Result is
 // bit-identical to NewOutOfOrder(cfg, members[m].IC, members[m].DC,
 // bp').Run(src', maxInstr) with a fresh predictor and source.
-//
-//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per gang
 func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
-	if err := cfg.Validate(); err != nil {
+	g, err := NewGangOutOfOrder(cfg, bp, members)
+	if err != nil {
 		return nil, err
 	}
-	st := &bpred.Stats{P: bp} //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+	return g.RunWindow(src, maxInstr, nil), nil
+}
+
+// RunWindow executes up to maxInstr instructions with member m's
+// pipeline clocks starting at absolute cycle base[m] (a nil base means
+// cycle zero for every member); result[m].Cycles is member m's absolute
+// end cycle. The shared front-end persists across windows; pipeline
+// rings start empty each window, mirroring the solo engines' RunWindow.
+//
+//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per window
+func (g *GangOutOfOrder) RunWindow(src workload.Source, maxInstr uint64, base []uint64) []Result {
+	cfg := g.cfg
+	front := g.front
+	members := g.members
+	front.groupLeft = 0
 	n := len(members)
 	var (
 		act   Activity
 		instr uint64
 		ev    workload.Event
-		front = newGangFront(st, cfg.Width)
 
 		robN      = cfg.ROBEntries
 		lsqN      = cfg.LSQEntries
@@ -185,6 +197,10 @@ func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src
 		lastRetire    = make([]uint64, n)      //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 		retireInCycle = make([]int, n)         //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	)
+	if base != nil {
+		copy(fetchTime, base)
+		copy(lastRetire, base)
+	}
 
 	for instr < maxInstr && src.Next(&ev) {
 		i := instr
@@ -334,24 +350,33 @@ func RunGangOutOfOrder(cfg Config, bp bpred.Predictor, members []GangMember, src
 	for m := range cycles {
 		cycles[m] = lastRetire[m] + 1
 	}
-	return gangResults(instr, act, st.Accuracy(), cycles), nil
+	return gangResults(instr, act, g.st.Accuracy(), cycles)
 }
 
 // RunGangInOrder is RunGangOutOfOrder for the in-order/blocking-d-cache
 // timing model.
-//
-//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per gang
 func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src workload.Source, maxInstr uint64) ([]Result, error) {
-	if err := cfg.Validate(); err != nil {
+	g, err := NewGangInOrder(cfg, bp, members)
+	if err != nil {
 		return nil, err
 	}
-	st := &bpred.Stats{P: bp} //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
+	return g.RunWindow(src, maxInstr, nil), nil
+}
+
+// RunWindow executes up to maxInstr instructions with member m's clocks
+// starting at base[m]; see GangOutOfOrder.RunWindow for the contract.
+//
+//simlint:hotpath the gang fan-out inner loop; prologue allocations are once per window
+func (g *GangInOrder) RunWindow(src workload.Source, maxInstr uint64, base []uint64) []Result {
+	cfg := g.cfg
+	front := g.front
+	members := g.members
+	front.groupLeft = 0
 	n := len(members)
 	var (
 		act   Activity
 		instr uint64
 		ev    workload.Event
-		front = newGangFront(st, cfg.Width)
 
 		// Per-member timing state: member m's dependence scoreboard is
 		// completed[m*window : (m+1)*window].
@@ -361,6 +386,11 @@ func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src wo
 		issueInCycle = make([]int, n)           //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 		maxComplete  = make([]uint64, n)        //simlint:allow once-per-run prologue/epilogue, outside the per-instruction loop
 	)
+	if base != nil {
+		copy(fetchTime, base)
+		copy(issueTime, base)
+		copy(maxComplete, base)
+	}
 
 	for instr < maxInstr && src.Next(&ev) {
 		i := instr
@@ -468,5 +498,5 @@ func RunGangInOrder(cfg Config, bp bpred.Predictor, members []GangMember, src wo
 	for m := range cycles {
 		cycles[m] = maxComplete[m] + 1
 	}
-	return gangResults(instr, act, st.Accuracy(), cycles), nil
+	return gangResults(instr, act, g.st.Accuracy(), cycles)
 }

@@ -36,9 +36,16 @@ func NewInOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*InOrder, e
 func (e *InOrder) Name() string { return "in-order/blocking" }
 
 // Run implements Engine.
+func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
+	return e.RunWindow(src, maxInstr, 0)
+}
+
+// RunWindow executes up to maxInstr instructions with every pipeline
+// clock starting at absolute cycle base; res.Cycles is the absolute end
+// cycle. See OutOfOrder.RunWindow for the window-chaining contract.
 //
 //simlint:hotpath the per-instruction loop; prologue allocations are once per run
-func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
+func (e *InOrder) RunWindow(src workload.Source, maxInstr uint64, base uint64) Result {
 	var (
 		res   Result
 		ev    workload.Event
@@ -49,9 +56,11 @@ func (e *InOrder) Run(src workload.Source, maxInstr uint64) Result {
 		// per-instruction ring indexing into a mask instead of a divide.
 		completed [window]uint64
 
-		issueTime    uint64 // last issue cycle (in-order)
+		issueTime    = base // last issue cycle (in-order)
 		issueInCycle int
 	)
+	fetch.fetchTime = base
+	res.Cycles = base
 
 	for res.Instructions < maxInstr && src.Next(&ev) {
 		i := res.Instructions

@@ -33,9 +33,21 @@ func NewOutOfOrder(cfg Config, ic, dc cache.Level, bp bpred.Predictor) (*OutOfOr
 func (o *OutOfOrder) Name() string { return "out-of-order/nonblocking" }
 
 // Run implements Engine.
+func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
+	return o.RunWindow(src, maxInstr, 0)
+}
+
+// RunWindow executes up to maxInstr instructions with every pipeline
+// clock starting at absolute cycle base, and returns this window's
+// timing in res (res.Cycles is the absolute end cycle). The sampled
+// execution mode chains detailed windows by passing the previous
+// window's end cycle as the next base, so cache state — which carries
+// absolute-cycle timestamps — stays consistent across windows. Pipeline
+// structures (ROB/LSQ rings) start empty each window; only the control
+// unit's predictor state persists on the engine.
 //
 //simlint:hotpath the per-instruction loop; prologue allocations are once per run
-func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
+func (o *OutOfOrder) RunWindow(src workload.Source, maxInstr uint64, base uint64) Result {
 	// Ring sizes and widths are loop-invariant; hoisting them (and
 	// tracking wrapping ring indices instead of taking `%` by a
 	// non-constant size several times per instruction) keeps the
@@ -63,9 +75,10 @@ func (o *OutOfOrder) Run(src workload.Source, maxInstr uint64) Result {
 		decodeLat = o.Cfg.DecodeLatency
 		width     = o.Cfg.Width
 
-		lastRetire    uint64
+		lastRetire    = base
 		retireInCycle int
 	)
+	fetch.fetchTime = base
 
 	for res.Instructions < maxInstr && src.Next(&ev) {
 		i := res.Instructions

@@ -129,6 +129,15 @@ type Stats struct {
 	// RemoteErrors counts remote-store round trips that failed and were
 	// degraded to misses (lookups) or dropped (records).
 	RemoteErrors uint64
+	// WarmupHits counts simulations whose warmup prefix was restored
+	// from a persisted checkpoint instead of being re-executed (sampled
+	// configs with a warmup, running through the default entry points
+	// against a Store). This is the counter CI's warm-replay smoke job
+	// asserts is nonzero.
+	WarmupHits uint64
+	// WarmupSaves counts warmup checkpoints computed and recorded for
+	// later runs to restore.
+	WarmupSaves uint64
 }
 
 // Hits is the total number of submissions that skipped simulation.
@@ -142,6 +151,9 @@ func (s Stats) String() string {
 		s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
 	if s.RemoteHits > 0 || s.RemoteErrors > 0 {
 		out += fmt.Sprintf("; remote: %d hits, %d errors", s.RemoteHits, s.RemoteErrors)
+	}
+	if s.WarmupHits > 0 || s.WarmupSaves > 0 {
+		out += fmt.Sprintf("; warmups: %d checkpoint hits, %d saves", s.WarmupHits, s.WarmupSaves)
 	}
 	return out
 }
@@ -170,6 +182,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		ArtifactComputes:  s.ArtifactComputes - prev.ArtifactComputes,
 		RemoteHits:        s.RemoteHits - prev.RemoteHits,
 		RemoteErrors:      s.RemoteErrors - prev.RemoteErrors,
+		WarmupHits:        s.WarmupHits - prev.WarmupHits,
+		WarmupSaves:       s.WarmupSaves - prev.WarmupSaves,
 	}
 }
 
@@ -205,6 +219,29 @@ type Runner struct {
 	evictions, artHits, artStoreHits, artComputes      atomic.Uint64
 	enqueued, enqueueBatches, barriers                 atomic.Uint64
 	ganged, gangBatches                                atomic.Uint64
+	warmupHits, warmupSaves                            atomic.Uint64
+}
+
+// noteWarmup folds one simulation's warmup-checkpoint outcome into the
+// counters. Only the default (non-stubbed) entry points report.
+func (r *Runner) noteWarmup(ws sim.WarmupStats) {
+	if ws.CheckpointHit {
+		r.warmupHits.Add(1)
+	}
+	if ws.CheckpointSaved {
+		r.warmupSaves.Add(1)
+	}
+}
+
+// checkpointTier exposes the Runner's store as a warmup-checkpoint
+// store. Warmup checkpoints ride the artifact half of the Store
+// contract, so any persistent backend — disk or network — shares them
+// across processes for free.
+func (r *Runner) checkpointTier() sim.CheckpointStore {
+	if r.store == nil {
+		return nil
+	}
+	return r.store
 }
 
 // New constructs a Runner.
@@ -213,20 +250,44 @@ func New(opts Options) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	run := opts.RunSim
-	if run == nil {
-		run = sim.Run
+	gangSize := opts.GangSize
+	if gangSize == 0 {
+		gangSize = DefaultGangSize
 	}
-	runGang := opts.RunGang
-	if runGang == nil {
+	if gangSize < 1 {
+		gangSize = 1
+	}
+	r := &Runner{
+		sem:       make(chan struct{}, workers),
+		store:     opts.Store,
+		memoLimit: opts.MemoLimit,
+		runSim:    opts.RunSim,
+		runGang:   opts.RunGang,
+		gangSize:  gangSize,
+		entries:   make(map[sim.Key]*entry),
+		lru:       list.New(),
+		artifacts: make(map[sim.Key]*artifactEntry),
+	}
+	if r.runSim == nil {
+		// The default entry point is checkpoint-aware: sampled configs
+		// with a warmup prefix restore (or record) their warm state
+		// through the Runner's store, so configs sharing a front-end skip
+		// warmup — including across processes when the store persists.
+		r.runSim = func(cfg sim.Config) (sim.Result, error) {
+			res, ws, err := sim.RunWithCheckpoints(cfg, r.checkpointTier())
+			r.noteWarmup(ws)
+			return res, err
+		}
+	}
+	if r.runGang == nil {
 		if opts.RunSim != nil {
 			// A stubbed RunSim without a matching gang stub must keep
 			// observing every config, so gangs degrade to a sequential loop
 			// over the stub.
-			runGang = func(cfgs []sim.Config) ([]sim.Result, error) {
+			r.runGang = func(cfgs []sim.Config) ([]sim.Result, error) {
 				out := make([]sim.Result, len(cfgs))
 				for i, cfg := range cfgs {
-					res, err := run(cfg)
+					res, err := r.runSim(cfg)
 					if err != nil {
 						return nil, err
 					}
@@ -235,27 +296,14 @@ func New(opts Options) *Runner {
 				return out, nil
 			}
 		} else {
-			runGang = sim.RunGang
+			r.runGang = func(cfgs []sim.Config) ([]sim.Result, error) {
+				out, ws, err := sim.RunGangWithCheckpoints(cfgs, r.checkpointTier())
+				r.noteWarmup(ws)
+				return out, err
+			}
 		}
 	}
-	gangSize := opts.GangSize
-	if gangSize == 0 {
-		gangSize = DefaultGangSize
-	}
-	if gangSize < 1 {
-		gangSize = 1
-	}
-	return &Runner{
-		sem:       make(chan struct{}, workers),
-		store:     opts.Store,
-		memoLimit: opts.MemoLimit,
-		runSim:    run,
-		runGang:   runGang,
-		gangSize:  gangSize,
-		entries:   make(map[sim.Key]*entry),
-		lru:       list.New(),
-		artifacts: make(map[sim.Key]*artifactEntry),
-	}
+	return r
 }
 
 var (
@@ -295,6 +343,8 @@ func (r *Runner) Stats() Stats {
 		ArtifactHits:      r.artHits.Load(),
 		ArtifactStoreHits: r.artStoreHits.Load(),
 		ArtifactComputes:  r.artComputes.Load(),
+		WarmupHits:        r.warmupHits.Load(),
+		WarmupSaves:       r.warmupSaves.Load(),
 	}
 }
 

@@ -10,6 +10,7 @@ package storetest
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"reflect"
 	"testing"
@@ -91,6 +92,67 @@ func Run(t *testing.T, open func(t *testing.T) runner.Store) {
 		}
 		if _, ok := s.LookupArtifact(key(5)); ok {
 			t.Error("lookup of an unrecorded artifact key reported a hit")
+		}
+	})
+
+	t.Run("LargeArtifactRoundTrip", func(t *testing.T) {
+		// Warmup checkpoints serialize whole front-end snapshots, so
+		// payloads run to megabytes; every backend must round-trip them
+		// byte-for-byte (the wire protocol's frame bound is 64MB).
+		s := open(t)
+		blob := make([]byte, 0, 2<<20)
+		blob = append(blob, `{"snapshot":"`...)
+		for len(blob) < 2<<20 {
+			blob = append(blob, "0123456789abcdef"...)
+		}
+		blob = append(blob, `"}`...)
+		s.RecordArtifact(key(9), blob)
+		got, ok := s.LookupArtifact(key(9))
+		if !ok {
+			t.Fatalf("%d-byte artifact not found", len(blob))
+		}
+		if !reflect.DeepEqual(got, blob) {
+			t.Errorf("large artifact mutated: %d bytes back, want %d", len(got), len(blob))
+		}
+	})
+
+	t.Run("BinarySafeArtifactRoundTrip", func(t *testing.T) {
+		// Checkpoint payloads carry arbitrary machine state inside JSON
+		// strings: every byte value (escaped per JSON), multi-byte UTF-8,
+		// quotes, and backslashes must survive every backend unchanged.
+		s := open(t)
+		raw := make([]byte, 256)
+		for i := range raw {
+			raw[i] = byte(i)
+		}
+		quoted, err := json.Marshal(string(raw) + `"\` + "héllo  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := append([]byte(`{"state":`), quoted...)
+		payload = append(payload, '}')
+		s.RecordArtifact(key(10), payload)
+		got, ok := s.LookupArtifact(key(10))
+		if !ok {
+			t.Fatal("binary-bearing artifact not found")
+		}
+		if !reflect.DeepEqual(got, payload) {
+			t.Errorf("binary content mutated:\n got %q\nwant %q", got, payload)
+		}
+	})
+
+	t.Run("ArtifactOverwrite", func(t *testing.T) {
+		// Corrupt-checkpoint recovery overwrites in place; the last write
+		// must win on every backend.
+		s := open(t)
+		s.RecordArtifact(key(11), []byte(`{"v":1}`))
+		s.RecordArtifact(key(11), []byte(`{"v":2}`))
+		got, ok := s.LookupArtifact(key(11))
+		if !ok {
+			t.Fatal("overwritten artifact not found")
+		}
+		if string(got) != `{"v":2}` {
+			t.Errorf("overwrite did not win: got %s", got)
 		}
 	})
 

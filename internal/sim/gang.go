@@ -20,33 +20,42 @@ const gangChunk = 32
 
 // RunGang executes N simulations in one workload+engine pass. All
 // configs must share a simulation front-end — equal FrontKeys: same
-// benchmark, instruction budget, engine kind, and pipeline shape —
-// because the gang evaluates the shared functional stream once and fans
-// each event out to every member's private memory system. Cache
-// geometries, resizing organizations and policies, hierarchy depth,
-// MSHRs, and energy models may all differ per member.
+// benchmark, instruction budget, engine kind, pipeline shape, and
+// sampling schedule — because the gang evaluates the shared functional
+// stream once and fans each event out to every member's private memory
+// system. Cache geometries, resizing organizations and policies,
+// hierarchy depth, MSHRs, and energy models may all differ per member.
 //
 // Each member's Result is bit-identical to Run on the same config
 // (TestGangMatchesGolden pins this against the golden fixtures); a gang
 // of one degenerates to exactly Run.
 func RunGang(cfgs []Config) ([]Result, error) {
+	out, _, err := RunGangWithCheckpoints(cfgs, nil)
+	return out, err
+}
+
+// RunGangWithCheckpoints is RunGang against an optional warmup
+// checkpoint store (nil behaves exactly like RunGang); see
+// RunWithCheckpoints for the checkpoint semantics. A sampled gang has
+// one shared warmup prefix, so one WarmupStats covers every member.
+func RunGangWithCheckpoints(cfgs []Config, cs CheckpointStore) ([]Result, WarmupStats, error) {
 	if len(cfgs) == 0 {
-		return nil, nil
+		return nil, WarmupStats{}, nil
 	}
 	prof, err := validated(cfgs[0])
 	if err != nil {
-		return nil, err
+		return nil, WarmupStats{}, err
 	}
 	front := cfgs[0].FrontKey()
 	for i, cfg := range cfgs[1:] {
 		if _, err := validated(cfg); err != nil {
-			return nil, err
+			return nil, WarmupStats{}, err
 		}
 		if cfg.FrontKey() != front {
-			return nil, fmt.Errorf(
-				"sim: gang member %d front-end mismatch: %s/%d instr/%s/%+v vs member 0 %s/%d instr/%s/%+v",
-				i+1, cfg.Benchmark, cfg.Instructions, cfg.Engine, cfg.CPU,
-				cfgs[0].Benchmark, cfgs[0].Instructions, cfgs[0].Engine, cfgs[0].CPU)
+			return nil, WarmupStats{}, fmt.Errorf(
+				"sim: gang member %d front-end mismatch: %s/%d instr/%s/%+v/%+v vs member 0 %s/%d instr/%s/%+v/%+v",
+				i+1, cfg.Benchmark, cfg.Instructions, cfg.Engine, cfg.CPU, cfg.Sampling,
+				cfgs[0].Benchmark, cfgs[0].Instructions, cfgs[0].Engine, cfgs[0].CPU, cfgs[0].Sampling)
 		}
 	}
 
@@ -55,10 +64,14 @@ func RunGang(cfgs []Config) ([]Result, error) {
 	for i, cfg := range cfgs {
 		m, err := buildMachine(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sim: gang member %d: %w", i, err)
+			return nil, WarmupStats{}, fmt.Errorf("sim: gang member %d: %w", i, err)
 		}
 		machines[i] = m
 		members[i] = cpu.GangMember{IC: m.ic.level, DC: m.dc.level}
+	}
+
+	if cfgs[0].Sampling.Enabled() {
+		return runSampledGang(cfgs, prof, machines, members, cs)
 	}
 
 	out := make([]Result, len(cfgs))
@@ -72,12 +85,12 @@ func RunGang(cfgs []Config) ([]Result, error) {
 	if len(cfgs) <= gangChunk {
 		results, err := run(members, workload.NewGenerator(prof))
 		if err != nil {
-			return nil, err
+			return nil, WarmupStats{}, err
 		}
 		for i := range out {
 			out[i] = machines[i].finish(cfgs[i], results[i])
 		}
-		return out, nil
+		return out, WarmupStats{}, nil
 	}
 
 	// Oversized gang: one generated stream feeds every chunk through a
@@ -88,17 +101,110 @@ func RunGang(cfgs []Config) ([]Result, error) {
 	tee := workload.NewTee(workload.NewGenerator(prof), chunks)
 	for c := 0; c < chunks; c++ {
 		lo := c * gangChunk
-		hi := lo + gangChunk
-		if hi > len(cfgs) {
-			hi = len(cfgs)
-		}
+		hi := min(lo+gangChunk, len(cfgs))
 		results, err := run(members[lo:hi], tee.Source(c))
 		if err != nil {
-			return nil, err
+			return nil, WarmupStats{}, err
 		}
 		for i, r := range results {
 			out[lo+i] = machines[lo+i].finish(cfgs[lo+i], r)
 		}
 	}
-	return out, nil
+	return out, WarmupStats{}, nil
+}
+
+// gangEngine is the window-capable gang surface runSampledGang drives;
+// cpu.GangOutOfOrder and cpu.GangInOrder both implement it.
+type gangEngine interface {
+	RunWindow(src workload.Source, maxInstr uint64, base []uint64) []cpu.Result
+	FastForward(src workload.Source, maxInstr uint64) uint64
+	frontEndHolder
+}
+
+// runSampledGang is the sampled counterpart of the gang paths above.
+// Unlike the detailed chunked path, every chunk drives its own generator
+// rather than a tee: generation is deterministic, so the chunks see
+// bit-identical streams and window boundaries anyway, and an owned
+// generator is what lets each chunk Skip the inter-window gaps in O(1) —
+// a tee would have to buffer or replay the skipped region. Chunk 0's
+// warmup populates the checkpoint store (when one is provided), so later
+// chunks restore it instead of re-stepping the prefix.
+func runSampledGang(cfgs []Config, prof *workload.Profile, machines []*machine, members []cpu.GangMember, cs CheckpointStore) ([]Result, WarmupStats, error) {
+	cfg0 := cfgs[0]
+	spec := cfg0.Sampling
+	var ws WarmupStats
+
+	out := make([]Result, len(cfgs))
+	chunks := (len(cfgs) + gangChunk - 1) / gangChunk
+	for c := 0; c < chunks; c++ {
+		lo := c * gangChunk
+		hi := min(lo+gangChunk, len(cfgs))
+		var (
+			eng gangEngine
+			err error
+		)
+		if cfg0.Engine == InOrder {
+			eng, err = cpu.NewGangInOrder(cfg0.CPU, bpred.NewDefault(), members[lo:hi])
+		} else {
+			eng, err = cpu.NewGangOutOfOrder(cfg0.CPU, bpred.NewDefault(), members[lo:hi])
+		}
+		if err != nil {
+			return nil, ws, err
+		}
+
+		gen := workload.NewGenerator(prof)
+		var consumed uint64
+		if c == 0 {
+			consumed = warmupWithCheckpoint(cfg0, eng, gen, cs, &ws)
+		} else {
+			// Later chunks warm through the store chunk 0 just populated
+			// (or re-step the prefix identically when there is none);
+			// their stats are the gang's internal traffic, not the
+			// caller's.
+			var chunkWS WarmupStats
+			consumed = warmupWithCheckpoint(cfg0, eng, gen, cs, &chunkWS)
+		}
+
+		accs := make([]windowAccum, hi-lo)
+		for i := range accs {
+			accs[i].m = machines[lo+i]
+		}
+		base := make([]uint64, hi-lo)
+		total := consumed
+		for total < cfg0.Instructions {
+			rs := eng.RunWindow(gen, min(spec.DetailedInstructions, cfg0.Instructions-total), base)
+			if rs[0].Instructions == 0 {
+				break // stream exhausted
+			}
+			total += rs[0].Instructions
+			for i := range accs {
+				accs[i].observe(cfgs[lo+i], rs[i])
+				base[i] = rs[i].Cycles
+			}
+			if total >= cfg0.Instructions {
+				break
+			}
+			if sk := min(spec.SkipInstructions, cfg0.Instructions-total); sk > 0 {
+				n := gen.Skip(sk)
+				total += n
+				if n < sk {
+					break // stream exhausted
+				}
+			}
+			ff := min(spec.FastForwardInstructions, cfg0.Instructions-total)
+			n := eng.FastForward(gen, ff)
+			total += n
+			if n < ff {
+				break // stream exhausted
+			}
+		}
+		for i := range accs {
+			res, err := accs[i].finish(cfgs[lo+i], total, consumed)
+			if err != nil {
+				return nil, ws, err
+			}
+			out[lo+i] = res
+		}
+	}
+	return out, ws, nil
 }

@@ -27,8 +27,10 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // introduced the hierarchy-as-data encoding: the full Levels list is
 // fingerprinted (count plus every LevelSpec field) where version 1
 // encoded a bare L2 geometry, so v1 stores invalidate cleanly — their
-// keys can never alias a v2 config.
-const keyVersion = 2
+// keys can never alias a v2 config. Version 3 added the sampling spec
+// (warmup/detailed/fast-forward instruction counts) to both Key and
+// FrontKey for the interval-sampled execution mode.
+const keyVersion = 3
 
 // Canonical returns the config with semantically inert fields zeroed
 // and the hierarchy in normal form, so that configs describing
@@ -116,6 +118,13 @@ func (c Config) Key() Key {
 	w.geometry(c.L2Geom.SizeBytes, c.L2Geom.Assoc, c.L2Geom.BlockBytes, c.L2Geom.SubarrayBytes)
 	w.i(c.MSHREntries)
 	w.i(c.WritebackEntries)
+	// Sampled execution (all zero for fully detailed runs; a partial spec
+	// is invalid but keeps its own fingerprint so the cold-path error
+	// memoizes under its own key, like the Levels+L2Geom conflict).
+	w.u64(c.Sampling.WarmupInstructions)
+	w.u64(c.Sampling.DetailedInstructions)
+	w.u64(c.Sampling.FastForwardInstructions)
+	w.u64(c.Sampling.SkipInstructions)
 	// Energy models.
 	w.f64(c.Energy.PrechargePJPerBit)
 	w.f64(c.Energy.BitlinePJPerBit)
@@ -146,9 +155,10 @@ func (c Config) Key() Key {
 // FrontKey fingerprints the config's shared simulation front-end: the
 // projection of the config that determines workload generation and the
 // engine's functional stepping (benchmark, instruction budget, engine
-// kind, and the full pipeline shape). Two configs with equal FrontKeys
-// drive bit-identical functional streams and may therefore run as one
-// gang (RunGang); everything outside the projection — cache geometries,
+// kind, the full pipeline shape, and the sampling window schedule). Two
+// configs with equal FrontKeys drive bit-identical functional streams
+// through identical window boundaries and may therefore run as one gang
+// (RunGang); everything outside the projection — cache geometries,
 // resizing organizations and policies, hierarchy depth, MSHRs, energy
 // models — is per-member state a gang evaluates independently.
 func (c Config) FrontKey() Key {
@@ -161,6 +171,10 @@ func (c Config) FrontKey() Key {
 		Int(c.CPU.LSQEntries).
 		U64(c.CPU.DecodeLatency).
 		U64(c.CPU.MispredictPenalty).
+		U64(c.Sampling.WarmupInstructions).
+		U64(c.Sampling.DetailedInstructions).
+		U64(c.Sampling.FastForwardInstructions).
+		U64(c.Sampling.SkipInstructions).
 		Sum()
 }
 

@@ -159,60 +159,91 @@ func TestKeyHierarchySpellings(t *testing.T) {
 	}
 }
 
-// TestKeyVersion2NeverAliasesV1 re-encodes the canonical base config
-// with the retired version-1 layout (version tag 1, flat L2 geometry
-// where v2 fingerprints the Levels list) and checks the fingerprints
-// differ — a persisted v1 store can only miss under v2 keys, never
-// serve a stale result for a config it does not describe.
-func TestKeyVersion2NeverAliasesV1(t *testing.T) {
-	if keyVersion != 2 {
-		t.Fatalf("keyVersion = %d, want 2 (update this test when bumping)", keyVersion)
+// TestKeyVersionNeverAliasesRetired re-encodes the canonical base
+// config with both retired layouts — version 1 (flat L2 geometry) and
+// version 2 (hierarchy-as-data but no sampling fields) — and checks
+// neither fingerprint collides with the current key: a persisted store
+// from an older version can only miss under current keys, never serve a
+// stale result for a config it does not describe.
+func TestKeyVersionNeverAliasesRetired(t *testing.T) {
+	if keyVersion != 3 {
+		t.Fatalf("keyVersion = %d, want 3 (update this test when bumping)", keyVersion)
 	}
 	c := Default("gcc").Canonical()
 	l2 := c.Hierarchy()[0].Geom
 
-	h := sha256.New()
-	w := keyWriter{h: h}
-	w.u64(1) // keyVersion 1
-	w.str(c.Benchmark)
-	w.u64(c.Instructions)
-	w.u64(uint64(c.Engine))
-	w.i(c.CPU.Width)
-	w.i(c.CPU.ROBEntries)
-	w.i(c.CPU.LSQEntries)
-	w.u64(c.CPU.DecodeLatency)
-	w.u64(c.CPU.MispredictPenalty)
-	w.cacheSpec(c.DCache)
-	w.cacheSpec(c.ICache)
-	w.geometry(l2.SizeBytes, l2.Assoc, l2.BlockBytes, l2.SubarrayBytes) // v1: bare L2 geometry
-	w.i(c.MSHREntries)
-	w.i(c.WritebackEntries)
-	w.f64(c.Energy.PrechargePJPerBit)
-	w.f64(c.Energy.BitlinePJPerBit)
-	w.f64(c.Energy.WordlinePJPerBit)
-	w.f64(c.Energy.SensePJPerBit)
-	w.f64(c.Energy.DecodePJPerSubarray)
-	w.f64(c.Energy.ComparePJPerBit)
-	w.f64(c.Energy.OutputPJPerBit)
-	w.f64(c.Energy.ClockPJPerSubarray)
-	w.f64(c.Energy.LeakagePJPerBytePerCycle)
-	w.f64(c.Core.DecodePJ)
-	w.f64(c.Core.ROBWritePJ)
-	w.f64(c.Core.LSQWritePJ)
-	w.f64(c.Core.RegReadPJ)
-	w.f64(c.Core.RegWritePJ)
-	w.f64(c.Core.IntALUPJ)
-	w.f64(c.Core.FPALUPJ)
-	w.f64(c.Core.BpredPJ)
-	w.f64(c.Core.BTBPJ)
-	w.f64(c.Core.RASPJ)
-	w.f64(c.Core.ResultBusPJ)
-	w.f64(c.Core.ClockPJ)
-	var v1 Key
-	h.Sum(v1[:0])
+	// Shared tails of the retired encodings.
+	writeFront := func(w keyWriter) {
+		w.str(c.Benchmark)
+		w.u64(c.Instructions)
+		w.u64(uint64(c.Engine))
+		w.i(c.CPU.Width)
+		w.i(c.CPU.ROBEntries)
+		w.i(c.CPU.LSQEntries)
+		w.u64(c.CPU.DecodeLatency)
+		w.u64(c.CPU.MispredictPenalty)
+		w.cacheSpec(c.DCache)
+		w.cacheSpec(c.ICache)
+	}
+	writeEnergies := func(w keyWriter) {
+		w.f64(c.Energy.PrechargePJPerBit)
+		w.f64(c.Energy.BitlinePJPerBit)
+		w.f64(c.Energy.WordlinePJPerBit)
+		w.f64(c.Energy.SensePJPerBit)
+		w.f64(c.Energy.DecodePJPerSubarray)
+		w.f64(c.Energy.ComparePJPerBit)
+		w.f64(c.Energy.OutputPJPerBit)
+		w.f64(c.Energy.ClockPJPerSubarray)
+		w.f64(c.Energy.LeakagePJPerBytePerCycle)
+		w.f64(c.Core.DecodePJ)
+		w.f64(c.Core.ROBWritePJ)
+		w.f64(c.Core.LSQWritePJ)
+		w.f64(c.Core.RegReadPJ)
+		w.f64(c.Core.RegWritePJ)
+		w.f64(c.Core.IntALUPJ)
+		w.f64(c.Core.FPALUPJ)
+		w.f64(c.Core.BpredPJ)
+		w.f64(c.Core.BTBPJ)
+		w.f64(c.Core.RASPJ)
+		w.f64(c.Core.ResultBusPJ)
+		w.f64(c.Core.ClockPJ)
+	}
 
-	if v1 == Default("gcc").Key() {
-		t.Fatal("v2 key aliases the v1 encoding of the same config")
+	h1 := sha256.New()
+	w1 := keyWriter{h: h1}
+	w1.u64(1) // keyVersion 1
+	writeFront(w1)
+	w1.geometry(l2.SizeBytes, l2.Assoc, l2.BlockBytes, l2.SubarrayBytes) // v1: bare L2 geometry
+	w1.i(c.MSHREntries)
+	w1.i(c.WritebackEntries)
+	writeEnergies(w1)
+	var v1 Key
+	h1.Sum(v1[:0])
+
+	h2 := sha256.New()
+	w2 := keyWriter{h: h2}
+	w2.u64(2) // keyVersion 2
+	writeFront(w2)
+	w2.i(len(c.Levels)) // v2: hierarchy as data, no sampling fields
+	for _, l := range c.Levels {
+		w2.cacheSpec(l.CacheSpec)
+		w2.u64(uint64(l.Precharge))
+		w2.i(l.MSHREntries)
+		w2.i(l.WritebackEntries)
+	}
+	w2.geometry(c.L2Geom.SizeBytes, c.L2Geom.Assoc, c.L2Geom.BlockBytes, c.L2Geom.SubarrayBytes)
+	w2.i(c.MSHREntries)
+	w2.i(c.WritebackEntries)
+	writeEnergies(w2)
+	var v2 Key
+	h2.Sum(v2[:0])
+
+	cur := Default("gcc").Key()
+	if v1 == cur {
+		t.Fatal("current key aliases the v1 encoding of the same config")
+	}
+	if v2 == cur {
+		t.Fatal("current key aliases the v2 encoding of the same config")
 	}
 }
 

@@ -163,6 +163,13 @@ type Config struct {
 
 	Energy geometry.EnergyModel
 	Core   energy.CoreEnergies
+
+	// Sampling, when enabled, switches Run to interval-sampled execution:
+	// short detailed windows alternate with long functional fast-forward
+	// windows, and detailed measurements are scaled to whole-run estimates
+	// with standard-error bars (Result.Sample). The zero value runs every
+	// instruction in detail. See sample.go.
+	Sampling SamplingSpec
 }
 
 // Hierarchy returns the config's shared levels in canonical form,
@@ -243,6 +250,11 @@ type Result struct {
 	// Levels reports the shared hierarchy, outermost (L2) first; empty
 	// when the L1s connect straight to memory.
 	Levels []LevelReport
+
+	// Sample describes how the result was measured when the run used
+	// interval sampling: window counts, the extrapolation factor, and
+	// per-metric standard-error bars. Nil for fully detailed runs.
+	Sample *SampleReport `json:",omitempty"`
 }
 
 // L2 returns the outermost shared level's report (the zero report when
@@ -349,6 +361,14 @@ func validated(cfg Config) (*workload.Profile, error) {
 	}
 	if len(cfg.Levels) > 0 && cfg.L2Geom != (geometry.Geometry{}) {
 		return nil, fmt.Errorf("sim: both Levels and the deprecated L2Geom set; use Levels only")
+	}
+	if s := cfg.Sampling; s != (SamplingSpec{}) {
+		if !s.Enabled() {
+			return nil, fmt.Errorf("sim: partial sampling spec %+v: both DetailedInstructions and FastForwardInstructions must be set", s)
+		}
+		if s.WarmupInstructions >= cfg.Instructions {
+			return nil, fmt.Errorf("sim: warmup %d consumes the whole %d-instruction budget", s.WarmupInstructions, cfg.Instructions)
+		}
 	}
 	return prof, nil
 }
@@ -475,27 +495,53 @@ func (m *machine) finish(cfg Config, res cpu.Result) Result {
 	}
 }
 
+// soloEngine is what Run needs from an engine beyond the basic Engine
+// contract: window-chained detailed execution, functional fast-forward,
+// and front-end warm-state snapshots for the sampled execution mode.
+// Both concrete engines implement it.
+type soloEngine interface {
+	cpu.Engine
+	RunWindow(src workload.Source, maxInstr uint64, base uint64) cpu.Result
+	FastForward(src workload.Source, maxInstr uint64) uint64
+	frontEndHolder
+}
+
+// buildSoloEngine constructs the configured engine over the machine's L1s.
+func buildSoloEngine(cfg Config, m *machine) (soloEngine, error) {
+	if cfg.Engine == InOrder {
+		return cpu.NewInOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
+	}
+	return cpu.NewOutOfOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (Result, error) {
+	res, _, err := RunWithCheckpoints(cfg, nil)
+	return res, err
+}
+
+// RunWithCheckpoints executes one simulation against an optional warmup
+// checkpoint store (nil behaves exactly like Run). For sampled configs
+// with a warmup prefix, a store hit restores the front-end warm state
+// instead of recomputing it, and a miss records the computed state under
+// cfg.WarmKey() for later runs; the Result is bit-identical either way.
+// The returned WarmupStats says which of the two happened.
+func RunWithCheckpoints(cfg Config, cs CheckpointStore) (Result, WarmupStats, error) {
 	prof, err := validated(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, WarmupStats{}, err
+	}
+	if cfg.Sampling.Enabled() {
+		return runSampledSolo(cfg, prof, cs)
 	}
 	m, err := buildMachine(cfg)
 	if err != nil {
-		return Result{}, err
+		return Result{}, WarmupStats{}, err
 	}
-
-	var engine cpu.Engine
-	if cfg.Engine == InOrder {
-		engine, err = cpu.NewInOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
-	} else {
-		engine, err = cpu.NewOutOfOrder(cfg.CPU, m.ic.level, m.dc.level, bpred.NewDefault())
-	}
+	engine, err := buildSoloEngine(cfg, m)
 	if err != nil {
-		return Result{}, err
+		return Result{}, WarmupStats{}, err
 	}
-
 	res := engine.Run(workload.NewGenerator(prof), cfg.Instructions)
-	return m.finish(cfg, res), nil
+	return m.finish(cfg, res), WarmupStats{}, nil
 }

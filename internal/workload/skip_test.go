@@ -1,0 +1,108 @@
+package workload
+
+import "testing"
+
+// TestSkipDeterministic: two generators performing the same interleaving
+// of Next and Skip calls stay bit-identical — Skip is a deterministic
+// state jump, not a source of divergence.
+func TestSkipDeterministic(t *testing.T) {
+	a := NewGenerator(MustGet("gcc"))
+	b := NewGenerator(MustGet("gcc"))
+	var ea, eb Event
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3_000; i++ {
+			oa, ob := a.Next(&ea), b.Next(&eb)
+			if oa != ob || ea != eb {
+				t.Fatalf("round %d event %d diverged: %+v vs %+v", round, i, ea, eb)
+			}
+		}
+		if na, nb := a.Skip(20_000), b.Skip(20_000); na != nb {
+			t.Fatalf("round %d skipped %d vs %d", round, na, nb)
+		}
+	}
+}
+
+// TestSkipAdvancesPosition: Skip consumes stream position like Next
+// does — Generated advances, and phase accounting stays consistent
+// across boundaries.
+func TestSkipAdvancesPosition(t *testing.T) {
+	p := MustGet("su2cor") // two phases, periodic
+	g := NewGenerator(p)
+	period := p.TotalPhaseInstructions()
+	if n := g.Skip(2*period + 7); n != 2*period+7 {
+		t.Fatalf("periodic profile skipped %d of %d", n, 2*period+7)
+	}
+	if g.Generated() != 2*period+7 {
+		t.Fatalf("Generated = %d after skip", g.Generated())
+	}
+	var ev Event
+	if !g.Next(&ev) {
+		t.Fatal("periodic generator exhausted after skip")
+	}
+}
+
+// TestSkipSnapshotRestore: a snapshot taken after a skip restores into a
+// fresh generator whose subsequent stream is bit-identical.
+func TestSkipSnapshotRestore(t *testing.T) {
+	a := NewGenerator(MustGet("vpr"))
+	var ea, eb Event
+	for i := 0; i < 1_000; i++ {
+		a.Next(&ea)
+	}
+	a.Skip(50_000)
+	snap := a.Snapshot()
+
+	b := NewGenerator(MustGet("vpr"))
+	b.Restore(snap)
+	for i := 0; i < 5_000; i++ {
+		oa, ob := a.Next(&ea), b.Next(&eb)
+		if oa != ob || ea != eb {
+			t.Fatalf("event %d after restore diverged: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+// TestSkipExhaustsNonPeriodic: skipping past the end of a one-shot
+// profile reports the truncated count and leaves the generator
+// exhausted.
+func TestSkipExhaustsNonPeriodic(t *testing.T) {
+	single := &Profile{
+		Name: "oneshot-skip", LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		DepMeanDist: 3,
+		Phases: []Phase{{Instructions: 1000,
+			DLevels: []WSLevel{{Blocks: 16, Frac: 1}},
+			ILevels: []WSLevel{{Blocks: 16, Frac: 1}}}},
+	}
+	g := NewGenerator(single)
+	var ev Event
+	for i := 0; i < 400; i++ {
+		g.Next(&ev)
+	}
+	if n := g.Skip(10_000); n != 600 {
+		t.Fatalf("skipped %d, want the 600 remaining", n)
+	}
+	if g.Next(&ev) {
+		t.Fatal("generator should be exhausted after skipping past the end")
+	}
+	if n := g.Skip(10); n != 0 {
+		t.Fatalf("exhausted generator skipped %d more", n)
+	}
+}
+
+// TestSkipZeroIsFree: Skip(0) must not perturb the stream — the sampled
+// execution mode relies on a zero-skip schedule being bit-identical to
+// one with no skips at all.
+func TestSkipZeroIsFree(t *testing.T) {
+	a := NewGenerator(MustGet("gcc"))
+	b := NewGenerator(MustGet("gcc"))
+	var ea, eb Event
+	for i := 0; i < 2_000; i++ {
+		if i%100 == 0 {
+			a.Skip(0)
+		}
+		oa, ob := a.Next(&ea), b.Next(&eb)
+		if oa != ob || ea != eb {
+			t.Fatalf("event %d diverged after Skip(0)", i)
+		}
+	}
+}

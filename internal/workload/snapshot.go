@@ -1,0 +1,68 @@
+package workload
+
+// Snapshot is the generator's complete mutable state at an instruction
+// boundary. It contains only plain data (no pointers into the generator),
+// so it can be serialized into a warmup checkpoint and restored into a
+// fresh Generator built from the same Profile. The per-phase hoist tables
+// are deliberately absent: they are a pure function of (profile,
+// phaseIdx) and Restore rebuilds them without consuming RNG draws.
+type Snapshot struct {
+	RNG         uint64
+	Instr       uint64
+	PhaseIdx    int
+	PhaseLeft   uint64
+	Exhausted   bool
+	DCursors    []int
+	ICursor     int
+	DConfCursor int
+	IConfCursor int
+	ColdCursor  uint64
+	RunAddr     uint64
+	RunLeft     int
+	BrCounter   int
+	CallDepth   int
+}
+
+// Snapshot captures the generator state. The returned value owns its
+// slices (they do not alias generator storage).
+func (g *Generator) Snapshot() Snapshot {
+	return Snapshot{
+		RNG:         g.r.s,
+		Instr:       g.instr,
+		PhaseIdx:    g.phaseIdx,
+		PhaseLeft:   g.phaseLeft,
+		Exhausted:   g.exhausted,
+		DCursors:    append([]int(nil), g.dCursors...),
+		ICursor:     g.iCursor,
+		DConfCursor: g.dConfCursor,
+		IConfCursor: g.iConfCursor,
+		ColdCursor:  g.coldCursor,
+		RunAddr:     g.runAddr,
+		RunLeft:     g.runLeft,
+		BrCounter:   g.brCounter,
+		CallDepth:   g.callDepth,
+	}
+}
+
+// Restore rewinds (or fast-forwards) the generator to a snapshot taken
+// from a generator built over the same profile. After Restore the event
+// stream continues exactly as it would have from the snapshot point.
+func (g *Generator) Restore(s Snapshot) {
+	g.r.s = s.RNG
+	g.instr = s.Instr
+	g.exhausted = s.Exhausted
+	if !s.Exhausted {
+		g.rebuildPhaseHoists(s.PhaseIdx)
+	}
+	g.phaseLeft = s.PhaseLeft
+	g.dCursors = reuse(g.dCursors, len(s.DCursors))
+	copy(g.dCursors, s.DCursors)
+	g.iCursor = s.ICursor
+	g.dConfCursor = s.DConfCursor
+	g.iConfCursor = s.IConfCursor
+	g.coldCursor = s.ColdCursor
+	g.runAddr = s.RunAddr
+	g.runLeft = s.RunLeft
+	g.brCounter = s.BrCounter
+	g.callDepth = s.CallDepth
+}

@@ -207,14 +207,9 @@ func reuse[T any](s []T, n int) []T {
 
 //simlint:coldpath runs at phase transitions only; reuse() keeps it allocation-free after warm-up
 func (g *Generator) enterPhase(i int) {
-	g.phaseIdx = i
-	ph := &g.prof.Phases[i]
-	g.curPhase = ph
+	g.rebuildPhaseHoists(i)
+	ph := g.curPhase
 	g.phaseLeft = ph.Instructions
-	g.dCursors = reuse(g.dCursors, len(ph.DLevels))
-	g.dJumpP = reuse(g.dJumpP, len(ph.DLevels))
-	g.dBase = reuse(g.dBase, len(ph.DLevels))
-	dBase := uint64(dataBase)
 	for j := range g.dCursors {
 		// Stagger cursors so levels do not walk in lockstep.
 		c := 0
@@ -222,6 +217,26 @@ func (g *Generator) enterPhase(i int) {
 			c = g.r.intn(ph.DLevels[j].Blocks)
 		}
 		g.dCursors[j] = c
+	}
+	g.iCursor = 0
+	g.runLeft = 0
+}
+
+// rebuildPhaseHoists recomputes the per-phase derived tables (jump
+// probabilities, region bases, instruction footprints) for phase i. It is
+// pure with respect to the RNG — Restore relies on that to re-enter a
+// snapshotted phase without perturbing the random stream.
+//
+//simlint:coldpath runs at phase transitions and restore only
+func (g *Generator) rebuildPhaseHoists(i int) {
+	g.phaseIdx = i
+	ph := &g.prof.Phases[i]
+	g.curPhase = ph
+	g.dCursors = reuse(g.dCursors, len(ph.DLevels))
+	g.dJumpP = reuse(g.dJumpP, len(ph.DLevels))
+	g.dBase = reuse(g.dBase, len(ph.DLevels))
+	dBase := uint64(dataBase)
+	for j := range ph.DLevels {
 		jumpP := ph.DLevels[j].RandFrac
 		if jumpP < 1.0/32 {
 			jumpP = 1.0 / 32 // minimum jitter keeps knees from being cliffs
@@ -244,8 +259,6 @@ func (g *Generator) enterPhase(i int) {
 		g.iBase[j] = iBase
 		iBase += uint64(lv.Blocks)*blockBytes + (1 << 20) // separate regions
 	}
-	g.iCursor = 0
-	g.runLeft = 0
 }
 
 func (g *Generator) phase() *Phase { return g.curPhase }
@@ -444,3 +457,73 @@ func (g *Generator) Next(ev *Event) bool {
 
 // Generated returns how many instructions have been produced.
 func (g *Generator) Generated() uint64 { return g.instr }
+
+// Skip advances the stream position by n instructions without generating
+// events, in O(phases crossed) instead of O(n). The sampled execution
+// mode uses it to jump the gap between one window's functional warming
+// and the next window (internal/sim).
+//
+// A skip is a deterministic state jump, not a replay: the RNG is remixed
+// as a function of (state, n), the working-set cursors are re-staggered
+// exactly the way enterPhase staggers them at a phase boundary (their
+// positions within a cyclic walk carry no information), and the cold
+// stream advances so skipped instructions still consume fresh block
+// addresses. Two generators skipping at the same position therefore
+// remain bit-identical, but the post-skip stream differs from the
+// stepped stream — callers own that trade (see the sampling notes in
+// internal/sim).
+//
+// Returns how many instructions were skipped; fewer than n only when a
+// non-periodic profile ran out of phases.
+func (g *Generator) Skip(n uint64) uint64 {
+	if g.exhausted || n == 0 {
+		return 0
+	}
+	var done uint64
+	for n > 0 {
+		if g.phaseLeft == 0 {
+			if !g.advancePhase() {
+				g.exhausted = true
+				break
+			}
+		}
+		step := min(n, g.phaseLeft)
+		g.phaseLeft -= step
+		g.instr += step
+		// Every skipped instruction could at most touch one fresh cold
+		// block; advancing by the full step keeps post-skip cold
+		// addresses disjoint from anything a stepped run could have
+		// touched, at the cost of some unused address space.
+		g.coldCursor += step
+		n -= step
+		done += step
+	}
+	g.r.s = remix(g.r.s ^ (done * 0x9E3779B97F4A7C15))
+	if !g.exhausted {
+		ph := g.curPhase
+		for j := range g.dCursors {
+			if b := ph.DLevels[j].Blocks; b > 0 {
+				g.dCursors[j] = g.r.intn(b)
+			}
+		}
+		if len(g.iSlots) > 0 && g.iSlots[0] > 0 {
+			g.iCursor = g.r.intn(g.iSlots[0]) * instrBytes
+		}
+	}
+	g.runLeft = 0
+	return done
+}
+
+// remix finalizes a skip's RNG jump (splitmix64 finalizer), guarding the
+// xorshift absorbing state.
+func remix(s uint64) uint64 {
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	s *= 0x94D049BB133111EB
+	s ^= s >> 31
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return s
+}

@@ -40,6 +40,11 @@ type Grid struct {
 	L2Orgs       []Organization
 	L2Strategies []Strategy
 	Instructions uint64
+	// Sampling, like Instructions, is a scalar applied to every scenario:
+	// an enabled spec runs the whole sweep interval-sampled (estimates
+	// with error bars, several times faster), which is how large
+	// cross-products stay affordable. The zero value keeps full detail.
+	Sampling SamplingSpec
 }
 
 // Expand enumerates the grid's cross product into a Plan. The order is
@@ -133,6 +138,7 @@ func (g Grid) Expand() (Plan, error) {
 											L2:           L2Spec{Organization: l2o, Strategy: l2s},
 											InOrder:      e == InOrderEngine,
 											Instructions: g.Instructions,
+											Sampling:     g.Sampling,
 										})
 									}
 								}
