@@ -70,7 +70,7 @@ func realMain() int {
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		gang     = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
 		resume   = flag.String("resume", "", "JSON result/artifact-store path for cross-process resume")
-		server   = flag.String("server", "", "run plans on a simd daemon at this address (unix:<path> or host:port) instead of in-process")
+		server   = flag.String("server", "", "run plans on a simd daemon at this address (unix:<path> or host:port; a comma-separated list fails over) instead of in-process")
 		stats    = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		memo     = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
 		progress = flag.Bool("progress", false, "print completed-of-total scenario progress to stderr (figure experiments only)")

@@ -140,7 +140,7 @@ func realMain() int {
 
 		stats  = flag.Bool("stats", false, "print runner hit/miss statistics to stderr")
 		gang   = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
-		server = flag.String("server", "", "share the memo store of a simd daemon at this address (unix:<path> or host:port); simulations still run locally")
+		server = flag.String("server", "", "share the memo store of a simd daemon at this address (unix:<path> or host:port; a comma-separated list fails over); simulations still run locally")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")

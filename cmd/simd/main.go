@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"resizecache/internal/runner"
 	"resizecache/internal/simd"
@@ -42,11 +43,13 @@ func realMain() int {
 		gang    = flag.Int("gang", 0, "max same-front configs coalesced into one simulation pass (0 = default 8, 1 = solo runs)")
 		store   = flag.String("store", "", "JSON result/artifact-store path backing the daemon (empty = in-memory only)")
 		memo    = flag.Int("memolimit", 65536, "max in-memory memoized results, LRU-evicted beyond (0 = unbounded)")
+		idle    = flag.Duration("idletimeout", 5*time.Minute, "close connections idle (no frames, no in-flight requests) this long; clients keep-alive with pings (0 = never)")
 		verbose = flag.Bool("v", false, "log client connects/disconnects to stderr")
 	)
 	flag.Parse()
 
-	opts := simd.Options{Workers: *workers, GangSize: *gang, MemoLimit: *memo}
+	opts := simd.Options{Workers: *workers, GangSize: *gang, MemoLimit: *memo,
+		IdleTimeout: *idle}
 	if *store != "" {
 		diskStore, err := runner.OpenDiskStore(*store)
 		if err != nil {

@@ -66,6 +66,10 @@ var determinismScope = map[string]bool{
 	"internal/simd":        true,
 	"internal/simd/wire":   true,
 	"internal/simd/client": true,
+	// The chaos harness must be as deterministic as the code it breaks:
+	// a scripted fault schedule that drifted with the clock or math/rand
+	// would make chaos failures unreproducible.
+	"internal/simd/faultnet": true,
 }
 
 func main() {

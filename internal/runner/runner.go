@@ -129,6 +129,11 @@ type Stats struct {
 	// RemoteErrors counts remote-store round trips that failed and were
 	// degraded to misses (lookups) or dropped (records).
 	RemoteErrors uint64
+	// BreakerTrips counts the times the remote store's circuit breaker
+	// opened (a BreakerCounter backend such as NetStore): runs of
+	// consecutive failures after which the store stopped calling out
+	// and served misses locally for a cooldown.
+	BreakerTrips uint64
 	// WarmupHits counts simulations whose warmup prefix was restored
 	// from a persisted checkpoint instead of being re-executed (sampled
 	// configs with a warmup, running through the default entry points
@@ -149,8 +154,11 @@ func (s Stats) String() string {
 		s.Evictions, s.Enqueued, s.EnqueueBatches, s.Barriers,
 		s.Ganged, s.GangBatches,
 		s.ArtifactHits, s.ArtifactStoreHits, s.ArtifactComputes)
-	if s.RemoteHits > 0 || s.RemoteErrors > 0 {
+	if s.RemoteHits > 0 || s.RemoteErrors > 0 || s.BreakerTrips > 0 {
 		out += fmt.Sprintf("; remote: %d hits, %d errors", s.RemoteHits, s.RemoteErrors)
+		if s.BreakerTrips > 0 {
+			out += fmt.Sprintf(", %d breaker trips", s.BreakerTrips)
+		}
 	}
 	if s.WarmupHits > 0 || s.WarmupSaves > 0 {
 		out += fmt.Sprintf("; warmups: %d checkpoint hits, %d saves", s.WarmupHits, s.WarmupSaves)
@@ -182,6 +190,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		ArtifactComputes:  s.ArtifactComputes - prev.ArtifactComputes,
 		RemoteHits:        s.RemoteHits - prev.RemoteHits,
 		RemoteErrors:      s.RemoteErrors - prev.RemoteErrors,
+		BreakerTrips:      s.BreakerTrips - prev.BreakerTrips,
 		WarmupHits:        s.WarmupHits - prev.WarmupHits,
 		WarmupSaves:       s.WarmupSaves - prev.WarmupSaves,
 	}
@@ -319,15 +328,20 @@ func Default() *Runner {
 }
 
 // Stats snapshots the counters. When the store is a remote tier
-// (RemoteCounter), its hit/error counts are folded in.
+// (RemoteCounter), its hit/error counts are folded in, as are breaker
+// trips when it guards itself with a circuit breaker (BreakerCounter).
 func (r *Runner) Stats() Stats {
-	var remoteHits, remoteErrs uint64
+	var remoteHits, remoteErrs, breakerTrips uint64
 	if rc, ok := r.store.(RemoteCounter); ok {
 		remoteHits, remoteErrs = rc.RemoteCounts()
+	}
+	if bc, ok := r.store.(BreakerCounter); ok {
+		breakerTrips = bc.BreakerTrips()
 	}
 	return Stats{
 		RemoteHits:        remoteHits,
 		RemoteErrors:      remoteErrs,
+		BreakerTrips:      breakerTrips,
 		Submitted:         r.submitted.Load(),
 		MemoHits:          r.memoHits.Load(),
 		StoreHits:         r.storeHits.Load(),

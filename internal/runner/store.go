@@ -48,6 +48,15 @@ type RemoteCounter interface {
 	RemoteCounts() (hits, errors uint64)
 }
 
+// BreakerCounter is implemented by Store backends that guard a remote
+// tier with a circuit breaker (NetStore); Runner.Stats folds the count
+// into its BreakerTrips field so degraded runs are visible in -stats
+// output.
+type BreakerCounter interface {
+	// BreakerTrips returns how many times the backend's breaker opened.
+	BreakerTrips() uint64
+}
+
 // StoredResult is one persisted simulation outcome: either a successful
 // result or the message of the real (non-cancellation) error the
 // simulation failed with. Persisting errors keeps a failing config from

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"resizecache/internal/runner"
 	"resizecache/internal/sim"
@@ -224,6 +225,82 @@ func Run(t *testing.T, open func(t *testing.T) runner.Store) {
 		}
 		if stored.Msg != "known-bad config" {
 			t.Errorf("replayed message = %q, want %q", stored.Msg, "known-bad config")
+		}
+	})
+}
+
+// RunUnreachable exercises the graceful-degradation half of the Store
+// contract: a backend that cannot reach its medium (a dead daemon, a
+// tripped circuit breaker) must answer lookups as misses and swallow
+// records — without returning errors to the Runner and within bounded
+// time — while Flush, which promises durability, must fail loudly.
+// open must return a store whose backend is unreachable by
+// construction; maxPerOp bounds how long any single degraded operation
+// may take (pass the store's worst-case timeout budget).
+func RunUnreachable(t *testing.T, open func(t *testing.T) runner.Store, maxPerOp time.Duration) {
+	// timed fails the test if op outlives maxPerOp — degradation that
+	// blocks for minutes is an outage with extra steps.
+	timed := func(t *testing.T, name string, op func()) {
+		t.Helper()
+		start := time.Now()
+		op()
+		if elapsed := time.Since(start); elapsed > maxPerOp {
+			t.Errorf("%s took %v against an unreachable backend; want under %v", name, elapsed, maxPerOp)
+		}
+	}
+
+	t.Run("LookupsDegradeToMisses", func(t *testing.T) {
+		s := open(t)
+		timed(t, "Lookup", func() {
+			if _, ok := s.Lookup(key(1)); ok {
+				t.Error("Lookup against an unreachable backend reported a hit")
+			}
+		})
+		timed(t, "LookupArtifact", func() {
+			if _, ok := s.LookupArtifact(key(2)); ok {
+				t.Error("LookupArtifact against an unreachable backend reported a hit")
+			}
+		})
+	})
+
+	t.Run("RecordsDroppedSilently", func(t *testing.T) {
+		s := open(t)
+		timed(t, "Record", func() {
+			s.Record(key(3), runner.StoredResult{Result: sampleResult()})
+		})
+		timed(t, "RecordArtifact", func() {
+			s.RecordArtifact(key(4), []byte(`{"v":1}`))
+		})
+	})
+
+	t.Run("FlushFailsLoudly", func(t *testing.T) {
+		s := open(t)
+		timed(t, "Flush", func() {
+			if err := s.Flush(); err == nil {
+				t.Error("Flush against an unreachable backend returned nil; durability cannot be promised")
+			}
+		})
+	})
+
+	t.Run("RunnerStillSimulates", func(t *testing.T) {
+		s := open(t)
+		cfg := sim.Default("gcc")
+		cfg.Instructions = 1000
+		want := sampleResult()
+		r := runner.New(runner.Options{Store: s, RunSim: func(sim.Config) (sim.Result, error) {
+			return want, nil
+		}})
+		var got sim.Result
+		var err error
+		timed(t, "Runner.Run", func() { got, err = r.Run(context.Background(), cfg) })
+		if err != nil {
+			t.Fatalf("Run with an unreachable store: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("degraded run mutated the result:\n got %+v\nwant %+v", got, want)
+		}
+		if st := r.Stats(); st.Runs != 1 || st.StoreHits != 0 {
+			t.Errorf("stats = %v; want 1 run, 0 store hits", st)
 		}
 	})
 }

@@ -1,0 +1,477 @@
+package simd_test
+
+// Chaos tests: the fault-tolerance contracts of the simd stack under
+// deterministic fault injection (internal/simd/faultnet). The headline
+// acceptance test cuts the transport repeatedly mid-plan and proves the
+// plan still delivers exactly plan.Len() results, bit-identical to a
+// clean run, with no duplicates — and that a warm replay afterwards
+// simulates nothing.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"resizecache"
+	"resizecache/internal/runner"
+	"resizecache/internal/runner/storetest"
+	"resizecache/internal/sim"
+	"resizecache/internal/simd"
+	simdclient "resizecache/internal/simd/client"
+	"resizecache/internal/simd/faultnet"
+	"resizecache/internal/simd/wire"
+)
+
+// fastDial keeps chaos-test reconnect schedules down to milliseconds.
+func fastDial(extra resizecache.DialOptions) resizecache.DialOptions {
+	if extra.BackoffBase == 0 {
+		extra.BackoffBase = time.Millisecond
+	}
+	if extra.BackoffMax == 0 {
+		extra.BackoffMax = 4 * time.Millisecond
+	}
+	return extra
+}
+
+// fastClient is the simd-client analogue of fastDial, for NetStore.
+func fastClient() simdclient.Options {
+	return simdclient.Options{
+		CallTimeout: 2 * time.Second,
+		DialTimeout: 200 * time.Millisecond,
+		DialPasses:  1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	}
+}
+
+// startChaosDaemon is startDaemon behind a fault-scripted listener:
+// accepted connection i lives under scripts[i]; later connections are
+// clean.
+func startChaosDaemon(t *testing.T, opts simd.Options, scripts ...faultnet.Script) (addr string, srv *simd.Server, ln *faultnet.Listener) {
+	t.Helper()
+	srv, err := simd.New(opts)
+	if err != nil {
+		t.Fatalf("simd.New: %v", err)
+	}
+	addr = "unix:" + filepath.Join(t.TempDir(), "s.sock")
+	base, err := simd.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ln = faultnet.WrapListener(base, scripts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return addr, srv, ln
+}
+
+// startStoppableDaemon is startDaemon with an explicit, idempotent stop:
+// the daemon drains and its socket file disappears, so later dials fail
+// fast — the in-process stand-in for a crashed daemon host.
+func startStoppableDaemon(t *testing.T, opts simd.Options) (addr string, srv *simd.Server, stop func()) {
+	t.Helper()
+	srv, err := simd.New(opts)
+	if err != nil {
+		t.Fatalf("simd.New: %v", err)
+	}
+	addr = "unix:" + filepath.Join(t.TempDir(), "s.sock")
+	ln, err := simd.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return addr, srv, stop
+}
+
+// chaosPlan is a four-scenario plan, so a plan stream spans five
+// response frames and a cut can land strictly inside it.
+func chaosPlan(t *testing.T) resizecache.Plan {
+	t.Helper()
+	apps := resizecache.Benchmarks()
+	if len(apps) < 4 {
+		t.Fatalf("need 4 benchmarks, have %d", len(apps))
+	}
+	scenarios := make([]resizecache.Scenario, 4)
+	for i, app := range apps[:4] {
+		scenarios[i] = resizecache.Scenario{Benchmark: app,
+			Organization: resizecache.SelectiveSets, Sides: resizecache.DOnly,
+			Instructions: 60_000}
+	}
+	plan, err := resizecache.PlanOf(scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// checkNoDuplicates fails if any plan index was delivered twice.
+func checkNoDuplicates(t *testing.T, results []resizecache.Result, planLen int) {
+	t.Helper()
+	seen := make(map[int]int, len(results))
+	for _, r := range results {
+		seen[r.Index]++
+	}
+	for idx, n := range seen { //simlint:ordered failure reporting only
+		if n > 1 {
+			t.Errorf("scenario %d delivered %d times", idx, n)
+		}
+		if idx < 0 || idx >= planLen {
+			t.Errorf("result index %d outside the plan", idx)
+		}
+	}
+}
+
+// TestChaosPlanSurvivesCuts is the fault-tolerance acceptance test: the
+// daemon's transport is scripted to cut the response stream on each of
+// the first three connections, mid-plan, at seeded frame offsets. The
+// client must reconnect, resubmit only what it has not received, and
+// deliver exactly plan.Len() results, bit-identical to a clean local
+// run, with no duplicate indices — and a warm replay right after must
+// simulate nothing.
+func TestChaosPlanSurvivesCuts(t *testing.T) {
+	plan := chaosPlan(t)
+	ctx := context.Background()
+
+	local := resizecache.NewSession()
+	want, err := resizecache.Collect(local.Run(ctx, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroStats(want)
+
+	// Each faulty connection cuts the server-to-client stream at a frame
+	// in [1,3): at least one result lands per attempt, so the resubmit
+	// loop always makes progress.
+	scripts := faultnet.CutScripts(0xC0FFEE, 3, 1, 3)
+	addr, srv, ln := startChaosDaemon(t, simd.Options{}, scripts...)
+
+	remote, err := resizecache.DialWith(addr, fastDial(resizecache.DialOptions{PlanAttempts: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	got, err := resizecache.Collect(remote.Run(ctx, plan))
+	if err != nil {
+		t.Fatalf("plan under transport cuts: %v", err)
+	}
+	if len(got) != plan.Len() {
+		t.Fatalf("delivered %d results, want exactly %d", len(got), plan.Len())
+	}
+	checkNoDuplicates(t, got, plan.Len())
+	zeroStats(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("results under cuts differ from the clean local run:\n got %+v\nwant %+v", got, want)
+	}
+	if ln.Accepted() < 2 {
+		t.Errorf("listener accepted %d connections; the scripted cuts never forced a reconnect", ln.Accepted())
+	}
+
+	// Warm replay on a clean connection: everything the chaos run
+	// computed is in the daemon's memo fabric.
+	before := srv.Stats()
+	clean, err := resizecache.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	warm, err := resizecache.Collect(clean.Run(ctx, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroStats(warm)
+	if !reflect.DeepEqual(warm, want) {
+		t.Errorf("warm replay differs from the clean local run")
+	}
+	if delta := srv.Stats().Delta(before); delta.Runs != 0 {
+		t.Errorf("warm replay simulated %d configs, want 0", delta.Runs)
+	}
+}
+
+// TestChaosFailoverToSecondDaemon: daemon A's first connection is
+// scripted to die mid-plan; the client's address list names A then B.
+// The plan must complete through B with no duplicate or missing
+// results.
+func TestChaosFailoverToSecondDaemon(t *testing.T) {
+	plan := chaosPlan(t)
+	ctx := context.Background()
+
+	local := resizecache.NewSession()
+	want, err := resizecache.Collect(local.Run(ctx, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroStats(want)
+
+	addrA, _, _ := startChaosDaemon(t, simd.Options{},
+		faultnet.Script{{Dir: faultnet.Write, Frame: 2, Act: faultnet.Cut}})
+	addrB, srvB := startDaemon(t, simd.Options{})
+
+	remote, err := resizecache.DialWith(addrA+","+addrB, fastDial(resizecache.DialOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	got, err := resizecache.Collect(remote.Run(ctx, plan))
+	if err != nil {
+		t.Fatalf("plan across a daemon failover: %v", err)
+	}
+	if len(got) != plan.Len() {
+		t.Fatalf("delivered %d results, want exactly %d", len(got), plan.Len())
+	}
+	checkNoDuplicates(t, got, plan.Len())
+	zeroStats(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("failover results differ from the clean local run")
+	}
+	if srvB.Stats().Runs == 0 {
+		t.Error("second daemon ran nothing; the client never failed over")
+	}
+}
+
+// TestChaosLocalFallback: every daemon attempt fails (the daemon is
+// stopped right after dial), and DialOptions.LocalFallback is set — the
+// plan must complete on the in-process session with correct results
+// instead of failing.
+func TestChaosLocalFallback(t *testing.T) {
+	plan := chaosPlan(t)
+	ctx := context.Background()
+
+	fallback := resizecache.NewSession()
+	want, err := resizecache.Collect(fallback.Run(ctx, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroStats(want)
+
+	addr, _, stop := startStoppableDaemon(t, simd.Options{})
+	remote, err := resizecache.DialWith(addr, fastDial(resizecache.DialOptions{
+		PlanAttempts:  2,
+		LocalFallback: fallback,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	stop() // the fabric dies before the plan is submitted
+
+	got, err := resizecache.Collect(remote.Run(ctx, plan))
+	if err != nil {
+		t.Fatalf("plan with a local fallback: %v", err)
+	}
+	if len(got) != plan.Len() {
+		t.Fatalf("delivered %d results, want exactly %d", len(got), plan.Len())
+	}
+	checkNoDuplicates(t, got, plan.Len())
+	zeroStats(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback results differ from the local session's")
+	}
+}
+
+// TestNetStoreUnreachableConformance runs the degradation half of the
+// Store contract against a NetStore whose daemon has been stopped: all
+// lookups must degrade to misses without error within bounded time,
+// records must drop silently, and Flush must fail loudly.
+func TestNetStoreUnreachableConformance(t *testing.T) {
+	open := func(t *testing.T) runner.Store {
+		addr, _, stop := startStoppableDaemon(t, simd.Options{})
+		ns, err := runner.OpenNetStoreWith(addr, runner.NetStoreOptions{
+			BreakerThreshold:   2,
+			BreakerCooldownOps: 4,
+			Client:             fastClient(),
+		})
+		if err != nil {
+			t.Fatalf("OpenNetStoreWith: %v", err)
+		}
+		t.Cleanup(func() { ns.Close() })
+		stop()
+		return ns
+	}
+	storetest.RunUnreachable(t, open, 10*time.Second)
+}
+
+// TestBreakerTripsAndShortCircuits pins the breaker's lifecycle: it
+// trips after the configured run of consecutive failures, serves the
+// cooldown without touching the network (the error counter freezes),
+// re-trips on a failed half-open probe, and reports its trips through
+// Runner.Stats.
+func TestBreakerTripsAndShortCircuits(t *testing.T) {
+	addr, _, stop := startStoppableDaemon(t, simd.Options{})
+	ns, err := runner.OpenNetStoreWith(addr, runner.NetStoreOptions{
+		BreakerThreshold:   3,
+		BreakerCooldownOps: 8,
+		Client:             fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	stop()
+
+	lookup := func() {
+		var sk sim.Key
+		ns.Lookup(sk)
+	}
+	// Trip: three consecutive failures.
+	for i := 0; i < 3; i++ {
+		lookup()
+	}
+	if trips := ns.BreakerTrips(); trips != 1 {
+		t.Fatalf("after %d failures: %d trips, want 1", 3, trips)
+	}
+	_, errsAtTrip := ns.RemoteCounts()
+	if errsAtTrip != 3 {
+		t.Errorf("errors at trip = %d, want 3", errsAtTrip)
+	}
+
+	// Cooldown: eight operations short-circuit without network calls.
+	for i := 0; i < 8; i++ {
+		lookup()
+	}
+	if _, errs := ns.RemoteCounts(); errs != errsAtTrip {
+		t.Errorf("cooldown ops reached the network: errors %d → %d", errsAtTrip, errs)
+	}
+
+	// Half-open probe against the still-dead daemon: one more network
+	// error, and the breaker re-trips immediately.
+	lookup()
+	if _, errs := ns.RemoteCounts(); errs != errsAtTrip+1 {
+		t.Errorf("probe errors = %d, want %d", errs, errsAtTrip+1)
+	}
+	if trips := ns.BreakerTrips(); trips != 2 {
+		t.Errorf("after failed probe: %d trips, want 2", trips)
+	}
+
+	// The trips surface in Runner.Stats and its String rendering.
+	r := runner.New(runner.Options{Store: ns})
+	st := r.Stats()
+	if st.BreakerTrips != 2 {
+		t.Errorf("Stats.BreakerTrips = %d, want 2", st.BreakerTrips)
+	}
+	if !strings.Contains(st.String(), "2 breaker trips") {
+		t.Errorf("Stats.String() = %q, want it to mention breaker trips", st.String())
+	}
+}
+
+// TestIdleTimeoutAndPingKeepalive: a connection kept warm by OpPing
+// outlives many idle windows; a connection that goes silent is closed
+// by the server once the idle timeout elapses.
+func TestIdleTimeoutAndPingKeepalive(t *testing.T) {
+	const idle = 150 * time.Millisecond
+	addr, _ := startDaemon(t, simd.Options{IdleTimeout: idle})
+	nc, err := net.Dial("unix", strings.TrimPrefix(addr, "unix:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Five keepalives at a third of the idle window: the connection
+	// stays up well past several times the timeout.
+	for i := 0; i < 5; i++ {
+		time.Sleep(idle / 3)
+		if err := wire.WriteFrame(nc, wire.Request{V: wire.ProtocolVersion, ID: uint64(i + 1), Op: wire.OpPing}); err != nil {
+			t.Fatalf("ping %d write: %v", i, err)
+		}
+		var resp wire.Response
+		if err := wire.ReadFrame(nc, &resp); err != nil {
+			t.Fatalf("ping %d reply: %v", i, err)
+		}
+		if resp.Kind != wire.KindReply {
+			t.Fatalf("ping %d reply kind = %q", i, resp.Kind)
+		}
+	}
+
+	// Go silent: the server must hang up within a few idle windows.
+	nc.SetReadDeadline(time.Now().Add(10 * idle))
+	var resp wire.Response
+	err = wire.ReadFrame(nc, &resp)
+	if err == nil {
+		t.Fatalf("server sent an unsolicited frame: %+v", resp)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.Error("server never closed the idle connection")
+	}
+}
+
+// TestIdleTimeoutSparesBusyConnections: a client silently awaiting plan
+// results sends no frames, but its connection has in-flight work and
+// must not be reaped even when the plan outlives many idle windows.
+func TestIdleTimeoutSparesBusyConnections(t *testing.T) {
+	addr, _ := startDaemon(t, simd.Options{IdleTimeout: 20 * time.Millisecond})
+	remote, err := resizecache.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if _, err := resizecache.Collect(remote.Run(context.Background(), chaosPlan(t))); err != nil {
+		t.Fatalf("plan over a connection with a short idle timeout: %v", err)
+	}
+}
+
+// TestWedgedDaemonBoundsCalls: against a daemon that accepts frames and
+// never answers, Stats and Flush must return within the configured call
+// timeout instead of hanging (satisfying the bounded-degradation
+// contract of the Executor surface).
+func TestWedgedDaemonBoundsCalls(t *testing.T) {
+	ln, err := net.Listen("unix", filepath.Join(t.TempDir(), "wedged.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, nc) // consume requests, answer nothing
+		}
+	}()
+
+	remote, err := resizecache.DialWith("unix:"+ln.Addr().String(),
+		resizecache.DialOptions{CallTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	start := time.Now()
+	if err := remote.Flush(); err == nil {
+		t.Error("Flush against a wedged daemon returned nil")
+	}
+	if st := remote.Stats(); !reflect.DeepEqual(st, runner.Stats{}) {
+		t.Errorf("Stats against a wedged daemon = %+v, want zero", st)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("wedged-daemon calls took %v, want bounded by the call timeout", elapsed)
+	}
+}

@@ -1,0 +1,373 @@
+// Package faultnet is the deterministic fault-injection harness for the
+// simd stack: every transport and store failure mode the fault-tolerance
+// layer claims to survive is reproduced by a scripted test, not a story.
+//
+// The wrappers operate at the wire protocol's frame granularity. A
+// Script lists Faults, each naming a direction (the wrapped endpoint's
+// reads or writes), a 0-based frame index in that direction's stream,
+// and an Action:
+//
+//   - Cut severs the transport cleanly at the frame boundary, before
+//     any byte of the frame moves — the peer sees EOF between frames;
+//   - Truncate delivers the length prefix and half the payload, then
+//     severs — the peer sees an unexpected EOF mid-frame;
+//   - Corrupt flips the first payload byte and delivers the frame —
+//     the peer's JSON decode fails, exercising the poisoned-frame path;
+//   - Stall blocks the frame until the connection is closed — a
+//     half-open peer that neither answers nor hangs up, exercising
+//     deadlines and idle timeouts.
+//
+// WrapListener scripts a server's accepted connections in order (the
+// reconnect after a cut gets the next script; connections beyond the
+// script list are clean), so a test describes a whole failure schedule
+// declaratively. CutScripts derives schedules from a seed, and
+// FlakyStore decorates a runner.Store with a seeded failure pattern —
+// all deterministic, never wall-clock- or math/rand-dependent.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"resizecache/internal/runner"
+	"resizecache/internal/sim"
+)
+
+// ErrInjected is the error a faulted operation returns on the wrapped
+// side; the peer sees an ordinary transport failure (EOF, reset, or a
+// decode error), exactly as it would from a real network fault.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Action selects what happens to a scripted frame.
+type Action int
+
+const (
+	// Cut severs the connection at the frame's first byte.
+	Cut Action = iota + 1
+	// Truncate delivers the prefix and half the payload, then severs.
+	Truncate
+	// Corrupt flips the first payload byte and delivers the frame.
+	Corrupt
+	// Stall blocks the frame until the connection is closed.
+	Stall
+)
+
+// Direction selects which of the wrapped endpoint's streams a fault
+// applies to. For a connection wrapped by WrapListener, Write is the
+// server-to-client stream (response frames) and Read is the
+// client-to-server stream (request frames).
+type Direction int
+
+const (
+	Write Direction = iota
+	Read
+)
+
+// Fault is one scripted failure point in a connection's life.
+type Fault struct {
+	Dir   Direction
+	Frame int // 0-based frame index within the direction's stream
+	Act   Action
+}
+
+// Script is the ordered fault set of one connection. Frames not named
+// pass through untouched; after a Cut/Truncate/Stall fires, nothing
+// else moves on that connection.
+type Script []Fault
+
+// CutScripts derives n single-fault scripts from seed, each cutting the
+// write stream at a pseudo-random frame index in [minFrame, maxFrame).
+// Chaos tests use it to vary cut points across rounds while staying
+// bit-reproducible for a fixed seed.
+func CutScripts(seed uint64, n, minFrame, maxFrame int) []Script {
+	if maxFrame <= minFrame {
+		maxFrame = minFrame + 1
+	}
+	scripts := make([]Script, n)
+	for i := range scripts {
+		r := splitmix(seed + uint64(i))
+		frame := minFrame + int(r%uint64(maxFrame-minFrame))
+		scripts[i] = Script{{Dir: Write, Frame: frame, Act: Cut}}
+	}
+	return scripts
+}
+
+// splitmix is the splitmix64 mix function: the package's only source of
+// pseudo-randomness, fully determined by its input.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Conn wraps a net.Conn with a fault script. Construct with WrapConn.
+type Conn struct {
+	net.Conn
+	r, w      tracker
+	closeOnce sync.Once
+	done      chan struct{} // closed on Close; releases stalled frames
+}
+
+// WrapConn applies script to nc. The returned Conn is safe for the
+// wire protocol's use (one reader, serialized writers).
+func WrapConn(nc net.Conn, script Script) *Conn {
+	c := &Conn{Conn: nc, done: make(chan struct{})}
+	c.r.faults = make(map[int]Action)
+	c.w.faults = make(map[int]Action)
+	for _, f := range script {
+		if f.Dir == Read {
+			c.r.faults[f.Frame] = f.Act
+		} else {
+			c.w.faults[f.Frame] = f.Act
+		}
+	}
+	return c
+}
+
+// Close releases any stalled frame and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+// Write passes p through the write-direction tracker: scripted frames
+// are cut, truncated, corrupted, or stalled at their exact boundary.
+func (c *Conn) Write(p []byte) (int, error) {
+	out, n, act := c.w.step(p)
+	if n > 0 {
+		if _, err := c.Conn.Write(out); err != nil {
+			return n, err
+		}
+	}
+	switch act {
+	case Stall:
+		<-c.done
+		return n, ErrInjected
+	case Cut, Truncate:
+		c.Close()
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Read reads from the underlying conn and passes the bytes through the
+// read-direction tracker. A faulted frame delivers its allowed prefix
+// (if any) first; the fault itself surfaces on the same or next call.
+func (c *Conn) Read(p []byte) (int, error) {
+	k, err := c.Conn.Read(p)
+	if k <= 0 {
+		return k, err
+	}
+	out, n, act := c.r.step(p[:k])
+	copy(p, out)
+	switch act {
+	case Stall:
+		if n > 0 {
+			return n, nil // deliver the clean prefix; stall on the next call
+		}
+		<-c.done
+		return 0, ErrInjected
+	case Cut, Truncate:
+		c.Close()
+		if n > 0 {
+			return n, nil // the close error surfaces on the next Read
+		}
+		return 0, ErrInjected
+	}
+	return n, err
+}
+
+// tracker parses one direction's byte stream into length-prefixed
+// frames and decides, per frame, whether a scripted fault fires.
+type tracker struct {
+	mu     sync.Mutex
+	faults map[int]Action
+
+	frame     int     // index of the current (or next) frame
+	hdr       [4]byte // length prefix of the current frame
+	hdrN      int     // prefix bytes consumed
+	remaining int     // payload bytes left in the current frame
+	act       Action  // pending action for the current frame (0 = none)
+	allow     int     // payload bytes Truncate still lets through
+	terminal  Action  // a terminal fault that already fired (0 = none)
+}
+
+// step consumes p and returns the bytes to pass through (aliasing p, or
+// a mutated copy for Corrupt), how many bytes of p they cover, and the
+// action that fired at that point (0 if the whole chunk passes).
+func (t *tracker) step(p []byte) (out []byte, n int, fired Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.terminal != 0 {
+		return nil, 0, t.terminal
+	}
+	out = p
+	for n < len(p) {
+		if t.hdrN < 4 { // consuming the length prefix
+			if t.hdrN == 0 && t.remaining == 0 { // frame boundary
+				t.act = t.faults[t.frame]
+				if t.act == Cut || t.act == Stall {
+					t.terminal = t.act
+					return out[:n], n, t.act
+				}
+			}
+			t.hdr[t.hdrN] = p[n]
+			t.hdrN++
+			n++
+			if t.hdrN == 4 {
+				t.remaining = int(uint32(t.hdr[0])<<24 | uint32(t.hdr[1])<<16 | uint32(t.hdr[2])<<8 | uint32(t.hdr[3]))
+				if t.act == Truncate {
+					t.allow = t.remaining / 2
+				}
+				if t.act == Corrupt && t.remaining > 0 {
+					// Flip the first payload byte when it arrives.
+					t.allow = -1
+				}
+			}
+			continue
+		}
+		// Payload bytes.
+		if t.act == Truncate {
+			if t.allow == 0 {
+				t.terminal = Truncate
+				return out[:n], n, Truncate
+			}
+			t.allow--
+		}
+		if t.act == Corrupt && t.allow == -1 {
+			if &out[0] == &p[0] {
+				out = append([]byte(nil), p...)
+			}
+			out[n] ^= 0xFF
+			t.allow = 0
+		}
+		t.remaining--
+		n++
+		if t.remaining == 0 { // frame complete
+			t.hdrN = 0
+			t.frame++
+			t.act = 0
+			t.allow = 0
+		}
+	}
+	return out[:n], n, 0
+}
+
+// Listener wraps a net.Listener, applying scripts[i] to the i-th
+// accepted connection (later connections are clean). Construct with
+// WrapListener.
+type Listener struct {
+	net.Listener
+	mu       sync.Mutex
+	scripts  []Script
+	accepted int
+}
+
+// WrapListener scripts a listener's accepted connections in order.
+func WrapListener(ln net.Listener, scripts ...Script) *Listener {
+	return &Listener{Listener: ln, scripts: scripts}
+}
+
+// Accepted reports how many connections the listener has handed out.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Accept wraps the next connection with its script.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	var script Script
+	if l.accepted < len(l.scripts) {
+		script = l.scripts[l.accepted]
+	}
+	l.accepted++
+	l.mu.Unlock()
+	return WrapConn(nc, script), nil
+}
+
+// FlakyStore decorates a runner.Store with a seeded failure pattern:
+// operation k (1-based, across all methods) fails iff
+// splitmix(seed+k) % failOneIn == 0. Per the Store contract a failed
+// Lookup degrades to a miss, a failed Record drops the write, and a
+// failed Flush returns ErrInjected — so a runner over a FlakyStore must
+// still produce bit-identical results, just with fewer store hits.
+type FlakyStore struct {
+	inner     runner.Store
+	seed      uint64
+	failOneIn uint64
+	ops       atomic.Uint64
+	failures  atomic.Uint64
+}
+
+var _ runner.Store = (*FlakyStore)(nil)
+
+// NewFlakyStore wraps inner; failOneIn = 0 never fails, 1 always fails.
+func NewFlakyStore(inner runner.Store, seed uint64, failOneIn uint64) *FlakyStore {
+	return &FlakyStore{inner: inner, seed: seed, failOneIn: failOneIn}
+}
+
+// Failures reports how many operations the schedule failed so far.
+func (s *FlakyStore) Failures() uint64 { return s.failures.Load() }
+
+// fail advances the schedule and reports whether this operation fails.
+func (s *FlakyStore) fail() bool {
+	if s.failOneIn == 0 {
+		return false
+	}
+	k := s.ops.Add(1)
+	if splitmix(s.seed+k)%s.failOneIn == 0 {
+		s.failures.Add(1)
+		return true
+	}
+	return false
+}
+
+// Lookup implements runner.Store; a scheduled failure is a miss.
+func (s *FlakyStore) Lookup(k sim.Key) (runner.StoredResult, bool) {
+	if s.fail() {
+		return runner.StoredResult{}, false
+	}
+	return s.inner.Lookup(k)
+}
+
+// Record implements runner.Store; a scheduled failure drops the write.
+func (s *FlakyStore) Record(k sim.Key, v runner.StoredResult) {
+	if s.fail() {
+		return
+	}
+	s.inner.Record(k, v)
+}
+
+// LookupArtifact implements runner.Store; failures are misses.
+func (s *FlakyStore) LookupArtifact(k sim.Key) ([]byte, bool) {
+	if s.fail() {
+		return nil, false
+	}
+	return s.inner.LookupArtifact(k)
+}
+
+// RecordArtifact implements runner.Store; failures drop the write.
+func (s *FlakyStore) RecordArtifact(k sim.Key, data []byte) {
+	if s.fail() {
+		return
+	}
+	s.inner.RecordArtifact(k, data)
+}
+
+// Flush implements runner.Store; a scheduled failure surfaces (flushes
+// establish durability, so a silent no-op would break the contract).
+func (s *FlakyStore) Flush() error {
+	if s.fail() {
+		return ErrInjected
+	}
+	return s.inner.Flush()
+}

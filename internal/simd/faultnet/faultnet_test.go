@@ -1,0 +1,296 @@
+package faultnet_test
+
+// Unit tests for the fault-injection harness itself: each Action must
+// produce exactly the transport symptom it advertises, at exactly the
+// scripted frame, and every schedule must be reproducible — the chaos
+// suite's assertions are only as strong as the harness's precision.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"resizecache/internal/runner"
+	"resizecache/internal/sim"
+	"resizecache/internal/simd/faultnet"
+	"resizecache/internal/simd/wire"
+)
+
+// pipe returns a faulted side and a clean peer. The returned cleanup
+// closes both ends.
+func pipe(t *testing.T, script faultnet.Script) (faulted *faultnet.Conn, peer net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	faulted = faultnet.WrapConn(a, script)
+	t.Cleanup(func() { faulted.Close(); b.Close() })
+	return faulted, b
+}
+
+// frame is a small distinctive payload for frame index i.
+func frame(i int) wire.Request {
+	return wire.Request{V: wire.ProtocolVersion, ID: uint64(i + 1), Op: wire.OpPing}
+}
+
+// writeFrames writes n frames on c from a goroutine, reporting each
+// write's error on the returned channel (buffered, never blocks).
+func writeFrames(c net.Conn, n int) <-chan error {
+	errs := make(chan error, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			errs <- wire.WriteFrame(c, frame(i))
+		}
+		close(errs)
+	}()
+	return errs
+}
+
+func TestCleanConnPassesFramesThrough(t *testing.T) {
+	faulted, peer := pipe(t, nil)
+	go writeFrames(faulted, 3)
+	for i := 0; i < 3; i++ {
+		var req wire.Request
+		if err := wire.ReadFrame(peer, &req); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(req, frame(i)) {
+			t.Errorf("frame %d mutated: %+v", i, req)
+		}
+	}
+}
+
+func TestCutSeversAtFrameBoundary(t *testing.T) {
+	faulted, peer := pipe(t, faultnet.Script{{Dir: faultnet.Write, Frame: 1, Act: faultnet.Cut}})
+	errs := writeFrames(faulted, 2)
+
+	var req wire.Request
+	if err := wire.ReadFrame(peer, &req); err != nil {
+		t.Fatalf("frame 0 should pass untouched: %v", err)
+	}
+	// Frame 1 was cut before its first byte: the peer sees a clean EOF
+	// between frames, not a partial frame.
+	if err := wire.ReadFrame(peer, &req); !errors.Is(err, io.EOF) {
+		t.Errorf("after the cut: err = %v, want io.EOF", err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("frame 0 write: %v", err)
+	}
+	if err := <-errs; !errors.Is(err, faultnet.ErrInjected) {
+		t.Errorf("cut write error = %v, want ErrInjected", err)
+	}
+}
+
+func TestTruncateSeversMidFrame(t *testing.T) {
+	faulted, peer := pipe(t, faultnet.Script{{Dir: faultnet.Write, Frame: 0, Act: faultnet.Truncate}})
+	errs := writeFrames(faulted, 1)
+
+	var req wire.Request
+	if err := wire.ReadFrame(peer, &req); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if err := <-errs; !errors.Is(err, faultnet.ErrInjected) {
+		t.Errorf("truncate write error = %v, want ErrInjected", err)
+	}
+}
+
+func TestCorruptPoisonsExactlyOneFrame(t *testing.T) {
+	faulted, peer := pipe(t, faultnet.Script{{Dir: faultnet.Write, Frame: 0, Act: faultnet.Corrupt}})
+	go writeFrames(faulted, 2)
+
+	// Frame 0's first payload byte is flipped: the frame arrives whole
+	// but its JSON no longer decodes.
+	var req wire.Request
+	err := wire.ReadFrame(peer, &req)
+	if err == nil || !strings.Contains(err.Error(), "decode frame") {
+		t.Errorf("corrupted frame: err = %v, want a decode failure", err)
+	}
+	// Frame 1 is untouched: corruption is per-frame, not a poisoned
+	// stream.
+	if err := wire.ReadFrame(peer, &req); err != nil {
+		t.Fatalf("frame after the corrupt one: %v", err)
+	}
+	if !reflect.DeepEqual(req, frame(1)) {
+		t.Errorf("frame 1 mutated: %+v", req)
+	}
+}
+
+func TestStallBlocksUntilClose(t *testing.T) {
+	faulted, _ := pipe(t, faultnet.Script{{Dir: faultnet.Write, Frame: 0, Act: faultnet.Stall}})
+	errs := make(chan error, 1)
+	go func() { errs <- wire.WriteFrame(faulted, frame(0)) }()
+
+	select {
+	case err := <-errs:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked, as scripted.
+	}
+	faulted.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, faultnet.ErrInjected) {
+			t.Errorf("released stall error = %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the stalled write")
+	}
+}
+
+func TestReadDirectionFaults(t *testing.T) {
+	faulted, peer := pipe(t, faultnet.Script{{Dir: faultnet.Read, Frame: 1, Act: faultnet.Cut}})
+	go writeFrames(peer, 2)
+
+	var req wire.Request
+	if err := wire.ReadFrame(faulted, &req); err != nil {
+		t.Fatalf("frame 0 should pass untouched: %v", err)
+	}
+	if !reflect.DeepEqual(req, frame(0)) {
+		t.Errorf("frame 0 mutated: %+v", req)
+	}
+	if err := wire.ReadFrame(faulted, &req); err == nil {
+		t.Error("read past a scripted read-cut succeeded")
+	}
+}
+
+func TestListenerScriptsConnectionsInOrder(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.WrapListener(base,
+		faultnet.Script{{Dir: faultnet.Write, Frame: 0, Act: faultnet.Cut}})
+	defer ln.Close()
+
+	// An echo server that writes one frame back per connection.
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				var req wire.Request
+				if wire.ReadFrame(nc, &req) == nil {
+					wire.WriteFrame(nc, wire.Response{ID: req.ID, Kind: wire.KindReply})
+				}
+			}()
+		}
+	}()
+
+	dial := func() (wire.Response, error) {
+		nc, err := net.Dial("tcp", base.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		if err := wire.WriteFrame(nc, frame(0)); err != nil {
+			return wire.Response{}, err
+		}
+		var resp wire.Response
+		err = wire.ReadFrame(nc, &resp)
+		return resp, err
+	}
+
+	// Connection 0 is scripted: its reply is cut.
+	if _, err := dial(); err == nil {
+		t.Error("scripted connection delivered its reply through a cut")
+	}
+	// Connection 1 is beyond the script list: clean.
+	if resp, err := dial(); err != nil || resp.Kind != wire.KindReply {
+		t.Errorf("clean connection failed: resp %+v, err %v", resp, err)
+	}
+	if got := ln.Accepted(); got != 2 {
+		t.Errorf("Accepted = %d, want 2", got)
+	}
+}
+
+func TestCutScriptsAreReproducible(t *testing.T) {
+	a := faultnet.CutScripts(42, 4, 1, 5)
+	b := faultnet.CutScripts(42, 4, 1, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	for i, s := range a {
+		if len(s) != 1 || s[0].Act != faultnet.Cut || s[0].Dir != faultnet.Write {
+			t.Fatalf("script %d = %v, want one write-cut", i, s)
+		}
+		if f := s[0].Frame; f < 1 || f >= 5 {
+			t.Errorf("script %d cuts frame %d, outside [1,5)", i, f)
+		}
+	}
+	if reflect.DeepEqual(a, faultnet.CutScripts(43, 4, 1, 5)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// storeKey returns a distinct deterministic fingerprint per seed.
+func storeKey(seed byte) sim.Key {
+	var k sim.Key
+	for i := range k {
+		k[i] = seed + byte(i)
+	}
+	return k
+}
+
+// flakySequence records the hit/miss pattern of n lookups against a
+// FlakyStore whose inner store holds every key.
+func flakySequence(seed uint64, n int) []bool {
+	inner := runner.NewMemStore()
+	fs := faultnet.NewFlakyStore(inner, seed, 2)
+	pattern := make([]bool, n)
+	for i := 0; i < n; i++ {
+		k := storeKey(byte(i))
+		inner.Record(k, runner.StoredResult{Err: "x"})
+		_, pattern[i] = fs.Lookup(k)
+	}
+	return pattern
+}
+
+func TestFlakyStoreScheduleIsDeterministic(t *testing.T) {
+	a := flakySequence(7, 64)
+	if !reflect.DeepEqual(a, flakySequence(7, 64)) {
+		t.Error("same seed produced different failure schedules")
+	}
+	misses := 0
+	for _, hit := range a {
+		if !hit {
+			misses++
+		}
+	}
+	if misses == 0 || misses == 64 {
+		t.Errorf("failOneIn=2 schedule failed %d of 64 lookups; want a mix", misses)
+	}
+}
+
+func TestFlakyStoreContract(t *testing.T) {
+	inner := runner.NewMemStore()
+	always := faultnet.NewFlakyStore(inner, 1, 1) // every op fails
+	k := storeKey(1)
+
+	always.Record(k, runner.StoredResult{Err: "x"}) // dropped
+	if _, ok := inner.Lookup(k); ok {
+		t.Error("failed Record reached the inner store")
+	}
+	inner.Record(k, runner.StoredResult{Err: "x"})
+	if _, ok := always.Lookup(k); ok {
+		t.Error("failed Lookup reported a hit")
+	}
+	if err := always.Flush(); !errors.Is(err, faultnet.ErrInjected) {
+		t.Errorf("failed Flush = %v, want ErrInjected", err)
+	}
+	if always.Failures() != 3 {
+		t.Errorf("Failures = %d, want 3", always.Failures())
+	}
+
+	never := faultnet.NewFlakyStore(inner, 1, 0)
+	if _, ok := never.Lookup(k); !ok {
+		t.Error("failOneIn=0 store failed a lookup")
+	}
+	if err := never.Flush(); err != nil {
+		t.Errorf("failOneIn=0 Flush: %v", err)
+	}
+}

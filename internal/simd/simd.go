@@ -22,8 +22,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"resizecache"
 	"resizecache/internal/runner"
@@ -43,6 +46,14 @@ type Options struct {
 	// runner and its store service (nil = a fresh MemStore). Serve
 	// flushes it after draining.
 	Store runner.Store
+	// IdleTimeout closes a connection that has sent no frame for this
+	// long while it has no in-flight requests — a half-open client can
+	// no longer pin its three goroutines for the process lifetime
+	// (0 = no idle timeout). A connection running a long plan is busy,
+	// not idle, and is never closed by this; idle clients that want to
+	// stay connected send wire.OpPing keepalives, which (like any
+	// frame) reset the clock.
+	IdleTimeout time.Duration
 	// Logf, when non-nil, receives connection-lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +63,7 @@ type Options struct {
 type Server struct {
 	session *resizecache.Session
 	store   runner.Store
+	idle    time.Duration
 	logf    func(string, ...any)
 
 	// runCtx scopes request handlers: it outlives Serve's accept/drain
@@ -78,8 +90,8 @@ func New(opts Options) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	runCtx, abort := context.WithCancel(context.Background())
-	return &Server{session: session, store: store, logf: logf,
-		runCtx: runCtx, abort: abort}, nil
+	return &Server{session: session, store: store, idle: opts.IdleTimeout,
+		logf: logf, runCtx: runCtx, abort: abort}, nil
 }
 
 // Abort cancels every in-flight request's context: plans stop between
@@ -161,6 +173,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 type conn struct {
 	out chan wire.Response
 
+	// inflight counts dispatched-but-unfinished requests: the reader's
+	// idle-timeout check treats a connection with in-flight work (a
+	// long-running plan, a slow store op) as busy, never idle.
+	inflight atomic.Int64
+
 	mu      sync.Mutex
 	cancels map[uint64]context.CancelFunc
 }
@@ -215,13 +232,30 @@ func (s *Server) serveConn(ctx context.Context, nc net.Conn) {
 	}()
 
 	// Reader: frames flow to the request loop; a read error (EOF on
-	// hangup) closes reqs and ends the loop.
+	// hangup) closes reqs and ends the loop. With an idle timeout, each
+	// frame read carries a deadline: a connection that goes silent with
+	// no in-flight work is torn down instead of pinning its goroutines
+	// forever (the half-open-client case), while a deadline that fires
+	// on a busy connection — a client quietly waiting out a long plan —
+	// just re-arms. A deadline that fires mid-frame is a wedged peer
+	// either way and closes the connection: resuming a partial read
+	// after an unknown delay would desynchronize the framing.
 	reqs := make(chan wire.Request)
 	go func() {
 		defer close(reqs)
+		cr := &countingReader{r: nc}
 		for {
+			if s.idle > 0 {
+				// One wall-clock read per armed deadline; the value never
+				// reaches simulation state, only the socket option.
+				nc.SetReadDeadline(time.Now().Add(s.idle)) //simlint:allow idle-timeout deadline is transport plumbing, not simulation input
+			}
+			before := cr.n
 			var req wire.Request
-			if err := wire.ReadFrame(nc, &req); err != nil {
+			if err := wire.ReadFrame(cr, &req); err != nil {
+				if s.idle > 0 && isTimeout(err) && cr.n == before && c.inflight.Load() > 0 {
+					continue // busy, not idle: re-arm and keep listening
+				}
 				return
 			}
 			select {
@@ -261,13 +295,43 @@ loop:
 	}
 	wg.Wait()
 	close(c.out)
+	// A peer that stopped reading (or a stalled transport) can wedge the
+	// writer on its final frames; bound the wait by closing the socket
+	// instead of pinning the drain forever.
+	unwedge := time.AfterFunc(drainGrace, func() { nc.Close() })
 	<-writerDone
+	unwedge.Stop()
+}
+
+// drainGrace bounds how long a closing connection waits for its last
+// response frames to flush to a peer that has stopped reading.
+const drainGrace = 5 * time.Second
+
+// countingReader counts bytes delivered to ReadFrame so the idle check
+// can tell "no frame started" (idle) from "a frame stalled mid-read"
+// (wedged peer). Only the reader goroutine touches it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // dispatch routes one request. Cancel frames are handled inline
 // (fire-and-forget); everything else gets a handler goroutine tracked
-// by wg, scoped to the server's run context so a drain does not cancel
-// it.
+// by wg — and counted in the connection's in-flight gauge, which the
+// idle-timeout check consults — scoped to the server's run context so a
+// drain does not cancel it.
 func (s *Server) dispatch(c *conn, req wire.Request, wg *sync.WaitGroup) {
 	if req.Op == wire.OpCancel {
 		c.cancel(req.Target)
@@ -279,8 +343,10 @@ func (s *Server) dispatch(c *conn, req wire.Request, wg *sync.WaitGroup) {
 		return
 	}
 	wg.Add(1)
+	c.inflight.Add(1)
 	go func() {
 		defer wg.Done()
+		defer c.inflight.Add(-1)
 		s.handle(s.runCtx, c, req)
 	}()
 }
@@ -350,6 +416,10 @@ func (s *Server) handle(ctx context.Context, c *conn, req wire.Request) {
 			return
 		}
 		reply(wire.Response{Value: data})
+	case wire.OpPing:
+		// The health check: an empty reply proves the request loop is
+		// alive. Receiving the frame already reset the idle clock.
+		reply(wire.Response{})
 	default:
 		fail("unknown op %q", req.Op)
 	}

@@ -37,7 +37,9 @@ import (
 
 // ProtocolVersion tags every request; see the package comment for the
 // bump policy.
-const ProtocolVersion = 1
+// Version history: 1 = initial op set; 2 = OpPing health check (and the
+// reconnecting client that relies on it).
+const ProtocolVersion = 2
 
 // MaxFrame bounds a single frame's payload. Plans serialize to a few
 // bytes per scenario and results to a few KB, so 64 MiB is far above any
@@ -66,6 +68,12 @@ const (
 	OpFlush = "flush"
 	// OpStats returns the daemon's cumulative runner.Stats as JSON.
 	OpStats = "stats"
+	// OpPing is the health check: answered by an empty KindReply. The
+	// reconnecting client uses it to validate a connection before
+	// trusting it after failover, and any received frame (ping included)
+	// resets the server's idle-timeout clock, so a long-lived idle
+	// client pings to keep its connection alive.
+	OpPing = "ping"
 )
 
 // Response kinds.
